@@ -1,0 +1,41 @@
+//! # rcb-adversary
+//!
+//! Adversary strategies for the paper's threat model (§1.2): an *adaptive*
+//! jammer that knows the protocol and every action taken in **previous**
+//! slots, but not the random bits of the current slot. Her budget is finite
+//! and unknown to the good nodes; each (group, slot) jammed costs one unit,
+//! as does each spoofed transmission (Theorem 5 model).
+//!
+//! Two granularities of strategy exist, matching the two simulation engines:
+//!
+//! * [`SlotAdversary`] — consulted every slot by the exact engine;
+//! * [`RepetitionAdversary`] — plans a whole 2^i-slot repetition at once for
+//!   the fast 1-to-n engine. Lemma 1 of the paper proves that within a
+//!   phase/repetition, jamming a *suffix* is without loss of generality, so
+//!   the canonical plans are suffix plans; explicit slot sets are supported
+//!   for the non-canonical jammers used in the robustness ablation (E11).
+//!
+//! The lower-bound constructions get dedicated modules: [`threshold`]
+//! implements Theorem 2's `a_i·b_i > 1/T` rule and [`spoof`] the Theorem 5
+//! jam-or-impersonate choice.
+
+pub mod rep_strategies;
+pub mod slot_strategies;
+pub mod spoof;
+pub mod threshold;
+pub mod traits;
+
+pub use rep_strategies::{
+    BanditBlocker, BudgetedRepBlocker, HalfRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep,
+    SuffixFractionRep,
+};
+pub use slot_strategies::{
+    BudgetedPhaseBlocker, NackSpoofer, NoJam, PeriodicJammer, RandomJammer, ReactiveJammer,
+    ScheduleJammer,
+};
+pub use spoof::{SpoofPlan, SpoofScenario};
+pub use threshold::ThresholdAdversary;
+pub use traits::{
+    JamPlan, RepetitionAdversary, RepetitionContext, RepetitionSummary, SlotAdversary, SlotContext,
+    SlotObservation,
+};

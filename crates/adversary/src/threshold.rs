@@ -1,0 +1,148 @@
+//! The Theorem 2 lower-bound adversary.
+//!
+//! The proof's construction: the adversary (with budget `T`) jams a slot if
+//! and only if it has budget left and `a_i · b_i > 1/T`, where `a_i` and
+//! `b_i` are the sending/listening probabilities Alice and Bob chose for the
+//! slot. (In the lower-bound model the adversary knows the protocol, hence
+//! these probabilities — just not the coin flips.) Against this rule, any
+//! protocol succeeding with probability `1 − ε` satisfies
+//! `E(A)·E(B) ≥ (1 − O(ε))·T`.
+//!
+//! The experiment harness (E4) runs oblivious probability-vector protocols
+//! against this adversary in the *fractional cost model* the proof reduces
+//! to (step I of the proof: charging `a_i` instead of a Bernoulli(a_i) unit
+//! changes nothing in expectation), as well as the actual 0/1 model.
+
+use serde::{Deserialize, Serialize};
+
+/// The `a_i·b_i > 1/T` threshold jammer.
+///
+/// ```
+/// use rcb_adversary::threshold::ThresholdAdversary;
+///
+/// let mut adv = ThresholdAdversary::new(16);
+/// assert!(!adv.decide(0.25, 0.25)); // a·b = 1/16: not strictly above
+/// assert!(adv.decide(0.5, 0.25));   // 1/8 > 1/16: jammed
+/// assert_eq!(adv.jammed(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdAdversary {
+    budget: u64,
+    jammed: u64,
+}
+
+impl ThresholdAdversary {
+    /// An adversary with announced budget `T ≥ 1`.
+    pub fn new(budget: u64) -> Self {
+        assert!(budget >= 1, "budget must be at least 1");
+        Self { budget, jammed: 0 }
+    }
+
+    /// The announced budget `T`.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Slots jammed so far.
+    pub fn jammed(&self) -> u64 {
+        self.jammed
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.jammed >= self.budget
+    }
+
+    /// The product threshold `1/T`.
+    pub fn threshold(&self) -> f64 {
+        1.0 / self.budget as f64
+    }
+
+    /// Decides (and commits) whether to jam a slot in which Alice
+    /// sends/listens with probability `a` and Bob with probability `b`.
+    pub fn decide(&mut self, a: f64, b: f64) -> bool {
+        if self.jammed < self.budget && a * b > self.threshold() {
+            self.jammed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pure query form of [`decide`](Self::decide) — what *would* happen —
+    /// for analysis code that must not mutate.
+    pub fn would_jam(&self, a: f64, b: f64) -> bool {
+        self.jammed < self.budget && a * b > self.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jams_only_above_threshold() {
+        let mut adv = ThresholdAdversary::new(16);
+        // a·b = 1/16 exactly (binary-exact): not strictly greater, no jam.
+        assert!(!adv.decide(0.25, 0.25));
+        // a·b = 1/8 > 1/16: jam.
+        assert!(adv.decide(0.5, 0.25));
+        assert_eq!(adv.jammed(), 1);
+    }
+
+    #[test]
+    fn budget_caps_jamming() {
+        let mut adv = ThresholdAdversary::new(3);
+        let mut jams = 0;
+        for _ in 0..10 {
+            if adv.decide(1.0, 1.0) {
+                jams += 1;
+            }
+        }
+        assert_eq!(jams, 3);
+        assert!(adv.exhausted());
+        // Once exhausted, even maximal products pass.
+        assert!(!adv.decide(1.0, 1.0));
+    }
+
+    #[test]
+    fn sub_threshold_protocol_never_jammed() {
+        // Strategy (ii) of the proof: keep a·b ≤ 1/T forever.
+        let t = 10_000u64;
+        let mut adv = ThresholdAdversary::new(t);
+        let p = (1.0 / t as f64).sqrt();
+        for _ in 0..100_000 {
+            assert!(!adv.decide(p, p));
+        }
+        assert_eq!(adv.jammed(), 0);
+    }
+
+    #[test]
+    fn exhaust_strategy_costs_t() {
+        // Strategy (i) of the proof: force the adversary to burn the budget,
+        // then communicate freely.
+        let t = 500u64;
+        let mut adv = ThresholdAdversary::new(t);
+        let mut slots = 0u64;
+        while !adv.exhausted() {
+            assert!(adv.decide(1.0, 1.0));
+            slots += 1;
+        }
+        assert_eq!(slots, t);
+        // Slot T+1 is free.
+        assert!(!adv.decide(1.0, 1.0));
+    }
+
+    #[test]
+    fn would_jam_is_pure() {
+        let adv = ThresholdAdversary::new(10);
+        assert!(adv.would_jam(1.0, 1.0));
+        assert_eq!(adv.jammed(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_rejected() {
+        ThresholdAdversary::new(0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # rcb-analysis
+//!
+//! Turns raw Monte-Carlo outcomes into the tables EXPERIMENTS.md records:
+//! summary cells (mean ± CI over trials), power-law scaling fits against
+//! the paper's predicted exponents, and plain-text/markdown rendering.
+
+pub mod plot;
+pub mod report;
+pub mod scaling;
+pub mod table;
+
+pub use plot::ascii_loglog;
+pub use report::{Cell, SweepSeries};
+pub use scaling::{
+    fit_scaling, fit_scaling_above_baseline, fit_scaling_with_offset, ScalingVerdict,
+};
+pub use table::TableBuilder;

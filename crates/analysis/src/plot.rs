@@ -1,0 +1,177 @@
+//! Terminal plots for experiment reports: a log-log scatter that makes a
+//! power law visible at a glance (a straight line of `*`s whose slope is
+//! the exponent), plus a reference line for the predicted exponent.
+
+use crate::report::SweepSeries;
+
+/// Renders `series` on log-log axes as ASCII, `width`×`height` characters
+/// of plot area. Points are `*`; the dashed reference line (`·`) passes
+/// through the first point with slope `reference_exponent`.
+///
+/// Returns an empty string when fewer than two positive points exist.
+pub fn ascii_loglog(
+    series: &SweepSeries,
+    width: usize,
+    height: usize,
+    reference_exponent: Option<f64>,
+) -> String {
+    assert!(width >= 8 && height >= 4, "plot area too small");
+    let pts: Vec<(f64, f64)> = series
+        .cells
+        .iter()
+        .filter(|c| c.x > 0.0 && c.mean > 0.0)
+        .map(|c| (c.x.ln(), c.mean.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return String::new();
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    // Reference line can extend the y-range; include its endpoints.
+    let reference = reference_exponent.map(|alpha| {
+        let (x0, y0) = pts[0];
+        (x0, y0, alpha)
+    });
+    if let Some((x0, y0, alpha)) = reference {
+        for xx in [min_x, max_x] {
+            let yy = y0 + alpha * (xx - x0);
+            min_y = min_y.min(yy);
+            max_y = max_y.max(yy);
+        }
+    }
+    let span_x = (max_x - min_x).max(1e-12);
+    let span_y = (max_y - min_y).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    let to_cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x - min_x) / span_x * (width - 1) as f64).round() as usize;
+        let cy = ((y - min_y) / span_y * (height - 1) as f64).round() as usize;
+        (cx.min(width - 1), (height - 1) - cy.min(height - 1))
+    };
+    // Reference line first so data points overwrite it.
+    if let Some((x0, y0, alpha)) = reference {
+        for col in 0..width {
+            let x = min_x + span_x * col as f64 / (width - 1) as f64;
+            let y = y0 + alpha * (x - x0);
+            if y >= min_y - 1e-9 && y <= max_y + 1e-9 {
+                let (cx, cy) = to_cell(x, y);
+                grid[cy][cx] = '.';
+            }
+        }
+    }
+    for &(x, y) in &pts {
+        let (cx, cy) = to_cell(x, y);
+        grid[cy][cx] = '*';
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (log-log; * data{}):\n",
+        series.name,
+        match reference_exponent {
+            Some(a) => format!(", · reference slope {a:.2}"),
+            None => String::new(),
+        }
+    ));
+    out.push_str(&format!(
+        "  y: {:.3e} .. {:.3e}\n",
+        min_y.exp(),
+        max_y.exp()
+    ));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "  x: {:.3e} .. {:.3e}\n",
+        min_x.exp(),
+        max_x.exp()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Cell;
+
+    fn sqrt_series() -> SweepSeries {
+        let mut s = SweepSeries::new("cost vs T");
+        for k in 4..16 {
+            let x = (2.0f64).powi(k);
+            s.push(Cell::from_samples(x, &[5.0 * x.sqrt()]));
+        }
+        s
+    }
+
+    #[test]
+    fn renders_plot_with_points_and_reference() {
+        let plot = ascii_loglog(&sqrt_series(), 40, 10, Some(0.5));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('.'));
+        assert!(plot.contains("cost vs T"));
+        assert!(plot.contains("reference slope 0.50"));
+        // 10 grid rows plus header/axis lines.
+        assert!(plot.lines().count() >= 13);
+    }
+
+    #[test]
+    fn perfect_power_law_points_fall_on_the_reference() {
+        // With the reference through the first point at the true slope,
+        // every '*' should overwrite a '.' — so no row has a '.' to the
+        // right AND left... simpler: count cells; the data diagonal should
+        // be monotone down-right.
+        let plot = ascii_loglog(&sqrt_series(), 40, 12, Some(0.5));
+        // Grid rows start with "  |"; the top row holds the largest y,
+        // which for an increasing series is also the largest x — so the
+        // star columns march *left* going down.
+        let mut last_col = usize::MAX;
+        let mut rows_with_star = 0;
+        for line in plot
+            .lines()
+            .filter(|l| l.starts_with("  |") && l.contains('*'))
+        {
+            let col = line.find('*').expect("has star");
+            assert!(col <= last_col, "stars march left as y decreases:\n{plot}");
+            last_col = col;
+            rows_with_star += 1;
+        }
+        assert!(rows_with_star >= 4);
+    }
+
+    #[test]
+    fn empty_or_degenerate_series_is_empty_string() {
+        let empty = SweepSeries::new("nothing");
+        assert!(ascii_loglog(&empty, 40, 10, None).is_empty());
+        let mut one = SweepSeries::new("one");
+        one.push(Cell::from_samples(4.0, &[2.0]));
+        assert!(ascii_loglog(&one, 40, 10, None).is_empty());
+        let mut nonpos = SweepSeries::new("nonpos");
+        nonpos.push(Cell::from_samples(0.0, &[1.0]));
+        nonpos.push(Cell::from_samples(-1.0, &[1.0]));
+        assert!(ascii_loglog(&nonpos, 40, 10, None).is_empty());
+    }
+
+    #[test]
+    fn works_without_reference() {
+        let plot = ascii_loglog(&sqrt_series(), 30, 8, None);
+        assert!(plot.contains('*'));
+        assert!(!plot.contains("reference"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_plot_area() {
+        ascii_loglog(&sqrt_series(), 4, 2, None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Aggregation cells for experiment sweeps.
+
+use rcb_mathkit::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// One aggregated cell of an experiment table: many trials of one
+/// parameter combination.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Cell {
+    /// The swept parameter value (e.g. `T` or `n`).
+    pub x: f64,
+    pub mean: f64,
+    pub sem: f64,
+    pub min: f64,
+    /// 95th percentile — heavy-tail visibility for jammed cost
+    /// distributions.
+    pub p95: f64,
+    pub max: f64,
+    pub trials: u64,
+}
+
+impl Cell {
+    /// Builds a cell from raw per-trial values.
+    pub fn from_samples(x: f64, samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "a cell needs at least one trial");
+        let mut stats = RunningStats::new();
+        for &s in samples {
+            stats.push(s);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Self {
+            x,
+            mean: stats.mean(),
+            sem: if samples.len() > 1 { stats.sem() } else { 0.0 },
+            min: stats.min(),
+            p95: rcb_mathkit::stats::percentile(&sorted, 0.95),
+            max: stats.max(),
+            trials: stats.count(),
+        }
+    }
+}
+
+/// A swept series: cells ordered by `x`, ready for a scaling fit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepSeries {
+    pub name: String,
+    pub cells: Vec<Cell>,
+}
+
+impl SweepSeries {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, cell: Cell) {
+        self.cells.push(cell);
+    }
+
+    /// `(x, mean)` pairs for fitting.
+    pub fn points(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.cells.iter().map(|c| c.x).collect(),
+            self.cells.iter().map(|c| c.mean).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_aggregates_samples() {
+        let c = Cell::from_samples(10.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(c.x, 10.0);
+        assert!((c.mean - 2.0).abs() < 1e-12);
+        assert_eq!(c.min, 1.0);
+        assert!(c.p95 <= c.max && c.p95 >= c.mean);
+        assert_eq!(c.max, 3.0);
+        assert_eq!(c.trials, 3);
+        assert!(c.sem > 0.0);
+    }
+
+    #[test]
+    fn single_sample_cell_has_zero_sem() {
+        let c = Cell::from_samples(1.0, &[5.0]);
+        assert_eq!(c.sem, 0.0);
+        assert_eq!(c.mean, 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cell_panics() {
+        Cell::from_samples(1.0, &[]);
+    }
+
+    #[test]
+    fn series_points_preserve_order() {
+        let mut s = SweepSeries::new("cost-vs-T");
+        s.push(Cell::from_samples(1.0, &[1.0]));
+        s.push(Cell::from_samples(4.0, &[2.0]));
+        s.push(Cell::from_samples(16.0, &[4.0]));
+        let (xs, ys) = s.points();
+        assert_eq!(xs, vec![1.0, 4.0, 16.0]);
+        assert_eq!(ys, vec![1.0, 2.0, 4.0]);
+        assert_eq!(s.name, "cost-vs-T");
+    }
+}

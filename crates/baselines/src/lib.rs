@@ -1,0 +1,29 @@
+//! # rcb-baselines
+//!
+//! The protocols the paper measures itself against:
+//!
+//! * [`ksy`] — a reconstruction of the King–Saia–Young algorithm
+//!   (PODC 2011, reference [23] of the paper), the prior state of the art
+//!   for 1-to-1 communication with expected cost `O(T^(φ−1) + 1)`. No
+//!   public implementation exists; ours reuses the Figure 1 skeleton with
+//!   the golden-ratio activity budget (see module docs for why this
+//!   preserves the comparison).
+//! * [`naive`] — the deterministic always-on pair: the `T + 1` cost anchor
+//!   from §1.2 ("without any randomness, an adversary can easily force a
+//!   cost of T + 1").
+//! * [`oblivious`] — constant-rate probability-vector protocols, the
+//!   WLOG-optimal form the Theorem 2 lower-bound proof reduces every
+//!   protocol to; parameterized by the asymmetric split `δ` used in the
+//!   Theorem 5 golden-ratio experiment.
+//! * [`combined`] — ready-made `min{Figure 1, KSY}` device pairs via the
+//!   energy-balanced combinator from `rcb-core`.
+
+pub mod combined;
+pub mod ksy;
+pub mod naive;
+pub mod oblivious;
+
+pub use combined::{combined_alice, combined_bob, CombinedAlice, CombinedBob};
+pub use ksy::{KsyAlice, KsyBob, KsyProfile};
+pub use naive::{NaiveAlice, NaiveBob};
+pub use oblivious::{ConstantRatePair, ObliviousOutcome};

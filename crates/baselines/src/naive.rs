@@ -1,0 +1,150 @@
+//! The deterministic always-on baseline.
+//!
+//! §1.2: "without any randomness, an adversary can easily force a cost of
+//! T + 1 since sending and listening will be deterministic." This pair
+//! realizes that anchor: Alice transmits every slot, Bob listens every slot
+//! until `m` lands. Against a front-loaded jammer with budget `T`, Bob's
+//! cost is exactly `T + 1` — linear in the adversary's spend, i.e. *not*
+//! resource-competitive. It exists as the comparison-table anchor (E9).
+
+use rcb_channel::message::Payload;
+use rcb_channel::slot::{Action, Reception};
+use rcb_core::protocol::SlotProtocol;
+use rcb_mathkit::rng::RcbRng;
+
+/// Sends `m` in every slot until `horizon` slots have elapsed (she has no
+/// feedback channel in this baseline, so a horizon stands in for "long
+/// enough"; experiments set it comfortably above the adversary budget).
+#[derive(Debug, Clone)]
+pub struct NaiveAlice {
+    horizon: u64,
+    sent: u64,
+}
+
+impl NaiveAlice {
+    pub fn new(horizon: u64) -> Self {
+        Self { horizon, sent: 0 }
+    }
+}
+
+impl SlotProtocol for NaiveAlice {
+    fn act(&mut self, _rng: &mut RcbRng) -> Action {
+        if self.sent >= self.horizon {
+            Action::Sleep
+        } else {
+            Action::Send(Payload::message())
+        }
+    }
+
+    fn end_slot(&mut self, _heard: Option<&Reception>) {
+        if self.sent < self.horizon {
+            self.sent += 1;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent >= self.horizon
+    }
+
+    fn received_message(&self) -> bool {
+        true
+    }
+}
+
+/// Listens every slot until `m` arrives (or `horizon` slots pass).
+#[derive(Debug, Clone)]
+pub struct NaiveBob {
+    horizon: u64,
+    listened: u64,
+    got_m: bool,
+}
+
+impl NaiveBob {
+    pub fn new(horizon: u64) -> Self {
+        Self {
+            horizon,
+            listened: 0,
+            got_m: false,
+        }
+    }
+
+    /// Slots spent listening (Bob's cost).
+    pub fn cost(&self) -> u64 {
+        self.listened
+    }
+}
+
+impl SlotProtocol for NaiveBob {
+    fn act(&mut self, _rng: &mut RcbRng) -> Action {
+        if self.is_done() {
+            Action::Sleep
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn end_slot(&mut self, heard: Option<&Reception>) {
+        if self.is_done() {
+            return;
+        }
+        self.listened += 1;
+        if let Some(r) = heard {
+            if r.is_message() {
+                self.got_m = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.got_m || self.listened >= self.horizon
+    }
+
+    fn received_message(&self) -> bool {
+        self.got_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bob_cost_is_t_plus_one_under_front_jamming() {
+        // Jam the first T slots: Bob hears noise T times, then m.
+        let t = 57u64;
+        let mut bob = NaiveBob::new(10_000);
+        let mut rng = RcbRng::new(1);
+        for _ in 0..t {
+            assert!(matches!(bob.act(&mut rng), Action::Listen));
+            bob.end_slot(Some(&Reception::Noise));
+        }
+        assert!(!bob.is_done());
+        bob.act(&mut rng);
+        bob.end_slot(Some(&Reception::Received(Payload::message())));
+        assert!(bob.is_done());
+        assert!(bob.received_message());
+        assert_eq!(bob.cost(), t + 1, "the paper's T + 1 anchor");
+    }
+
+    #[test]
+    fn alice_sends_until_horizon() {
+        let mut alice = NaiveAlice::new(3);
+        let mut rng = RcbRng::new(2);
+        for _ in 0..3 {
+            assert!(matches!(alice.act(&mut rng), Action::Send(_)));
+            alice.end_slot(None);
+        }
+        assert!(alice.is_done());
+        assert!(matches!(alice.act(&mut rng), Action::Sleep));
+    }
+
+    #[test]
+    fn bob_gives_up_at_horizon() {
+        let mut bob = NaiveBob::new(5);
+        for _ in 0..5 {
+            bob.end_slot(Some(&Reception::Clear));
+        }
+        assert!(bob.is_done());
+        assert!(!bob.received_message());
+    }
+}

@@ -1,0 +1,226 @@
+//! Oblivious constant-rate protocols — the normal form of the Theorem 2
+//! lower-bound proof.
+//!
+//! Steps (I)–(III) of the proof show that against the threshold adversary
+//! any protocol can be assumed to (I) pay fractional costs, (II) commit to
+//! probability vectors in advance, and (III) use equal coordinates with
+//! maximal product `a·b = 1/T`. [`ConstantRatePair`] is that normal form,
+//! parameterized by the split `δ` (`E(A) ∝ T^(1−δ)`, `E(B) ∝ T^δ`). It
+//! supports both a closed-form expected-cost computation (fractional model)
+//! and a Monte-Carlo run in the 0/1 cost model, so experiment E4 can check
+//! `E(A)·E(B) ≈ T` two independent ways.
+
+use rcb_adversary::threshold::ThresholdAdversary;
+use rcb_mathkit::rng::RcbRng;
+use rcb_mathkit::sample::bernoulli;
+use serde::{Deserialize, Serialize};
+
+/// Alice sends with probability `a` and Bob listens with probability `b`
+/// in every slot, until the message lands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantRatePair {
+    pub a: f64,
+    pub b: f64,
+}
+
+/// Closed-form outcome of a pair against the threshold adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObliviousOutcome {
+    /// Alice's expected cost (fractional model).
+    pub expected_a: f64,
+    /// Bob's expected cost (fractional model).
+    pub expected_b: f64,
+    /// Expected number of slots until success.
+    pub expected_slots: f64,
+    /// Slots the adversary jams (0 or its full budget).
+    pub jammed: u64,
+}
+
+impl ConstantRatePair {
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!((0.0..=1.0).contains(&a) && a > 0.0, "a in (0,1]");
+        assert!((0.0..=1.0).contains(&b) && b > 0.0, "b in (0,1]");
+        Self { a, b }
+    }
+
+    /// The δ-split pair at the adversary-budget boundary:
+    /// `a = T^(−δ)`, `b ≈ T^(δ−1)` with `a·b` nudged one part in 10⁹ below
+    /// `1/T` — mathematically the proof's strategy (ii) sits *at* the
+    /// boundary, but floating-point `powf` rounding can land a hair above
+    /// it, which would (wrongly) trigger the strict `a·b > 1/T` jamming
+    /// rule and quadruple the measured product.
+    pub fn from_split(budget: u64, delta: f64) -> Self {
+        assert!(budget >= 1);
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let t = budget as f64;
+        let a = t.powf(-delta).min(1.0);
+        let b = ((1.0 - 1e-9) / (t * a)).min(1.0);
+        Self::new(a, b)
+    }
+
+    /// The exhaust pair — the proof's strategy (i): act every slot, forcing
+    /// the adversary to burn her whole budget, then deliver.
+    pub fn exhaust() -> Self {
+        Self::new(1.0, 1.0)
+    }
+
+    /// Per-slot success probability in an unjammed slot.
+    pub fn success_rate(&self) -> f64 {
+        self.a * self.b
+    }
+
+    /// Closed-form expected costs against a fresh threshold adversary with
+    /// the given budget, in the fractional model, running until success.
+    ///
+    /// If `a·b > 1/T` the adversary jams the first `T` slots (during which
+    /// both parties still pay their fractional rates), then communication
+    /// proceeds with per-slot success `a·b` — expected `1/(a·b)` extra
+    /// slots. If `a·b ≤ 1/T` no slot is ever jammed.
+    pub fn expected_costs(&self, budget: u64) -> ObliviousOutcome {
+        let adv = ThresholdAdversary::new(budget);
+        let p = self.success_rate();
+        if adv.would_jam(self.a, self.b) {
+            let t = budget as f64;
+            ObliviousOutcome {
+                expected_a: self.a * t + self.a / p,
+                expected_b: self.b * t + self.b / p,
+                expected_slots: t + 1.0 / p,
+                jammed: budget,
+            }
+        } else {
+            ObliviousOutcome {
+                expected_a: self.a / p, // = 1/b
+                expected_b: self.b / p, // = 1/a
+                expected_slots: 1.0 / p,
+                jammed: 0,
+            }
+        }
+    }
+
+    /// One Monte-Carlo execution in the 0/1 cost model against a fresh
+    /// threshold adversary. Returns `(alice_cost, bob_cost, slots, jammed)`.
+    /// `max_slots` bounds the run (a hit is reported as a truncated run by
+    /// returning `slots == max_slots`).
+    pub fn simulate(&self, budget: u64, max_slots: u64, rng: &mut RcbRng) -> (u64, u64, u64, u64) {
+        let mut adv = ThresholdAdversary::new(budget);
+        let mut cost_a = 0u64;
+        let mut cost_b = 0u64;
+        for slot in 0..max_slots {
+            let jammed = adv.decide(self.a, self.b);
+            let alice_acts = bernoulli(rng, self.a);
+            let bob_acts = bernoulli(rng, self.b);
+            if alice_acts {
+                cost_a += 1;
+            }
+            if bob_acts {
+                cost_b += 1;
+            }
+            if alice_acts && bob_acts && !jammed {
+                return (cost_a, cost_b, slot + 1, adv.jammed());
+            }
+        }
+        (cost_a, cost_b, max_slots, adv.jammed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_pair_sits_on_the_threshold() {
+        let t = 10_000u64;
+        for delta in [0.3, 0.5, rcb_mathkit::PHI_MINUS_ONE, 0.7] {
+            let pair = ConstantRatePair::from_split(t, delta);
+            assert!(
+                (pair.success_rate() - 1.0 / t as f64).abs() < 1e-12,
+                "a·b must equal 1/T"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_threshold_product_is_exactly_t() {
+        // The heart of Theorem 2: E(A)·E(B) = 1/(a·b) = T for boundary pairs.
+        let t = 4096u64;
+        let pair = ConstantRatePair::from_split(t, 0.5);
+        let out = pair.expected_costs(t);
+        assert_eq!(out.jammed, 0);
+        let product = out.expected_a * out.expected_b;
+        assert!(
+            (product - t as f64).abs() < 1e-6 * t as f64,
+            "product {product} vs T {t}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_splits_trade_cost_but_keep_the_product() {
+        let t = 1u64 << 16;
+        let balanced = ConstantRatePair::from_split(t, 0.5).expected_costs(t);
+        let skewed = ConstantRatePair::from_split(t, 0.8).expected_costs(t);
+        // δ = 0.8: Bob pays T^0.8, Alice T^0.2.
+        assert!(skewed.expected_b > balanced.expected_b);
+        assert!(skewed.expected_a < balanced.expected_a);
+        let p1 = balanced.expected_a * balanced.expected_b;
+        let p2 = skewed.expected_a * skewed.expected_b;
+        assert!((p1 - p2).abs() < 1e-6 * p1, "product is split-invariant");
+    }
+
+    #[test]
+    fn exhaust_strategy_pays_t_each() {
+        let t = 1000u64;
+        let out = ConstantRatePair::exhaust().expected_costs(t);
+        assert_eq!(out.jammed, t);
+        // Jammed for T slots at cost 1/slot each, then succeed immediately.
+        assert!((out.expected_a - (t as f64 + 1.0)).abs() < 1e-9);
+        assert!((out.expected_b - (t as f64 + 1.0)).abs() < 1e-9);
+        assert!((out.expected_slots - (t as f64 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let t = 256u64;
+        let pair = ConstantRatePair::from_split(t, 0.5);
+        let expect = pair.expected_costs(t);
+        let mut rng = RcbRng::new(5);
+        let trials = 20_000;
+        let (mut sa, mut sb, mut truncated) = (0.0, 0.0, 0u64);
+        for _ in 0..trials {
+            let (a, b, slots, jammed) = pair.simulate(t, 1_000_000, &mut rng);
+            assert_eq!(jammed, 0, "boundary pair is never jammed");
+            if slots == 1_000_000 {
+                truncated += 1;
+            }
+            sa += a as f64;
+            sb += b as f64;
+        }
+        assert_eq!(truncated, 0, "runs should finish well before the cap");
+        let (ma, mb) = (sa / trials as f64, sb / trials as f64);
+        assert!(
+            (ma - expect.expected_a).abs() < 0.05 * expect.expected_a,
+            "E(A): {ma} vs {}",
+            expect.expected_a
+        );
+        assert!(
+            (mb - expect.expected_b).abs() < 0.05 * expect.expected_b,
+            "E(B): {mb} vs {}",
+            expect.expected_b
+        );
+    }
+
+    #[test]
+    fn above_threshold_pair_gets_jammed_in_simulation() {
+        let t = 64u64;
+        let pair = ConstantRatePair::new(0.5, 0.5); // 0.25 > 1/64
+        let mut rng = RcbRng::new(6);
+        let (_, _, slots, jammed) = pair.simulate(t, 1_000_000, &mut rng);
+        assert_eq!(jammed, t, "adversary burns its whole budget");
+        assert!(slots > t, "success only after the budget is gone");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        ConstantRatePair::new(0.0, 0.5);
+    }
+}

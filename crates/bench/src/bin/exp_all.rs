@@ -1,0 +1,7 @@
+//! Runs the full experiment suite (DESIGN.md §4) and prints every table.
+//! `RCB_SCALE=full` for publication-grade trial counts.
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!("# rcb experiment suite (scale: {scale:?})");
+    println!("{}", rcb_bench::experiments::run_all(&scale));
+}

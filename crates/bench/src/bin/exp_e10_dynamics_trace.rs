@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e10_dynamics_trace (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e10_dynamics_trace::run(&scale)
+    );
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment e11_ablation (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!("{}", rcb_bench::experiments::e11_ablation::run(&scale));
+}

@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e13_learning_adversary (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e13_learning_adversary::run(&scale)
+    );
+}

@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e14_partition_jamming (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e14_partition_jamming::run(&scale)
+    );
+}

@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e1_one_to_one_cost (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e1_one_to_one_cost::run(&scale)
+    );
+}

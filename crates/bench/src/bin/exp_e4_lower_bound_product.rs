@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e4_lower_bound_product (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e4_lower_bound_product::run(&scale)
+    );
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment e5_one_to_n_cost (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!("{}", rcb_bench::experiments::e5_one_to_n_cost::run(&scale));
+}

@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e6_one_to_n_latency (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e6_one_to_n_latency::run(&scale)
+    );
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment e7_fairness_gap (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!("{}", rcb_bench::experiments::e7_fairness_gap::run(&scale));
+}

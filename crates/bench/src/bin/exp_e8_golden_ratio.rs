@@ -1,0 +1,5 @@
+//! Standalone runner for experiment e8_golden_ratio (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!("{}", rcb_bench::experiments::e8_golden_ratio::run(&scale));
+}

@@ -1,0 +1,8 @@
+//! Standalone runner for experiment e9_baseline_comparison (see DESIGN.md §4).
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e9_baseline_comparison::run(&scale)
+    );
+}

@@ -1,0 +1,23 @@
+//! `rcbsim` — interactive command-line driver. See `rcb_bench::cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match rcb_bench::cli::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match rcb_bench::cli::run_cli(&args) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

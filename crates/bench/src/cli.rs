@@ -1,0 +1,417 @@
+//! `rcbsim` — a command-line driver for one-off simulations.
+//!
+//! The experiment binaries regenerate the paper's tables; `rcbsim` is the
+//! interactive companion: run a single configuration and read the numbers.
+//!
+//! ```text
+//! rcbsim duel      --profile fig1 --epsilon 0.01 --budget 65536 --trials 100
+//! rcbsim broadcast --n 64 --budget 1048576 --adversary suffix --q 1.0 --trials 10
+//! rcbsim product   --budget 16384 --delta 0.5 --trials 2000
+//! rcbsim golden    --budget 16384 --trials 500
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` / `--key=value`): the
+//! dependency budget of this workspace is deliberately small and the
+//! grammar is trivial.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep};
+use rcb_adversary::traits::RepetitionAdversary;
+use rcb_analysis::table::{num, TableBuilder};
+use rcb_baselines::ksy::KsyProfile;
+use rcb_core::one_to_n::OneToNParams;
+use rcb_core::one_to_one::profile::{DuelProfile, Fig1Profile};
+use rcb_mathkit::rng::SeedSequence;
+use rcb_mathkit::stats::RunningStats;
+use rcb_mathkit::PHI_MINUS_ONE;
+use rcb_sim::duel::{run_duel, DuelConfig};
+use rcb_sim::fast::{run_broadcast, FastConfig};
+use rcb_sim::lowerbound::{golden_ratio_game, product_game};
+use rcb_sim::runner::{run_trials, Parallelism};
+
+/// Parsed command line: one subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(stripped) = token.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err("bare `--` is not a valid option".into());
+                }
+                let (key, value) = match stripped.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| format!("option --{stripped} needs a value"))?;
+                        (stripped.to_string(), value)
+                    }
+                };
+                if args.options.insert(key.clone(), value).is_some() {
+                    return Err(format!("option --{key} given twice"));
+                }
+            } else if args.command.is_none() {
+                args.command = Some(token);
+            } else {
+                return Err(format!("unexpected positional argument `{token}`"));
+            }
+        }
+        Ok(args)
+    }
+
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Typed option lookup with a default.
+    pub fn get<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{raw}`")),
+        }
+    }
+
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+const HELP: &str = "\
+rcbsim — resource-competitive broadcast simulator
+
+USAGE: rcbsim <COMMAND> [--key value ...]
+
+COMMANDS:
+  duel       1-to-1 broadcast (Figure 1 / KSY) vs a blanket blocker
+             --profile fig1|ksy   --epsilon F   --budget N
+             --q F (block fraction)   --trials N   --seed N
+  broadcast  1-to-n broadcast (Figure 2)
+             --n N   --budget N   --adversary suffix|random|keepalive|none
+             --q F   --trials N   --seed N
+  product    Theorem 2 product game
+             --budget N   --delta F   --trials N   --seed N
+  golden     Theorem 5 golden-ratio sweep
+             --budget N   --trials N   --seed N
+  help       this text
+";
+
+/// Executes a parsed command line, returning the report text.
+pub fn run_cli(args: &Args) -> Result<String, String> {
+    match args.command() {
+        None | Some("help") => Ok(HELP.to_string()),
+        Some("duel") => cmd_duel(args),
+        Some("broadcast") => cmd_broadcast(args),
+        Some("product") => cmd_product(args),
+        Some("golden") => cmd_golden(args),
+        Some(other) => Err(format!("unknown command `{other}`; try `rcbsim help`")),
+    }
+}
+
+fn duel_report<P: DuelProfile + Sync>(
+    profile: &P,
+    budget: u64,
+    q: f64,
+    trials: u64,
+    seed: u64,
+) -> String {
+    let outcomes = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
+        let mut adv = BudgetedRepBlocker::new(budget, q);
+        run_duel(profile, &mut adv, rng, DuelConfig::default())
+    });
+    let mut alice = RunningStats::new();
+    let mut bob = RunningStats::new();
+    let mut slots = RunningStats::new();
+    let mut spend = RunningStats::new();
+    let mut delivered = 0u64;
+    for o in &outcomes {
+        alice.push(o.alice_cost as f64);
+        bob.push(o.bob_cost as f64);
+        slots.push(o.slots as f64);
+        spend.push(o.adversary_cost as f64);
+        delivered += o.delivered as u64;
+    }
+    let mut t = TableBuilder::new(vec!["metric", "mean", "min", "max"]);
+    t.row(vec![
+        "alice cost".into(),
+        num(alice.mean()),
+        num(alice.min()),
+        num(alice.max()),
+    ]);
+    t.row(vec![
+        "bob cost".into(),
+        num(bob.mean()),
+        num(bob.min()),
+        num(bob.max()),
+    ]);
+    t.row(vec![
+        "latency (slots)".into(),
+        num(slots.mean()),
+        num(slots.min()),
+        num(slots.max()),
+    ]);
+    t.row(vec![
+        "adversary spend T".into(),
+        num(spend.mean()),
+        num(spend.min()),
+        num(spend.max()),
+    ]);
+    let mut hist = rcb_mathkit::histogram::LogHistogram::doubling();
+    for o in &outcomes {
+        hist.record(o.max_cost() as f64);
+    }
+    format!(
+        "{}\ndelivered: {}/{} ({:.1}%)\n\nmax-cost distribution (p50 ≈ {:.0}, p95 ≈ {:.0}):\n{}",
+        t.markdown(),
+        delivered,
+        trials,
+        100.0 * delivered as f64 / trials as f64,
+        hist.quantile(0.5),
+        hist.quantile(0.95),
+        hist.render(32)
+    )
+}
+
+fn cmd_duel(args: &Args) -> Result<String, String> {
+    let budget: u64 = args.get("budget", 65536)?;
+    let q: f64 = args.get("q", 1.0)?;
+    let trials: u64 = args.get("trials", 100)?;
+    let seed: u64 = args.get("seed", 2014)?;
+    let profile_name = args.get_str("profile", "fig1");
+    match profile_name.as_str() {
+        "fig1" => {
+            let epsilon: f64 = args.get("epsilon", 0.01)?;
+            let start: u32 = args.get("start-epoch", 8)?;
+            let profile = Fig1Profile::with_start_epoch(epsilon, start);
+            Ok(duel_report(&profile, budget, q, trials, seed))
+        }
+        "ksy" => {
+            let profile = KsyProfile::new();
+            Ok(duel_report(&profile, budget, q, trials, seed))
+        }
+        other => Err(format!("--profile must be fig1 or ksy, got `{other}`")),
+    }
+}
+
+fn cmd_broadcast(args: &Args) -> Result<String, String> {
+    let n: usize = args.get("n", 32)?;
+    let budget: u64 = args.get("budget", 1 << 20)?;
+    let q: f64 = args.get("q", 1.0)?;
+    let trials: u64 = args.get("trials", 10)?;
+    let seed: u64 = args.get("seed", 2014)?;
+    let kind = args.get_str("adversary", "suffix");
+    if !matches!(kind.as_str(), "suffix" | "random" | "keepalive" | "none") {
+        return Err(format!(
+            "--adversary must be suffix|random|keepalive|none, got `{kind}`"
+        ));
+    }
+    let params = OneToNParams::practical();
+    let kind_owned = kind.clone();
+    let outcomes = run_trials(trials, seed, Parallelism::Auto, move |i, rng| {
+        let mut adv: Box<dyn RepetitionAdversary> = match kind_owned.as_str() {
+            "suffix" => Box::new(BudgetedRepBlocker::new(budget, q)),
+            "random" => Box::new(RandomRep::new(q.min(0.999), budget, seed ^ i)),
+            "keepalive" => Box::new(KeepAliveBlocker::new(budget, q)),
+            _ => Box::new(NoJamRep),
+        };
+        run_broadcast(&params, n, adv.as_mut(), rng, FastConfig::default())
+    });
+    let mut mean_cost = RunningStats::new();
+    let mut max_cost = RunningStats::new();
+    let mut slots = RunningStats::new();
+    let mut spend = RunningStats::new();
+    let mut informed = 0u64;
+    for o in &outcomes {
+        mean_cost.push(o.mean_cost());
+        max_cost.push(o.max_cost() as f64);
+        slots.push(o.slots as f64);
+        spend.push(o.adversary_cost as f64);
+        informed += o.all_informed as u64;
+    }
+    let mut t = TableBuilder::new(vec!["metric", "mean", "min", "max"]);
+    t.row(vec![
+        "mean node cost".into(),
+        num(mean_cost.mean()),
+        num(mean_cost.min()),
+        num(mean_cost.max()),
+    ]);
+    t.row(vec![
+        "max node cost".into(),
+        num(max_cost.mean()),
+        num(max_cost.min()),
+        num(max_cost.max()),
+    ]);
+    t.row(vec![
+        "latency (slots)".into(),
+        num(slots.mean()),
+        num(slots.min()),
+        num(slots.max()),
+    ]);
+    t.row(vec![
+        "adversary spend T".into(),
+        num(spend.mean()),
+        num(spend.min()),
+        num(spend.max()),
+    ]);
+    Ok(format!(
+        "{}\nall informed: {}/{} runs\n",
+        t.markdown(),
+        informed,
+        trials
+    ))
+}
+
+fn cmd_product(args: &Args) -> Result<String, String> {
+    let budget: u64 = args.get("budget", 16384)?;
+    let delta: f64 = args.get("delta", 0.5)?;
+    let trials: u64 = args.get("trials", 2000)?;
+    let seed: u64 = args.get("seed", 2014)?;
+    if !(0.0..1.0).contains(&delta) || delta <= 0.0 {
+        return Err("--delta must be in (0,1)".into());
+    }
+    let mut rng = SeedSequence::new(seed).rng(0);
+    let row = product_game(budget, delta, trials, &mut rng);
+    Ok(format!(
+        "δ = {delta}, T = {budget}, {trials} trials\n\
+         E(A) = {:.1}, E(B) = {:.1}, E(A)·E(B)/T = {:.3} (Theorem 2 floor: ≥ 1 − O(ε))\n",
+        row.mean_a, row.mean_b, row.product_over_t
+    ))
+}
+
+fn cmd_golden(args: &Args) -> Result<String, String> {
+    let budget: u64 = args.get("budget", 16384)?;
+    let trials: u64 = args.get("trials", 500)?;
+    let seed: u64 = args.get("seed", 2014)?;
+    let seeds = SeedSequence::new(seed);
+    let mut t = TableBuilder::new(vec!["δ", "worst exponent", "predicted", "adversary plays"]);
+    for (i, delta) in [0.45, 0.5, 0.55, PHI_MINUS_ONE, 0.65, 0.7, 0.8]
+        .iter()
+        .enumerate()
+    {
+        let mut rng = seeds.rng(i as u64);
+        let row = golden_ratio_game(budget, *delta, trials, &mut rng);
+        t.row(vec![
+            format!("{delta:.3}"),
+            num(row.worst_exponent),
+            num(row.predicted),
+            format!("{:?}", row.picked),
+        ]);
+    }
+    Ok(format!(
+        "{}\nthe minimum sits at δ = φ−1 ≈ 0.618 (Theorem 5)\n",
+        t.markdown()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["duel", "--budget", "1024", "--q=0.5"]).expect("parse");
+        assert_eq!(a.command(), Some("duel"));
+        assert_eq!(a.get::<u64>("budget", 0).expect("budget"), 1024);
+        assert_eq!(a.get::<f64>("q", 1.0).expect("q"), 0.5);
+        // Defaults pass through.
+        assert_eq!(a.get::<u64>("trials", 7).expect("trials"), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&["duel", "--budget"]).is_err(), "missing value");
+        assert!(parse(&["duel", "--q", "1", "--q", "2"]).is_err(), "dup");
+        assert!(parse(&["duel", "extra"]).is_err(), "second positional");
+        assert!(parse(&["--"]).is_err(), "bare dashes");
+        let a = parse(&["duel", "--budget", "abc"]).expect("parse ok");
+        assert!(a.get::<u64>("budget", 0).is_err(), "type error surfaces");
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let help = run_cli(&parse(&["help"]).expect("parse")).expect("help");
+        assert!(help.contains("USAGE"));
+        let none = run_cli(&parse(&[]).expect("parse")).expect("default");
+        assert!(none.contains("USAGE"));
+        assert!(run_cli(&parse(&["frobnicate"]).expect("parse")).is_err());
+    }
+
+    #[test]
+    fn duel_command_smoke() {
+        let a = parse(&[
+            "duel",
+            "--budget",
+            "1024",
+            "--trials",
+            "5",
+            "--epsilon",
+            "0.1",
+        ])
+        .expect("parse");
+        let report = run_cli(&a).expect("run");
+        assert!(report.contains("alice cost"));
+        assert!(report.contains("delivered"));
+    }
+
+    #[test]
+    fn duel_ksy_profile_smoke() {
+        let a = parse(&[
+            "duel",
+            "--profile",
+            "ksy",
+            "--budget",
+            "512",
+            "--trials",
+            "5",
+        ])
+        .expect("parse");
+        assert!(run_cli(&a).expect("run").contains("bob cost"));
+        let bad = parse(&["duel", "--profile", "nope"]).expect("parse");
+        assert!(run_cli(&bad).is_err());
+    }
+
+    #[test]
+    fn broadcast_command_smoke() {
+        let a =
+            parse(&["broadcast", "--n", "8", "--budget", "2048", "--trials", "2"]).expect("parse");
+        let report = run_cli(&a).expect("run");
+        assert!(report.contains("mean node cost"));
+        assert!(report.contains("all informed"));
+        let bad = parse(&["broadcast", "--adversary", "nuke"]).expect("parse");
+        assert!(run_cli(&bad).is_err());
+    }
+
+    #[test]
+    fn product_command_smoke() {
+        let a = parse(&["product", "--budget", "256", "--trials", "200"]).expect("parse");
+        let report = run_cli(&a).expect("run");
+        assert!(report.contains("E(A)·E(B)/T"));
+        let bad = parse(&["product", "--delta", "1.5"]).expect("parse");
+        assert!(run_cli(&bad).is_err());
+    }
+
+    #[test]
+    fn golden_command_smoke() {
+        let a = parse(&["golden", "--budget", "256", "--trials", "50"]).expect("parse");
+        let report = run_cli(&a).expect("run");
+        assert!(report.contains("0.618"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared sweep machinery for the experiment modules.
+
+use rcb_adversary::rep_strategies::BudgetedRepBlocker;
+use rcb_analysis::report::{Cell, SweepSeries};
+use rcb_core::one_to_n::OneToNParams;
+use rcb_core::one_to_one::profile::DuelProfile;
+use rcb_sim::duel::{run_duel, DuelConfig};
+use rcb_sim::fast::{run_broadcast, FastConfig};
+use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
+use rcb_sim::runner::{run_trials, Parallelism};
+
+/// Budget axis: `2^start .. 2^end` inclusive, stepping by `step` doublings.
+pub fn budget_axis(start: u32, end: u32, step: u32) -> Vec<u64> {
+    (start..=end)
+        .step_by(step as usize)
+        .map(|k| 1u64 << k)
+        .collect()
+}
+
+/// Per-budget duel statistics.
+#[derive(Debug, Clone)]
+pub struct DuelSweepPoint {
+    pub budget: u64,
+    /// Mean realized adversary spend (the empirical `T`).
+    pub mean_t: f64,
+    pub cost: Cell,
+    pub latency: Cell,
+    pub success_rate: f64,
+    pub outcomes: Vec<DuelOutcome>,
+}
+
+/// Sweeps a duel profile over adversary budgets with the canonical
+/// full-blocking attacker. `q` is the blocking fraction (1.0 = silence
+/// whole phases).
+pub fn duel_budget_sweep<P: DuelProfile + Sync>(
+    profile: &P,
+    budgets: &[u64],
+    q: f64,
+    trials: u64,
+    seed: u64,
+) -> Vec<DuelSweepPoint> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            let outcomes = run_trials(trials, seed ^ budget, Parallelism::Auto, |_, rng| {
+                let mut adv = BudgetedRepBlocker::new(budget, q);
+                run_duel(profile, &mut adv, rng, DuelConfig::default())
+            });
+            summarize_duels(budget, outcomes)
+        })
+        .collect()
+}
+
+/// Aggregates duel outcomes into a sweep point.
+pub fn summarize_duels(budget: u64, outcomes: Vec<DuelOutcome>) -> DuelSweepPoint {
+    let mean_t = outcomes
+        .iter()
+        .map(|o| o.adversary_cost as f64)
+        .sum::<f64>()
+        / outcomes.len() as f64;
+    let costs: Vec<f64> = outcomes.iter().map(|o| o.max_cost() as f64).collect();
+    let slots: Vec<f64> = outcomes.iter().map(|o| o.slots as f64).collect();
+    let successes = outcomes.iter().filter(|o| o.delivered).count();
+    DuelSweepPoint {
+        budget,
+        mean_t,
+        cost: Cell::from_samples(mean_t.max(1.0), &costs),
+        latency: Cell::from_samples(mean_t.max(1.0), &slots),
+        success_rate: successes as f64 / outcomes.len() as f64,
+        outcomes,
+    }
+}
+
+/// Per-budget broadcast statistics.
+#[derive(Debug, Clone)]
+pub struct BroadcastSweepPoint {
+    pub budget: u64,
+    pub n: usize,
+    pub mean_t: f64,
+    /// Mean per-node cost (fair-cost measure).
+    pub mean_cost: Cell,
+    /// Max per-node cost (the Theorem 3 bound).
+    pub max_cost: Cell,
+    pub latency: Cell,
+    pub all_informed_rate: f64,
+    pub outcomes: Vec<BroadcastOutcome>,
+}
+
+/// Sweeps 1-to-n over adversary budgets at fixed `n`.
+pub fn broadcast_budget_sweep(
+    params: &OneToNParams,
+    n: usize,
+    budgets: &[u64],
+    q: f64,
+    trials: u64,
+    seed: u64,
+) -> Vec<BroadcastSweepPoint> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            let outcomes = run_trials(
+                trials,
+                seed ^ budget ^ (n as u64) << 32,
+                Parallelism::Auto,
+                |_, rng| {
+                    let mut adv = BudgetedRepBlocker::new(budget, q);
+                    run_broadcast(params, n, &mut adv, rng, FastConfig::default())
+                },
+            );
+            summarize_broadcasts(budget, n, outcomes)
+        })
+        .collect()
+}
+
+/// Aggregates broadcast outcomes into a sweep point. The `x` of the cells
+/// is the realized mean `T` (budget sweeps) — callers that sweep `n`
+/// rebuild cells with `n` as `x`.
+pub fn summarize_broadcasts(
+    budget: u64,
+    n: usize,
+    outcomes: Vec<BroadcastOutcome>,
+) -> BroadcastSweepPoint {
+    let mean_t = outcomes
+        .iter()
+        .map(|o| o.adversary_cost as f64)
+        .sum::<f64>()
+        / outcomes.len() as f64;
+    let x = mean_t.max(1.0);
+    let mean_costs: Vec<f64> = outcomes.iter().map(|o| o.mean_cost()).collect();
+    let max_costs: Vec<f64> = outcomes.iter().map(|o| o.max_cost() as f64).collect();
+    let slots: Vec<f64> = outcomes.iter().map(|o| o.slots as f64).collect();
+    let informed = outcomes.iter().filter(|o| o.all_informed).count();
+    BroadcastSweepPoint {
+        budget,
+        n,
+        mean_t,
+        mean_cost: Cell::from_samples(x, &mean_costs),
+        max_cost: Cell::from_samples(x, &max_costs),
+        latency: Cell::from_samples(x, &slots),
+        all_informed_rate: informed as f64 / outcomes.len() as f64,
+        outcomes,
+    }
+}
+
+/// Builds a series from `(x, cell)` pairs with a fresh `x`.
+pub fn series_from(name: &str, points: impl IntoIterator<Item = (f64, Cell)>) -> SweepSeries {
+    let mut s = SweepSeries::new(name);
+    for (x, cell) in points {
+        s.push(Cell { x, ..cell });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::one_to_one::profile::Fig1Profile;
+
+    #[test]
+    fn budget_axis_doubles() {
+        assert_eq!(budget_axis(3, 7, 2), vec![8, 32, 128]);
+        assert_eq!(budget_axis(4, 4, 1), vec![16]);
+    }
+
+    #[test]
+    fn duel_sweep_smoke() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 7);
+        let pts = duel_budget_sweep(&profile, &[1024], 1.0, 8, 1);
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert_eq!(p.outcomes.len(), 8);
+        assert!(p.mean_t > 0.0);
+        assert!(p.cost.mean > 0.0);
+        assert!(p.success_rate >= 0.0 && p.success_rate <= 1.0);
+    }
+
+    #[test]
+    fn broadcast_sweep_smoke() {
+        let params = OneToNParams::practical();
+        let pts = broadcast_budget_sweep(&params, 8, &[2048], 1.0, 3, 2);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].mean_cost.mean > 0.0);
+        assert!(pts[0].mean_t > 0.0);
+    }
+
+    #[test]
+    fn series_from_overrides_x() {
+        let c = Cell::from_samples(99.0, &[1.0, 2.0]);
+        let s = series_from("s", vec![(7.0, c)]);
+        assert_eq!(s.cells[0].x, 7.0);
+        assert!((s.cells[0].mean - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! E13 (extension) — can a *learning* adversary find the threshold attack?
+//!
+//! Experiment E11 established, by exhaustive sweep, that the budget-optimal
+//! blocking fraction sits just above the noise-threshold fraction (q ≈ ¼
+//! with our constants) — not at full blocking. Here the adversary doesn't
+//! get the sweep: an ε-greedy bandit (`BanditBlocker`) must discover the
+//! same fact online, one epoch at a time, from the victim's observable
+//! activity. The table compares the bandit's extracted cost against the
+//! static arms it is choosing between; its arm statistics show where it
+//! converged.
+
+use crate::scale::Scale;
+use rcb_adversary::rep_strategies::{BanditBlocker, BudgetedRepBlocker};
+use rcb_analysis::table::{num, TableBuilder};
+use rcb_core::one_to_one::profile::Fig1Profile;
+use rcb_mathkit::rng::SeedSequence;
+use rcb_mathkit::stats::RunningStats;
+use rcb_sim::duel::{run_duel, DuelConfig};
+use rcb_sim::runner::{run_trials, Parallelism};
+
+const ARMS: [f64; 4] = [0.0625, 0.25, 0.55, 1.0];
+
+pub fn run(scale: &Scale) -> String {
+    let mut out = String::new();
+    let budget = 1u64 << 19;
+    let trials = scale.trials(60);
+    let profile = Fig1Profile::with_start_epoch(0.01, 8);
+
+    let mut table = TableBuilder::new(vec!["adversary", "E[max cost]", "E[T spent]", "success"]);
+
+    // Static arms for reference.
+    for q in ARMS {
+        let outcomes = run_trials(
+            trials,
+            scale.seed ^ 0xE13,
+            Parallelism::Auto,
+            move |_, rng| {
+                let mut adv = BudgetedRepBlocker::new(budget, q);
+                run_duel(&profile, &mut adv, rng, DuelConfig::default())
+            },
+        );
+        let mut cost = RunningStats::new();
+        let mut spend = RunningStats::new();
+        let mut ok = 0u64;
+        for o in &outcomes {
+            cost.push(o.max_cost() as f64);
+            spend.push(o.adversary_cost as f64);
+            ok += o.delivered as u64;
+        }
+        table.row(vec![
+            format!("static q={q}"),
+            num(cost.mean()),
+            num(spend.mean()),
+            format!("{:.2}", ok as f64 / trials as f64),
+        ]);
+    }
+
+    // The bandit learns *across* runs: a single weak arm ends a duel in a
+    // couple of epochs (a quiet phase lets the victim finish), so within-
+    // run learning has almost no sample budget. One persistent bandit
+    // carries its arm statistics over `trials` sequential executions,
+    // refilled with the same jamming budget each time.
+    let seeds = SeedSequence::new(scale.seed ^ 0x1E13);
+    let mut cost = RunningStats::new();
+    let mut late_cost = RunningStats::new();
+    let mut spend = RunningStats::new();
+    let mut ok = 0u64;
+    let mut adv = BanditBlocker::new(ARMS.to_vec(), budget, 0xBAD17);
+    for t in 0..trials {
+        let mut rng = seeds.rng(t);
+        adv.refill(budget);
+        let o = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
+        adv.settle_now();
+        cost.push(o.max_cost() as f64);
+        if t >= trials / 2 {
+            late_cost.push(o.max_cost() as f64);
+        }
+        spend.push(o.adversary_cost as f64);
+        ok += o.delivered as u64;
+    }
+    let pulls_by_arm: Vec<u64> = adv.arm_means().iter().map(|&(_, _, p)| p).collect();
+    table.row(vec![
+        "bandit (all runs)".to_string(),
+        num(cost.mean()),
+        num(spend.mean()),
+        format!("{:.2}", ok as f64 / trials as f64),
+    ]);
+    table.row(vec![
+        "bandit (2nd half)".to_string(),
+        num(late_cost.mean()),
+        "".to_string(),
+        "".to_string(),
+    ]);
+
+    out.push_str(&format!("budget = {budget}, trials = {trials}\n\n"));
+    out.push_str(&table.markdown());
+    let total_pulls: u64 = pulls_by_arm.iter().sum();
+    out.push_str("\nbandit arm pulls (aggregate across trials):\n");
+    for (q, pulls) in ARMS.iter().zip(&pulls_by_arm) {
+        out.push_str(&format!(
+            "  q = {q:<6}: {pulls:>6} pulls ({:.0}%)\n",
+            100.0 * *pulls as f64 / total_pulls.max(1) as f64
+        ));
+    }
+    out.push_str(
+        "\nexpected shape: early runs pay the exploration tax, the second-half \
+         mean climbs toward the best static arm, and the pull distribution \
+         concentrates on the threshold-level fractions that E11 identified as \
+         budget-optimal — the attacker does not need the sweep, the victim's \
+         observable activity is enough to find the protocol's soft spot.\n",
+    );
+    out
+}

@@ -1,0 +1,57 @@
+//! E4 — Theorem 2: the threshold adversary forces `E(A)·E(B) ≥ (1−O(ε))·T`.
+//!
+//! Runs the proof's normal-form protocols (δ-split boundary pairs and the
+//! exhaust strategy) against the `a·b > 1/T` adversary in the 0/1 cost
+//! model, and reports the cost product normalized by `T`: the table must
+//! sit at ≥ 1 across every split — the product is invariant, only its
+//! factorization moves.
+
+use crate::scale::Scale;
+use rcb_analysis::table::{num, TableBuilder};
+use rcb_baselines::oblivious::ConstantRatePair;
+use rcb_mathkit::rng::SeedSequence;
+use rcb_mathkit::PHI_MINUS_ONE;
+use rcb_sim::lowerbound::product_game;
+
+pub fn run(scale: &Scale) -> String {
+    let mut out = String::new();
+    let budget = 1u64 << 14;
+    let trials = scale.trials(400);
+    let seeds = SeedSequence::new(scale.seed ^ 0xE4);
+
+    let mut table = TableBuilder::new(vec![
+        "δ",
+        "E(A) (MC)",
+        "E(B) (MC)",
+        "E(A)·E(B)/T (MC)",
+        "closed form",
+    ]);
+    for (i, delta) in [0.3, 0.4, 0.5, PHI_MINUS_ONE, 0.7, 0.8].iter().enumerate() {
+        let mut rng = seeds.rng(i as u64);
+        let row = product_game(budget, *delta, trials, &mut rng);
+        table.row(vec![
+            format!("{delta:.3}"),
+            num(row.mean_a),
+            num(row.mean_b),
+            num(row.product_over_t),
+            num(row.closed_product_over_t),
+        ]);
+    }
+    // The exhaust strategy (proof strategy (i)).
+    let exhaust = ConstantRatePair::exhaust().expected_costs(budget);
+    table.row(vec![
+        "exhaust".to_string(),
+        num(exhaust.expected_a),
+        num(exhaust.expected_b),
+        num(exhaust.expected_a * exhaust.expected_b / budget as f64),
+        num((budget as f64 + 1.0).powi(2) / budget as f64),
+    ]);
+
+    out.push_str(&format!("T = {budget}, trials/row = {trials}\n\n"));
+    out.push_str(&table.markdown());
+    out.push_str(
+        "\nTheorem 2 floor: every row's product/T must be ≥ 1 − O(ε); boundary \
+         splits sit at exactly 1, the exhaust strategy overshoots (it pays T+1 each).\n",
+    );
+    out
+}

@@ -1,0 +1,115 @@
+//! One module per experiment. The experiment index lives in DESIGN.md §4;
+//! paper-vs-measured results are recorded in EXPERIMENTS.md.
+
+pub mod common;
+pub mod e10_dynamics_trace;
+pub mod e11_ablation;
+pub mod e12_multi_source;
+pub mod e13_learning_adversary;
+pub mod e14_partition_jamming;
+pub mod e1_one_to_one_cost;
+pub mod e2_epsilon;
+pub mod e3_latency;
+pub mod e4_lower_bound_product;
+pub mod e5_one_to_n_cost;
+pub mod e6_one_to_n_latency;
+pub mod e7_fairness_gap;
+pub mod e8_golden_ratio;
+pub mod e9_baseline_comparison;
+
+use crate::scale::Scale;
+
+/// An experiment entry point.
+pub type Runner = fn(&Scale) -> String;
+
+/// Every experiment, in index order, as `(id, title, runner)`.
+pub fn all() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        (
+            "E1",
+            "Theorem 1 — 1-to-1 cost scales as √T",
+            e1_one_to_one_cost::run,
+        ),
+        ("E2", "Theorem 1 — ε-dependence of cost", e2_epsilon::run),
+        ("E3", "Theorem 1 — latency is Θ(T)", e3_latency::run),
+        (
+            "E4",
+            "Theorem 2 — E(A)·E(B) ≥ (1−O(ε))·T",
+            e4_lower_bound_product::run,
+        ),
+        (
+            "E5",
+            "Theorem 3 — per-node cost √(T/n)·polylog",
+            e5_one_to_n_cost::run,
+        ),
+        (
+            "E6",
+            "Theorem 3 — latency O(T + n·polylog n)",
+            e6_one_to_n_latency::run,
+        ),
+        (
+            "E7",
+            "Theorem 4 — measured cost vs the √(T/n) floor",
+            e7_fairness_gap::run,
+        ),
+        (
+            "E8",
+            "Theorem 5 — the golden-ratio tradeoff",
+            e8_golden_ratio::run,
+        ),
+        (
+            "E9",
+            "§1.4 — Figure 1 vs KSY vs combined vs naive",
+            e9_baseline_comparison::run,
+        ),
+        (
+            "E10",
+            "§3.1 mechanisms — S_u divergence, helper waves",
+            e10_dynamics_trace::run,
+        ),
+        (
+            "E11",
+            "Robustness — jamming-strategy ablation",
+            e11_ablation::run,
+        ),
+        (
+            "E12",
+            "Extension — multi-source broadcast",
+            e12_multi_source::run,
+        ),
+        (
+            "E13",
+            "Extension — a learning adversary rediscovers the threshold attack",
+            e13_learning_adversary::run,
+        ),
+        (
+            "E14",
+            "Extension — 2-uniform (selective) jamming of 1-to-n",
+            e14_partition_jamming::run,
+        ),
+    ]
+}
+
+/// Runs every experiment and concatenates the reports. Each report is
+/// additionally written to `target/experiments/<id>.md` so individual
+/// tables can be diffed across runs.
+pub fn run_all(scale: &Scale) -> String {
+    let artifact_dir = std::path::Path::new("target/experiments");
+    let artifacts = std::fs::create_dir_all(artifact_dir).is_ok();
+    let mut out = String::new();
+    for (id, title, runner) in all() {
+        let started = std::time::Instant::now();
+        eprintln!("[{id}] {title} ...");
+        let report = runner(scale);
+        let dt = started.elapsed().as_secs_f64();
+        eprintln!("[{id}] done in {dt:.1}s");
+        if artifacts {
+            let path = artifact_dir.join(format!("{}.md", id.to_lowercase()));
+            let _ = std::fs::write(&path, format!("## {id}: {title}\n\n{report}"));
+        }
+        out.push_str(&format!("\n## {id}: {title}\n\n"));
+        out.push_str(&report);
+        out.push_str(&format!("\n_{id} wall time: {dt:.1}s_\n"));
+    }
+    out
+}

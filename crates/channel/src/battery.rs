@@ -1,0 +1,180 @@
+//! Finite energy supplies — the paper's motivating economics (§1.1).
+//!
+//! Resource competitiveness matters because both sides run on batteries:
+//! "if the costs to the [bad nodes] are disproportionately high, then
+//! sustained attacks are not feasible ... the bad nodes are effectively
+//! *bankrupted*." [`Battery`] models one supply; applying an execution's
+//! [`EnergyLedger`](crate::ledger::EnergyLedger) against batteries answers
+//! the question the abstract poses: who runs out first?
+
+use serde::{Deserialize, Serialize};
+
+/// A finite energy supply.
+///
+/// ```
+/// use rcb_channel::battery::Battery;
+///
+/// let mut b = Battery::new(10);
+/// assert!(b.spend(7));
+/// assert!(!b.spend(7)); // cannot cover the draw: dead
+/// assert!(b.is_depleted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: u64,
+    used: u64,
+}
+
+impl Battery {
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0 }
+    }
+
+    /// Draws `amount` units. Returns `false` (drawing nothing further) if
+    /// the battery cannot supply the full amount — the device is dead.
+    pub fn spend(&mut self, amount: u64) -> bool {
+        if self.used + amount > self.capacity {
+            self.used = self.capacity;
+            false
+        } else {
+            self.used += amount;
+            true
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    pub fn is_depleted(&self) -> bool {
+        self.used >= self.capacity
+    }
+
+    /// Fraction of capacity consumed, in `[0, 1]`.
+    pub fn fraction_used(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Outcome of settling an execution's costs against batteries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankruptcyReport {
+    /// Nodes whose cost exceeded their battery.
+    pub dead_nodes: Vec<crate::NodeId>,
+    /// The adversary's battery state after the execution.
+    pub adversary: Battery,
+    /// Worst node battery utilization, in `[0, 1]` (can exceed 1 logically;
+    /// clamped by the battery model).
+    pub worst_node_fraction: f64,
+}
+
+impl BankruptcyReport {
+    /// Settles a finished execution: each node draws its ledger cost from a
+    /// battery of `node_capacity`; the adversary draws its spend from
+    /// `adversary_capacity`.
+    pub fn settle(
+        ledger: &crate::ledger::EnergyLedger,
+        node_capacity: u64,
+        adversary_capacity: u64,
+    ) -> Self {
+        let mut dead = Vec::new();
+        let mut worst: f64 = 0.0;
+        for node in 0..ledger.nodes() {
+            let mut battery = Battery::new(node_capacity);
+            if !battery.spend(ledger.node_cost(node)) {
+                dead.push(node);
+            }
+            worst = worst.max(if node_capacity == 0 {
+                1.0
+            } else {
+                ledger.node_cost(node) as f64 / node_capacity as f64
+            });
+        }
+        let mut adversary = Battery::new(adversary_capacity);
+        adversary.spend(ledger.adversary_cost());
+        Self {
+            dead_nodes: dead,
+            adversary,
+            worst_node_fraction: worst,
+        }
+    }
+
+    /// The headline verdict: the attack bankrupted the adversary without
+    /// killing a single good node.
+    pub fn jammer_bankrupted(&self) -> bool {
+        self.dead_nodes.is_empty() && self.adversary.is_depleted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::EnergyLedger;
+
+    #[test]
+    fn battery_accounting() {
+        let mut b = Battery::new(10);
+        assert!(b.spend(4));
+        assert_eq!(b.remaining(), 6);
+        assert!(b.spend(6));
+        assert!(b.is_depleted());
+        assert!(!b.spend(1), "dead batteries supply nothing");
+        assert_eq!(b.used(), 10);
+        assert!((b.fraction_used() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdraw_kills_but_clamps() {
+        let mut b = Battery::new(5);
+        assert!(!b.spend(7));
+        assert!(b.is_depleted());
+        assert_eq!(b.used(), 5, "clamped at capacity");
+    }
+
+    #[test]
+    fn zero_capacity_is_born_dead() {
+        let b = Battery::new(0);
+        assert!(b.is_depleted());
+        assert_eq!(b.fraction_used(), 1.0);
+    }
+
+    #[test]
+    fn settle_identifies_casualties() {
+        let mut ledger = EnergyLedger::new(3);
+        for _ in 0..5 {
+            ledger.charge_send(0); // node 0: cost 5
+        }
+        ledger.charge_listen(1); // node 1: cost 1
+        ledger.charge_jam(7); // adversary: 7
+
+        let report = BankruptcyReport::settle(&ledger, 3, 10);
+        assert_eq!(report.dead_nodes, vec![0]);
+        assert!(!report.adversary.is_depleted());
+        assert!(!report.jammer_bankrupted());
+        assert!((report.worst_node_fraction - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settle_detects_bankrupted_jammer() {
+        let mut ledger = EnergyLedger::new(2);
+        ledger.charge_send(0);
+        ledger.charge_listen(1);
+        ledger.charge_jam(100);
+        let report = BankruptcyReport::settle(&ledger, 50, 100);
+        assert!(report.dead_nodes.is_empty());
+        assert!(report.adversary.is_depleted());
+        assert!(report.jammer_bankrupted());
+    }
+}

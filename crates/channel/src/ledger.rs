@@ -1,0 +1,182 @@
+//! Energy accounting — the currency of resource competitiveness.
+//!
+//! §1.1: every node (good or bad) pays one unit per slot in which it sends
+//! or listens; the adversary pays one unit per (group, slot) jammed and one
+//! per spoofed transmission. `T` — the adversary's total spend — is what all
+//! cost functions are measured against.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Per-execution energy ledger. Good-node costs are split into send/listen
+/// components for reporting; the adversary's spend is split into jamming and
+/// spoofing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    sends: Vec<u64>,
+    listens: Vec<u64>,
+    jam_cost: u64,
+    spoof_cost: u64,
+}
+
+impl EnergyLedger {
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            sends: vec![0; nodes],
+            listens: vec![0; nodes],
+            jam_cost: 0,
+            spoof_cost: 0,
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn nodes(&self) -> usize {
+        self.sends.len()
+    }
+
+    pub fn charge_send(&mut self, node: NodeId) {
+        self.sends[node] += 1;
+    }
+
+    pub fn charge_listen(&mut self, node: NodeId) {
+        self.listens[node] += 1;
+    }
+
+    /// Charges the adversary for jamming `groups` groups in one slot.
+    pub fn charge_jam(&mut self, groups: u64) {
+        self.jam_cost += groups;
+    }
+
+    /// Charges the adversary for one spoofed transmission.
+    pub fn charge_spoof(&mut self) {
+        self.spoof_cost += 1;
+    }
+
+    /// Total cost of `node` (sends + listens): the `C(i)` of §1.1.
+    pub fn node_cost(&self, node: NodeId) -> u64 {
+        self.sends[node] + self.listens[node]
+    }
+
+    pub fn node_sends(&self, node: NodeId) -> u64 {
+        self.sends[node]
+    }
+
+    pub fn node_listens(&self, node: NodeId) -> u64 {
+        self.listens[node]
+    }
+
+    /// The maximum cost over all nodes — the left side of the
+    /// resource-competitiveness guarantee `max C(i) = O(ρ + τ)`.
+    pub fn max_node_cost(&self) -> u64 {
+        (0..self.nodes())
+            .map(|i| self.node_cost(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean per-node cost.
+    pub fn mean_node_cost(&self) -> f64 {
+        if self.nodes() == 0 {
+            return 0.0;
+        }
+        let total: u64 = (0..self.nodes()).map(|i| self.node_cost(i)).sum();
+        total as f64 / self.nodes() as f64
+    }
+
+    /// The adversary's total spend `T` (jamming plus spoofing).
+    pub fn adversary_cost(&self) -> u64 {
+        self.jam_cost + self.spoof_cost
+    }
+
+    pub fn jam_cost(&self) -> u64 {
+        self.jam_cost
+    }
+
+    pub fn spoof_cost(&self) -> u64 {
+        self.spoof_cost
+    }
+
+    /// Merges another ledger's counters into this one (same node count).
+    /// Used when a protocol execution is simulated in stages.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        assert_eq!(self.nodes(), other.nodes(), "ledger size mismatch");
+        for i in 0..self.sends.len() {
+            self.sends[i] += other.sends[i];
+            self.listens[i] += other.listens[i];
+        }
+        self.jam_cost += other.jam_cost;
+        self.spoof_cost += other.spoof_cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = EnergyLedger::new(3);
+        l.charge_send(0);
+        l.charge_send(0);
+        l.charge_listen(0);
+        l.charge_listen(2);
+        assert_eq!(l.node_cost(0), 3);
+        assert_eq!(l.node_cost(1), 0);
+        assert_eq!(l.node_cost(2), 1);
+        assert_eq!(l.node_sends(0), 2);
+        assert_eq!(l.node_listens(0), 1);
+    }
+
+    #[test]
+    fn adversary_cost_sums_jam_and_spoof() {
+        let mut l = EnergyLedger::new(1);
+        l.charge_jam(2);
+        l.charge_jam(1);
+        l.charge_spoof();
+        assert_eq!(l.jam_cost(), 3);
+        assert_eq!(l.spoof_cost(), 1);
+        assert_eq!(l.adversary_cost(), 4);
+    }
+
+    #[test]
+    fn max_and_mean_costs() {
+        let mut l = EnergyLedger::new(4);
+        for _ in 0..5 {
+            l.charge_send(1);
+        }
+        l.charge_listen(3);
+        assert_eq!(l.max_node_cost(), 5);
+        assert!((l.mean_node_cost() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = EnergyLedger::new(0);
+        assert_eq!(l.max_node_cost(), 0);
+        assert_eq!(l.mean_node_cost(), 0.0);
+        assert_eq!(l.adversary_cost(), 0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EnergyLedger::new(2);
+        a.charge_send(0);
+        a.charge_jam(1);
+        let mut b = EnergyLedger::new(2);
+        b.charge_listen(0);
+        b.charge_send(1);
+        b.charge_spoof();
+        a.merge(&b);
+        assert_eq!(a.node_cost(0), 2);
+        assert_eq!(a.node_cost(1), 1);
+        assert_eq!(a.adversary_cost(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_size_mismatch_panics() {
+        let mut a = EnergyLedger::new(2);
+        let b = EnergyLedger::new(3);
+        a.merge(&b);
+    }
+}

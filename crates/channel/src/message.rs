@@ -1,0 +1,133 @@
+//! Payloads transmitted on the channel.
+//!
+//! The paper's model needs four distinguishable transmissions:
+//!
+//! * the broadcast **message** `m` itself (authenticated — §1.2: "the
+//!   adversary cannot modify m without this being detected and ignored");
+//! * a **nack** from Bob in the 1-to-1 protocol (authenticated under
+//!   Theorem 1's model, spoofable under Theorem 5's);
+//! * an **ack** (used by baseline protocols);
+//! * **noise** — what Figure 2's uninformed nodes deliberately transmit so
+//!   that everyone can gauge the population size from clear-slot frequency.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a payload, without its body. This is what protocol logic
+/// branches on; the body only matters to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// The authenticated broadcast message `m`.
+    Message,
+    /// Negative acknowledgement ("I have not received m yet").
+    Nack,
+    /// Positive acknowledgement.
+    Ack,
+    /// Deliberate, meaningless energy on the channel.
+    Noise,
+}
+
+/// A transmission: a kind plus, for `Message`, the application body.
+///
+/// Bodies ride in [`Bytes`] so cloning a payload (which the channel does for
+/// every listener) is a reference-count bump, not a copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// The authenticated broadcast message `m` with its content.
+    Message(Bytes),
+    /// A nack. `spoofed` records whether the adversary injected it; the
+    /// *receiver never sees this flag* (that is the point of the Theorem 5
+    /// model) — it exists so experiments can audit outcomes afterwards.
+    Nack { spoofed: bool },
+    /// An ack, with the same spoofing audit flag as `Nack`.
+    Ack { spoofed: bool },
+    /// Deliberate noise.
+    Noise,
+}
+
+impl Payload {
+    /// A genuine (non-spoofed) nack.
+    pub fn nack() -> Self {
+        Payload::Nack { spoofed: false }
+    }
+
+    /// A genuine (non-spoofed) ack.
+    pub fn ack() -> Self {
+        Payload::Ack { spoofed: false }
+    }
+
+    /// The broadcast message with an empty body (protocol tests rarely care
+    /// about content).
+    pub fn message() -> Self {
+        Payload::Message(Bytes::new())
+    }
+
+    /// The broadcast message with the given content.
+    pub fn message_with(body: impl Into<Bytes>) -> Self {
+        Payload::Message(body.into())
+    }
+
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::Message(_) => PayloadKind::Message,
+            Payload::Nack { .. } => PayloadKind::Nack,
+            Payload::Ack { .. } => PayloadKind::Ack,
+            Payload::Noise => PayloadKind::Noise,
+        }
+    }
+
+    /// Whether this payload was injected by the adversary.
+    pub fn is_spoofed(&self) -> bool {
+        matches!(
+            self,
+            Payload::Nack { spoofed: true } | Payload::Ack { spoofed: true }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_constructors() {
+        assert_eq!(Payload::message().kind(), PayloadKind::Message);
+        assert_eq!(Payload::nack().kind(), PayloadKind::Nack);
+        assert_eq!(Payload::ack().kind(), PayloadKind::Ack);
+        assert_eq!(Payload::Noise.kind(), PayloadKind::Noise);
+    }
+
+    #[test]
+    fn spoof_flag_is_audit_only() {
+        let real = Payload::nack();
+        let fake = Payload::Nack { spoofed: true };
+        // Same kind: a receiver branching on kind cannot tell them apart.
+        assert_eq!(real.kind(), fake.kind());
+        assert!(!real.is_spoofed());
+        assert!(fake.is_spoofed());
+    }
+
+    #[test]
+    fn message_body_is_preserved() {
+        let p = Payload::message_with(&b"hello motes"[..]);
+        match p {
+            Payload::Message(b) => assert_eq!(&b[..], b"hello motes"),
+            _ => panic!("expected message"),
+        }
+    }
+
+    #[test]
+    fn message_is_never_spoofed() {
+        // m is authenticated; the constructor set simply provides no way to
+        // build a spoofed message, mirroring the model.
+        assert!(!Payload::message().is_spoofed());
+        assert!(!Payload::Noise.is_spoofed());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let p = Payload::message_with(vec![7u8; 1024]);
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,126 @@
+//! ℓ-uniform jamming partitions (§1.2).
+//!
+//! "An ℓ-uniform adversary may partition n nodes into at most 1 ≤ ℓ ≤ n
+//! sets, each of which experiences a different jamming schedule." The
+//! partition is fixed for an execution; per-slot the adversary chooses which
+//! groups to jam. The partition affects *only* jamming — transmissions are
+//! heard network-wide (single-hop).
+
+use crate::{GroupId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Assignment of nodes to jamming groups. Supports up to 64 groups, which
+/// covers every adversary in the paper (1-uniform for broadcast, 2-uniform
+/// for Alice/Bob).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    group_of: Vec<GroupId>,
+    groups: usize,
+}
+
+impl Partition {
+    /// All `n` nodes in one group: the 1-uniform adversary of Theorems 3/4.
+    pub fn uniform(n: usize) -> Self {
+        Self {
+            group_of: vec![0; n],
+            groups: 1,
+        }
+    }
+
+    /// Two nodes, two groups: the 2-uniform adversary of Theorems 1/5, which
+    /// can jam Bob (node 1) without jamming Alice (node 0) or vice versa.
+    pub fn pair() -> Self {
+        Self {
+            group_of: vec![0, 1],
+            groups: 2,
+        }
+    }
+
+    /// Arbitrary assignment. Group ids must be dense in `0..groups`.
+    ///
+    /// # Panics
+    /// If more than 64 groups are used or an id is out of range.
+    pub fn custom(group_of: Vec<GroupId>) -> Self {
+        let groups = group_of.iter().copied().max().map_or(0, |g| g + 1);
+        assert!(groups <= 64, "at most 64 jamming groups are supported");
+        Self { group_of, groups }
+    }
+
+    /// Number of nodes covered by the partition.
+    pub fn nodes(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Number of groups (the ℓ in ℓ-uniform).
+    pub fn groups(&self) -> usize {
+        self.groups.max(1)
+    }
+
+    /// The group of `node`.
+    ///
+    /// # Panics
+    /// If `node` is out of range.
+    pub fn group_of(&self, node: NodeId) -> GroupId {
+        self.group_of[node]
+    }
+
+    /// Iterator over the members of `group`.
+    pub fn members(&self, group: GroupId) -> impl Iterator<Item = NodeId> + '_ {
+        self.group_of
+            .iter()
+            .enumerate()
+            .filter(move |(_, &g)| g == group)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_puts_everyone_in_group_zero() {
+        let p = Partition::uniform(5);
+        assert_eq!(p.nodes(), 5);
+        assert_eq!(p.groups(), 1);
+        for i in 0..5 {
+            assert_eq!(p.group_of(i), 0);
+        }
+        assert_eq!(p.members(0).count(), 5);
+    }
+
+    #[test]
+    fn pair_separates_alice_and_bob() {
+        let p = Partition::pair();
+        assert_eq!(p.nodes(), 2);
+        assert_eq!(p.groups(), 2);
+        assert_ne!(p.group_of(0), p.group_of(1));
+    }
+
+    #[test]
+    fn custom_counts_groups() {
+        let p = Partition::custom(vec![0, 1, 1, 2, 0]);
+        assert_eq!(p.groups(), 3);
+        assert_eq!(p.members(1).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(p.members(2).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn empty_partition_has_one_group_by_convention() {
+        let p = Partition::custom(vec![]);
+        assert_eq!(p.nodes(), 0);
+        assert_eq!(p.groups(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_groups_panics() {
+        Partition::custom(vec![65]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn group_of_out_of_range_panics() {
+        Partition::uniform(2).group_of(2);
+    }
+}

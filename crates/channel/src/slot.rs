@@ -1,0 +1,472 @@
+//! Per-slot channel resolution: who hears what.
+//!
+//! Semantics (paper §1.2):
+//!
+//! * a slot with **no** transmissions and no jamming is *clear*;
+//! * a slot with **exactly one** transmission delivers that payload to every
+//!   listener in an unjammed group (a lone *noise* payload is heard as
+//!   noise — CCA cannot decode energy);
+//! * a slot with **two or more** transmissions is a collision: noise;
+//! * a **jammed** group hears noise no matter what — and cannot tell that
+//!   noise apart from a collision.
+//!
+//! The adversary may also *inject* a payload (the Theorem 5 spoofing model);
+//! an injected payload behaves exactly like a node's transmission.
+
+use crate::ledger::EnergyLedger;
+use crate::message::{Payload, PayloadKind};
+use crate::partition::Partition;
+use crate::{GroupId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// What a node elects to do in a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Radio off; costs nothing.
+    Sleep,
+    /// Transmit `payload`; costs 1.
+    Send(Payload),
+    /// Receive; costs 1.
+    Listen,
+}
+
+impl Action {
+    pub fn is_active(&self) -> bool {
+        !matches!(self, Action::Sleep)
+    }
+}
+
+/// The adversary's move for one slot: a bitmask of groups to jam plus an
+/// optional spoofed transmission. Constructed by `rcb-adversary` strategies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JamDecision {
+    /// Bit `g` set ⇒ group `g` is jammed this slot.
+    pub jam_mask: u64,
+    /// A payload the adversary itself transmits (spoofing model only).
+    pub inject: Option<Payload>,
+}
+
+impl JamDecision {
+    /// No jamming, no injection.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Jam every group of `partition`.
+    pub fn jam_all(partition: &Partition) -> Self {
+        let g = partition.groups();
+        let mask = if g >= 64 { u64::MAX } else { (1u64 << g) - 1 };
+        Self {
+            jam_mask: mask,
+            inject: None,
+        }
+    }
+
+    /// Jam exactly one group.
+    pub fn jam_group(group: GroupId) -> Self {
+        assert!(group < 64);
+        Self {
+            jam_mask: 1u64 << group,
+            inject: None,
+        }
+    }
+
+    /// Inject a spoofed payload without jamming.
+    pub fn inject(payload: Payload) -> Self {
+        Self {
+            jam_mask: 0,
+            inject: Some(payload),
+        }
+    }
+
+    pub fn is_jammed(&self, group: GroupId) -> bool {
+        group < 64 && (self.jam_mask >> group) & 1 == 1
+    }
+
+    /// Number of groups jammed (the adversary's jam spend for the slot).
+    pub fn jam_count(&self) -> u64 {
+        self.jam_mask.count_ones() as u64
+    }
+}
+
+/// What a listening node perceives in a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reception {
+    /// Neither noise nor any message: a clear slot (CCA idle).
+    Clear,
+    /// A successfully decoded payload (exactly one sender, no jamming).
+    Received(Payload),
+    /// Undecodable energy: jamming, collision, or a lone noise payload.
+    Noise,
+}
+
+impl Reception {
+    pub fn is_clear(&self) -> bool {
+        matches!(self, Reception::Clear)
+    }
+
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Reception::Noise)
+    }
+
+    /// The decoded payload kind, if any.
+    pub fn kind(&self) -> Option<PayloadKind> {
+        match self {
+            Reception::Received(p) => Some(p.kind()),
+            _ => None,
+        }
+    }
+
+    /// True iff the authenticated broadcast message `m` was decoded.
+    pub fn is_message(&self) -> bool {
+        self.kind() == Some(PayloadKind::Message)
+    }
+}
+
+/// Who transmitted in a slot (for traces and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SenderId {
+    Node(NodeId),
+    Adversary,
+}
+
+/// The physical state of the channel in one group for one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelState {
+    Clear,
+    /// Exactly one transmission, successfully receivable.
+    Single(SenderId, Payload),
+    /// Two or more simultaneous transmissions.
+    Collision,
+    Jammed,
+}
+
+impl ChannelState {
+    /// The reception a listener in this group experiences.
+    pub fn reception(&self) -> Reception {
+        match self {
+            ChannelState::Clear => Reception::Clear,
+            ChannelState::Single(_, payload) => match payload.kind() {
+                // A lone noise payload is energy without structure.
+                PayloadKind::Noise => Reception::Noise,
+                _ => Reception::Received(payload.clone()),
+            },
+            ChannelState::Collision | ChannelState::Jammed => Reception::Noise,
+        }
+    }
+}
+
+/// Outcome of resolving one slot: the per-group channel state plus the
+/// reception each listener got.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotResolution {
+    /// Channel state per group (indexed by `GroupId`).
+    pub states: Vec<ChannelState>,
+    /// `(listener, what it heard)` for every node that listened.
+    pub receptions: Vec<(NodeId, Reception)>,
+    /// Total number of transmissions in the slot (nodes + injection).
+    pub senders: usize,
+}
+
+/// Resolves one slot and charges the ledger.
+///
+/// `actions[i]` is node `i`'s action; `actions.len()` must equal
+/// `partition.nodes()`. The ledger is charged for every send, every listen,
+/// every jammed group, and any injection.
+///
+/// Allocates a fresh [`SlotResolution`]; hot loops should prefer
+/// [`resolve_slot_into`], which reuses the output's buffers.
+pub fn resolve_slot(
+    actions: &[Action],
+    jam: &JamDecision,
+    partition: &Partition,
+    ledger: &mut EnergyLedger,
+) -> SlotResolution {
+    let mut out = SlotResolution {
+        states: Vec::new(),
+        receptions: Vec::new(),
+        senders: 0,
+    };
+    resolve_slot_into(actions, jam, partition, ledger, &mut out);
+    out
+}
+
+/// Buffer-reusing form of [`resolve_slot`]: clears and refills `out`
+/// in place, so a slot-per-iteration engine performs no per-slot heap
+/// allocation once the buffers have warmed up.
+pub fn resolve_slot_into(
+    actions: &[Action],
+    jam: &JamDecision,
+    partition: &Partition,
+    ledger: &mut EnergyLedger,
+    out: &mut SlotResolution,
+) {
+    assert_eq!(
+        actions.len(),
+        partition.nodes(),
+        "one action per node required"
+    );
+
+    // Collect transmissions.
+    let mut single: Option<(SenderId, Payload)> = None;
+    let mut senders = 0usize;
+    for (node, action) in actions.iter().enumerate() {
+        if let Action::Send(payload) = action {
+            ledger.charge_send(node);
+            senders += 1;
+            if senders == 1 {
+                single = Some((SenderId::Node(node), payload.clone()));
+            } else {
+                single = None;
+            }
+        }
+    }
+    if let Some(payload) = &jam.inject {
+        ledger.charge_spoof();
+        senders += 1;
+        if senders == 1 {
+            single = Some((SenderId::Adversary, payload.clone()));
+        } else {
+            single = None;
+        }
+    }
+
+    // Charge jamming (only bits that correspond to real groups count —
+    // jamming a nonexistent group would be free noise-making; forbid it).
+    let group_count = partition.groups();
+    let valid_mask = if group_count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << group_count) - 1
+    };
+    debug_assert_eq!(
+        jam.jam_mask & !valid_mask,
+        0,
+        "jam mask targets nonexistent groups"
+    );
+    let effective_mask = jam.jam_mask & valid_mask;
+    ledger.charge_jam(effective_mask.count_ones() as u64);
+
+    // Per-group channel state.
+    out.states.clear();
+    for g in 0..group_count {
+        let state = if (effective_mask >> g) & 1 == 1 {
+            ChannelState::Jammed
+        } else {
+            match senders {
+                0 => ChannelState::Clear,
+                1 => {
+                    let (sender, payload) = single.clone().expect("single sender recorded");
+                    ChannelState::Single(sender, payload)
+                }
+                _ => ChannelState::Collision,
+            }
+        };
+        out.states.push(state);
+    }
+
+    // Listener receptions.
+    out.receptions.clear();
+    for (node, action) in actions.iter().enumerate() {
+        if matches!(action, Action::Listen) {
+            ledger.charge_listen(node);
+            let g = partition.group_of(node);
+            out.receptions.push((node, out.states[g].reception()));
+        }
+    }
+    out.senders = senders;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Partition, EnergyLedger) {
+        (Partition::uniform(n), EnergyLedger::new(n))
+    }
+
+    #[test]
+    fn empty_slot_is_clear() {
+        let (p, mut l) = setup(3);
+        let r = resolve_slot(
+            &[Action::Sleep, Action::Listen, Action::Sleep],
+            &JamDecision::none(),
+            &p,
+            &mut l,
+        );
+        assert_eq!(r.senders, 0);
+        assert_eq!(r.receptions, vec![(1, Reception::Clear)]);
+        assert_eq!(l.node_cost(1), 1);
+        assert_eq!(l.node_cost(0), 0);
+        assert_eq!(l.adversary_cost(), 0);
+    }
+
+    #[test]
+    fn single_sender_delivers_message() {
+        let (p, mut l) = setup(3);
+        let r = resolve_slot(
+            &[
+                Action::Send(Payload::message_with(&b"m"[..])),
+                Action::Listen,
+                Action::Listen,
+            ],
+            &JamDecision::none(),
+            &p,
+            &mut l,
+        );
+        assert_eq!(r.senders, 1);
+        for (_, rec) in &r.receptions {
+            assert!(rec.is_message());
+        }
+        assert_eq!(l.node_sends(0), 1);
+    }
+
+    #[test]
+    fn two_senders_collide() {
+        let (p, mut l) = setup(3);
+        let r = resolve_slot(
+            &[
+                Action::Send(Payload::message()),
+                Action::Send(Payload::message()),
+                Action::Listen,
+            ],
+            &JamDecision::none(),
+            &p,
+            &mut l,
+        );
+        assert_eq!(r.senders, 2);
+        assert_eq!(r.receptions, vec![(2, Reception::Noise)]);
+    }
+
+    #[test]
+    fn lone_noise_payload_is_heard_as_noise() {
+        // Figure 2's uninformed nodes send noise; a single such sender must
+        // produce a non-clear, non-message slot.
+        let (p, mut l) = setup(2);
+        let r = resolve_slot(
+            &[Action::Send(Payload::Noise), Action::Listen],
+            &JamDecision::none(),
+            &p,
+            &mut l,
+        );
+        assert_eq!(r.receptions, vec![(1, Reception::Noise)]);
+    }
+
+    #[test]
+    fn jamming_overrides_message() {
+        let (p, mut l) = setup(2);
+        let r = resolve_slot(
+            &[Action::Send(Payload::message()), Action::Listen],
+            &JamDecision::jam_all(&p),
+            &p,
+            &mut l,
+        );
+        assert_eq!(r.receptions, vec![(1, Reception::Noise)]);
+        assert_eq!(l.jam_cost(), 1);
+        // The sender is still charged even though nobody could hear it.
+        assert_eq!(l.node_sends(0), 1);
+    }
+
+    #[test]
+    fn two_uniform_jamming_is_selective() {
+        // Jam Bob's group only: Alice (group 0) hears the nack, Bob
+        // (group 1) hears noise.
+        let p = Partition::pair();
+        let mut l = EnergyLedger::new(2);
+        // Both listen; adversary injects a nack and jams group 1.
+        let jam = JamDecision {
+            jam_mask: 1 << 1,
+            inject: Some(Payload::Nack { spoofed: true }),
+        };
+        let r = resolve_slot(&[Action::Listen, Action::Listen], &jam, &p, &mut l);
+        let alice = r.receptions.iter().find(|(n, _)| *n == 0).expect("alice");
+        let bob = r.receptions.iter().find(|(n, _)| *n == 1).expect("bob");
+        assert_eq!(alice.1.kind(), Some(PayloadKind::Nack));
+        assert!(bob.1.is_noise());
+        // Adversary paid 1 jam + 1 spoof.
+        assert_eq!(l.adversary_cost(), 2);
+    }
+
+    #[test]
+    fn injection_collides_with_node_sends() {
+        let (p, mut l) = setup(2);
+        let jam = JamDecision::inject(Payload::Nack { spoofed: true });
+        let r = resolve_slot(
+            &[Action::Send(Payload::message()), Action::Listen],
+            &jam,
+            &p,
+            &mut l,
+        );
+        assert_eq!(r.senders, 2);
+        assert_eq!(r.receptions, vec![(1, Reception::Noise)]);
+        assert_eq!(l.spoof_cost(), 1);
+    }
+
+    #[test]
+    fn spoofed_nack_is_indistinguishable() {
+        let (p, mut l) = setup(2);
+        let jam = JamDecision::inject(Payload::Nack { spoofed: true });
+        let r = resolve_slot(&[Action::Sleep, Action::Listen], &jam, &p, &mut l);
+        let (_, rec) = &r.receptions[0];
+        // Kind is Nack — receivers cannot branch on the spoofed flag via kind().
+        assert_eq!(rec.kind(), Some(PayloadKind::Nack));
+        if let Reception::Received(payload) = rec {
+            assert!(payload.is_spoofed(), "audit flag retained for experiments");
+        } else {
+            panic!("expected reception");
+        }
+    }
+
+    #[test]
+    fn jam_count_costs_per_group() {
+        let p = Partition::pair();
+        let mut l = EnergyLedger::new(2);
+        resolve_slot(
+            &[Action::Sleep, Action::Sleep],
+            &JamDecision::jam_all(&p),
+            &p,
+            &mut l,
+        );
+        assert_eq!(l.jam_cost(), 2, "jamming both groups costs 2");
+    }
+
+    #[test]
+    fn sleepers_pay_nothing_and_hear_nothing() {
+        let (p, mut l) = setup(2);
+        let r = resolve_slot(
+            &[Action::Sleep, Action::Send(Payload::message())],
+            &JamDecision::none(),
+            &p,
+            &mut l,
+        );
+        assert!(r.receptions.is_empty());
+        assert_eq!(l.node_cost(0), 0);
+    }
+
+    #[test]
+    fn channel_state_reception_mapping() {
+        assert_eq!(ChannelState::Clear.reception(), Reception::Clear);
+        assert_eq!(ChannelState::Collision.reception(), Reception::Noise);
+        assert_eq!(ChannelState::Jammed.reception(), Reception::Noise);
+        let s = ChannelState::Single(SenderId::Node(0), Payload::message());
+        assert!(s.reception().is_message());
+        let n = ChannelState::Single(SenderId::Node(0), Payload::Noise);
+        assert!(n.reception().is_noise());
+    }
+
+    #[test]
+    #[should_panic]
+    fn action_count_mismatch_panics() {
+        let (p, mut l) = setup(2);
+        resolve_slot(&[Action::Sleep], &JamDecision::none(), &p, &mut l);
+    }
+
+    #[test]
+    fn jam_decision_helpers() {
+        let d = JamDecision::jam_group(3);
+        assert!(d.is_jammed(3));
+        assert!(!d.is_jammed(2));
+        assert_eq!(d.jam_count(), 1);
+        assert_eq!(JamDecision::none().jam_count(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Execution traces for instrumented runs (experiment E10 and debugging).
+//!
+//! Tracing is off by default; the exact engine records a [`SlotRecord`] per
+//! slot only when handed an enabled [`Trace`], so the hot path pays one
+//! branch when disabled.
+
+use crate::slot::{ChannelState, SlotResolution};
+use crate::Slot;
+use serde::{Deserialize, Serialize};
+
+/// Compact, serializable description of what happened in one slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    pub slot: Slot,
+    /// Number of transmissions (nodes + adversary injection).
+    pub senders: usize,
+    /// Number of listeners.
+    pub listeners: usize,
+    /// Bitmask of jammed groups.
+    pub jam_mask: u64,
+    /// Whether group 0 was clear / delivered a message (the common summary
+    /// the experiments need; full per-group state is not retained to keep
+    /// traces small).
+    pub group0: Group0State,
+}
+
+/// Reduced channel state for group 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Group0State {
+    Clear,
+    Message,
+    OtherSingle,
+    Collision,
+    Jammed,
+    /// The partition had no groups (empty system).
+    None,
+}
+
+impl Group0State {
+    fn from_states(states: &[ChannelState]) -> Self {
+        match states.first() {
+            None => Group0State::None,
+            Some(ChannelState::Clear) => Group0State::Clear,
+            Some(ChannelState::Jammed) => Group0State::Jammed,
+            Some(ChannelState::Collision) => Group0State::Collision,
+            Some(ChannelState::Single(_, payload)) => {
+                if payload.kind() == crate::message::PayloadKind::Message {
+                    Group0State::Message
+                } else {
+                    Group0State::OtherSingle
+                }
+            }
+        }
+    }
+}
+
+/// A bounded trace of slot records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<SlotRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` records; further records are
+    /// counted but dropped (experiments care about the beginning of runs).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn record(&mut self, slot: Slot, jam_mask: u64, resolution: &SlotResolution) {
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(SlotRecord {
+            slot,
+            senders: resolution.senders,
+            listeners: resolution.receptions.len(),
+            jam_mask,
+            group0: Group0State::from_states(&resolution.states),
+        });
+    }
+
+    pub fn records(&self) -> &[SlotRecord] {
+        &self.records
+    }
+
+    /// Records that arrived after capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::EnergyLedger;
+    use crate::message::Payload;
+    use crate::partition::Partition;
+    use crate::slot::{resolve_slot, Action, JamDecision};
+
+    fn resolution(actions: &[Action], jam: &JamDecision) -> SlotResolution {
+        let p = Partition::uniform(actions.len());
+        let mut l = EnergyLedger::new(actions.len());
+        resolve_slot(actions, jam, &p, &mut l)
+    }
+
+    #[test]
+    fn records_summarize_slots() {
+        let mut t = Trace::with_capacity(10);
+        let r = resolution(
+            &[Action::Send(Payload::message()), Action::Listen],
+            &JamDecision::none(),
+        );
+        t.record(0, 0, &r);
+        assert_eq!(t.len(), 1);
+        let rec = &t.records()[0];
+        assert_eq!(rec.senders, 1);
+        assert_eq!(rec.listeners, 1);
+        assert_eq!(rec.group0, Group0State::Message);
+    }
+
+    #[test]
+    fn capacity_bound_drops_extras() {
+        let mut t = Trace::with_capacity(2);
+        let r = resolution(&[Action::Sleep], &JamDecision::none());
+        for s in 0..5 {
+            t.record(s, 0, &r);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn group0_state_classification() {
+        let clear = resolution(&[Action::Sleep], &JamDecision::none());
+        assert_eq!(Group0State::from_states(&clear.states), Group0State::Clear);
+
+        let noise = resolution(&[Action::Send(Payload::Noise)], &JamDecision::none());
+        assert_eq!(
+            Group0State::from_states(&noise.states),
+            Group0State::OtherSingle
+        );
+
+        let collision = resolution(
+            &[
+                Action::Send(Payload::message()),
+                Action::Send(Payload::message()),
+            ],
+            &JamDecision::none(),
+        );
+        assert_eq!(
+            Group0State::from_states(&collision.states),
+            Group0State::Collision
+        );
+
+        let p = Partition::uniform(1);
+        let mut l = EnergyLedger::new(1);
+        let jammed = resolve_slot(&[Action::Sleep], &JamDecision::jam_all(&p), &p, &mut l);
+        assert_eq!(
+            Group0State::from_states(&jammed.states),
+            Group0State::Jammed
+        );
+    }
+
+    #[test]
+    fn empty_partition_state_is_none() {
+        assert_eq!(Group0State::from_states(&[]), Group0State::None);
+    }
+}

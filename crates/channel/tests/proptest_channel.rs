@@ -1,0 +1,109 @@
+//! Property tests for the channel substrate with arbitrary partitions and
+//! jam masks — the root-level suite covers the 1-uniform case; this one
+//! exercises ℓ-uniform selectivity.
+
+use proptest::prelude::*;
+use rcb_channel::ledger::EnergyLedger;
+use rcb_channel::message::Payload;
+use rcb_channel::partition::Partition;
+use rcb_channel::slot::{resolve_slot, Action, JamDecision, Reception};
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => Just(Action::Sleep),
+        2 => Just(Action::Listen),
+        1 => Just(Action::Send(Payload::message())),
+        1 => Just(Action::Send(Payload::Noise)),
+    ]
+}
+
+proptest! {
+    /// Listeners in the same group always hear the same thing; listeners in
+    /// unjammed groups are unaffected by jamming elsewhere.
+    #[test]
+    fn group_selective_jamming(
+        actions in prop::collection::vec(arb_action(), 2..12),
+        groups in prop::collection::vec(0usize..4, 2..12),
+        jam_mask in 0u64..16,
+    ) {
+        let n = actions.len().min(groups.len());
+        let actions = &actions[..n];
+        let groups: Vec<usize> = groups[..n].to_vec();
+        let partition = Partition::custom(groups.clone());
+        let valid_mask = (1u64 << partition.groups()) - 1;
+        let jam = JamDecision { jam_mask: jam_mask & valid_mask, inject: None };
+
+        let mut ledger = EnergyLedger::new(n);
+        let res = resolve_slot(actions, &jam, &partition, &mut ledger);
+
+        // Same-group listeners agree.
+        for (a, ra) in &res.receptions {
+            for (b, rb) in &res.receptions {
+                if partition.group_of(*a) == partition.group_of(*b) {
+                    prop_assert_eq!(ra, rb);
+                }
+            }
+        }
+        // Jammed-group listeners hear noise; unjammed groups behave as if
+        // no jamming existed anywhere.
+        let mut clean_ledger = EnergyLedger::new(n);
+        let clean = resolve_slot(actions, &JamDecision::none(), &partition, &mut clean_ledger);
+        for (node, r) in &res.receptions {
+            let g = partition.group_of(*node);
+            if jam.is_jammed(g) {
+                prop_assert_eq!(r, &Reception::Noise);
+            } else {
+                let clean_r = clean
+                    .receptions
+                    .iter()
+                    .find(|(m, _)| m == node)
+                    .map(|(_, r)| r)
+                    .expect("same listener set");
+                prop_assert_eq!(r, clean_r);
+            }
+        }
+        // The adversary pays exactly the number of (valid) groups jammed.
+        prop_assert_eq!(ledger.jam_cost(), (jam_mask & valid_mask).count_ones() as u64);
+    }
+
+    /// Energy conservation generalizes to every partition shape.
+    #[test]
+    fn ledger_totals(
+        actions in prop::collection::vec(arb_action(), 1..16),
+        jam in any::<bool>(),
+    ) {
+        let n = actions.len();
+        let partition = Partition::uniform(n);
+        let decision = if jam { JamDecision::jam_all(&partition) } else { JamDecision::none() };
+        let mut ledger = EnergyLedger::new(n);
+        resolve_slot(&actions, &decision, &partition, &mut ledger);
+        let active = actions.iter().filter(|a| a.is_active()).count() as u64;
+        let total: u64 = (0..n).map(|i| ledger.node_cost(i)).sum();
+        prop_assert_eq!(total, active);
+        prop_assert_eq!(ledger.adversary_cost(), jam as u64);
+    }
+
+    /// Merging ledgers is associative-compatible with sequential charging.
+    #[test]
+    fn ledger_merge_linearity(
+        charges_a in prop::collection::vec((0usize..4, any::<bool>()), 0..32),
+        charges_b in prop::collection::vec((0usize..4, any::<bool>()), 0..32),
+    ) {
+        let mut la = EnergyLedger::new(4);
+        let mut lb = EnergyLedger::new(4);
+        let mut combined = EnergyLedger::new(4);
+        for (node, is_send) in &charges_a {
+            if *is_send { la.charge_send(*node); combined.charge_send(*node); }
+            else { la.charge_listen(*node); combined.charge_listen(*node); }
+        }
+        for (node, is_send) in &charges_b {
+            if *is_send { lb.charge_send(*node); combined.charge_send(*node); }
+            else { lb.charge_listen(*node); combined.charge_listen(*node); }
+        }
+        la.merge(&lb);
+        for i in 0..4 {
+            prop_assert_eq!(la.node_cost(i), combined.node_cost(i));
+        }
+        prop_assert_eq!(la.max_node_cost(), combined.max_node_cost());
+    }
+}

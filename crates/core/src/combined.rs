@@ -1,0 +1,254 @@
+//! Energy-balanced combination of two protocols (§1.3, remark after
+//! Theorem 1): "By combining both algorithms one can achieve expected cost
+//! `O(min{√(T·log(1/ε)) + log(1/ε), T^(φ−1) + 1})`".
+//!
+//! The combination is a classic dovetailing argument: run both protocols,
+//! but always advance the one that has *spent less energy so far*. Each
+//! global slot is given to exactly one sub-protocol (a single radio cannot
+//! serve two protocols in one slot); the other sub-protocol's clock is
+//! frozen, which is sound because neither protocol's logic depends on
+//! global time — only on its own slot counts. When the lagging protocol
+//! catches up in spend, control alternates. Consequently the total spend at
+//! any moment is at most `2·min(A_spend, B_spend) + O(1)`: if the cheaper
+//! protocol succeeds at cost `c`, the combination has spent `O(c)`.
+//!
+//! A receiver-side combination additionally halts both lanes the moment
+//! either lane delivers `m` (the device has what it wanted); sender-side
+//! lanes each halt through their own rules, exactly as they would alone.
+
+use crate::protocol::SlotProtocol;
+use rcb_channel::slot::{Action, Reception};
+use rcb_mathkit::rng::RcbRng;
+
+/// Which sub-protocol owns the in-flight slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    A,
+    B,
+}
+
+/// Two [`SlotProtocol`]s multiplexed onto one radio, advancing whichever
+/// has spent less energy.
+#[derive(Debug, Clone)]
+pub struct BalancedDuo<P, Q> {
+    a: P,
+    b: Q,
+    spent_a: u64,
+    spent_b: u64,
+    current: Option<Lane>,
+    halt_both_on_message: bool,
+    forced_done: bool,
+}
+
+impl<P: SlotProtocol, Q: SlotProtocol> BalancedDuo<P, Q> {
+    /// Combines `a` and `b`. With `halt_both_on_message` (receiver side),
+    /// the whole device halts as soon as either lane obtains `m`.
+    pub fn new(a: P, b: Q, halt_both_on_message: bool) -> Self {
+        Self {
+            a,
+            b,
+            spent_a: 0,
+            spent_b: 0,
+            current: None,
+            halt_both_on_message,
+            forced_done: false,
+        }
+    }
+
+    /// Energy spent by lane A so far.
+    pub fn spent_a(&self) -> u64 {
+        self.spent_a
+    }
+
+    /// Energy spent by lane B so far.
+    pub fn spent_b(&self) -> u64 {
+        self.spent_b
+    }
+
+    pub fn lane_a(&self) -> &P {
+        &self.a
+    }
+
+    pub fn lane_b(&self) -> &Q {
+        &self.b
+    }
+
+    fn pick_lane(&self) -> Option<Lane> {
+        match (self.a.is_done(), self.b.is_done()) {
+            (true, true) => None,
+            (false, true) => Some(Lane::A),
+            (true, false) => Some(Lane::B),
+            (false, false) => {
+                if self.spent_a <= self.spent_b {
+                    Some(Lane::A)
+                } else {
+                    Some(Lane::B)
+                }
+            }
+        }
+    }
+}
+
+impl<P: SlotProtocol, Q: SlotProtocol> SlotProtocol for BalancedDuo<P, Q> {
+    fn act(&mut self, rng: &mut RcbRng) -> Action {
+        if self.forced_done {
+            self.current = None;
+            return Action::Sleep;
+        }
+        let Some(lane) = self.pick_lane() else {
+            self.current = None;
+            return Action::Sleep;
+        };
+        self.current = Some(lane);
+        let action = match lane {
+            Lane::A => self.a.act(rng),
+            Lane::B => self.b.act(rng),
+        };
+        if action.is_active() {
+            match lane {
+                Lane::A => self.spent_a += 1,
+                Lane::B => self.spent_b += 1,
+            }
+        }
+        action
+    }
+
+    fn end_slot(&mut self, heard: Option<&Reception>) {
+        let Some(lane) = self.current.take() else {
+            return;
+        };
+        match lane {
+            Lane::A => self.a.end_slot(heard),
+            Lane::B => self.b.end_slot(heard),
+        }
+        if self.halt_both_on_message && (self.a.received_message() || self.b.received_message()) {
+            self.forced_done = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.forced_done || (self.a.is_done() && self.b.is_done())
+    }
+
+    fn received_message(&self) -> bool {
+        self.a.received_message() || self.b.received_message()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_channel::message::Payload;
+
+    /// Test double: listens every slot until it has heard `limit` slots,
+    /// then is done; reports `m` if it ever received it.
+    #[derive(Debug)]
+    struct Greedy {
+        heard: u64,
+        limit: u64,
+        got_m: bool,
+    }
+
+    impl Greedy {
+        fn new(limit: u64) -> Self {
+            Self {
+                heard: 0,
+                limit,
+                got_m: false,
+            }
+        }
+    }
+
+    impl SlotProtocol for Greedy {
+        fn act(&mut self, _rng: &mut RcbRng) -> Action {
+            if self.is_done() {
+                Action::Sleep
+            } else {
+                Action::Listen
+            }
+        }
+
+        fn end_slot(&mut self, heard: Option<&Reception>) {
+            if self.is_done() {
+                return;
+            }
+            if let Some(r) = heard {
+                if r.is_message() {
+                    self.got_m = true;
+                }
+                self.heard += 1;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.heard >= self.limit || self.got_m
+        }
+
+        fn received_message(&self) -> bool {
+            self.got_m
+        }
+    }
+
+    fn drive(duo: &mut BalancedDuo<Greedy, Greedy>, slots: u64) {
+        let mut rng = RcbRng::new(9);
+        for _ in 0..slots {
+            let action = duo.act(&mut rng);
+            let heard = matches!(action, Action::Listen).then_some(Reception::Clear);
+            duo.end_slot(heard.as_ref());
+        }
+    }
+
+    #[test]
+    fn spend_stays_balanced() {
+        let mut duo = BalancedDuo::new(Greedy::new(1000), Greedy::new(1000), false);
+        drive(&mut duo, 100);
+        let diff = duo.spent_a() as i64 - duo.spent_b() as i64;
+        assert!(diff.abs() <= 1, "spend imbalance {diff}");
+    }
+
+    #[test]
+    fn total_cost_tracks_the_cheaper_lane() {
+        // Lane A finishes after 5 units; lane B would need 10_000. The duo
+        // must stop lane B from racing ahead: when A finishes at spend 5,
+        // B has spent at most 6.
+        let mut duo = BalancedDuo::new(Greedy::new(5), Greedy::new(10_000), false);
+        drive(&mut duo, 10);
+        assert!(duo.lane_a().is_done());
+        assert!(duo.spent_b() <= duo.spent_a() + 1);
+        // Afterwards all slots go to B (it is the only lane left running).
+        drive(&mut duo, 10);
+        assert!(duo.spent_b() > duo.spent_a());
+    }
+
+    #[test]
+    fn message_on_either_lane_halts_both_when_requested() {
+        let mut duo = BalancedDuo::new(Greedy::new(1000), Greedy::new(1000), true);
+        let mut rng = RcbRng::new(10);
+        // First slot goes to lane A; deliver m.
+        let action = duo.act(&mut rng);
+        assert!(matches!(action, Action::Listen));
+        duo.end_slot(Some(&Reception::Received(Payload::message())));
+        assert!(duo.is_done());
+        assert!(duo.received_message());
+        // Both lanes are now inert at the duo level.
+        assert!(matches!(duo.act(&mut rng), Action::Sleep));
+    }
+
+    #[test]
+    fn without_halt_flag_lanes_finish_independently() {
+        let mut duo = BalancedDuo::new(Greedy::new(2), Greedy::new(4), false);
+        drive(&mut duo, 20);
+        assert!(duo.is_done());
+        assert_eq!(duo.spent_a(), 2);
+        assert_eq!(duo.spent_b(), 4);
+    }
+
+    #[test]
+    fn done_duo_sleeps() {
+        let mut duo = BalancedDuo::new(Greedy::new(0), Greedy::new(0), false);
+        let mut rng = RcbRng::new(11);
+        assert!(duo.is_done());
+        assert!(matches!(duo.act(&mut rng), Action::Sleep));
+        duo.end_slot(None); // must not panic
+    }
+}

@@ -1,0 +1,32 @@
+//! # rcb-core
+//!
+//! The resource-competitive broadcast algorithms of Gilbert, King, Pettie,
+//! Porat, Saia & Young, *"(Near) Optimal Resource-Competitive Broadcast with
+//! Jamming"*, SPAA 2014:
+//!
+//! * [`one_to_one`] — Figure 1: 1-to-1 BROADCAST between Alice and Bob.
+//!   Monte Carlo, succeeds with probability `1 − ε`, expected cost
+//!   `O(√(T·ln(1/ε)) + ln(1/ε))` against a 2-uniform adaptive jammer with
+//!   total spend `T` (Theorem 1). The implementation is split into
+//!   phase-granularity state machines (shared with the fast simulation
+//!   engine) and slot-granularity [`protocol::SlotProtocol`] adapters.
+//!
+//! * [`one_to_n`] — Figure 2: 1-to-n BROADCAST. Nodes are `uninformed`,
+//!   `informed`, or `helper`s; sending/listening rates are driven by the
+//!   self-calibrating `S_u` variable, which grows on silence and lets
+//!   each node estimate `n` without knowing it. Per-node cost
+//!   `O(√(T/n)·log⁴T + log⁶n)` w.h.p. (Theorem 3).
+//!
+//! * [`combined`] — the energy-balanced combination of two 1-to-1 protocols
+//!   the paper sketches after Theorem 1, achieving the minimum of both cost
+//!   functions up to constants.
+//!
+//! Protocol *logic* lives here; channel mechanics live in `rcb-channel` and
+//! the engines that drive executions live in `rcb-sim`.
+
+pub mod combined;
+pub mod one_to_n;
+pub mod one_to_one;
+pub mod protocol;
+
+pub use protocol::{PeriodLoc, Schedule, SlotProtocol};

@@ -1,0 +1,35 @@
+//! 1-to-n BROADCAST (Figure 2 of the paper) — the primary contribution.
+//!
+//! Every node runs the same loop, epoch by epoch (`b·i²` repetitions of
+//! `2^i` slots each), with a rate variable `S_u` reset to 16 at each epoch:
+//!
+//! * informed/helper nodes send `m` with probability `S_u/2^i` per slot;
+//! * **uninformed nodes send noise** at the same rate — deliberately — so
+//!   the clear-slot frequency reveals how large `n` is relative to `2^i`;
+//! * everyone listens with probability `S_u·d·i³/2^i`;
+//! * hearing more clear slots than half the expectation grows `S_u` by
+//!   `2^(C′ᵤ/(S_u·d·i⁴))` — silence is *free* evidence that the population
+//!   is small, so rates ramp up without costing the adversary anything to
+//!   prevent except jamming (which costs her);
+//! * hearing `m` more than `d·i³/200` times promotes an informed node to
+//!   **helper** with population estimate `n_u = 2^i/S_u²`; a helper whose
+//!   `S_u` later reaches `360·√(2^i/n_u)` concludes every node is a helper
+//!   (w.h.p.) and terminates; a safety valve (`S_u > 360·2^(i/2)`) bounds
+//!   the cost of pathological executions.
+//!
+//! See [`params::OneToNParams`] for the paper-vs-practical constant story.
+
+pub mod node;
+pub mod params;
+pub mod predict;
+pub mod schedule;
+pub mod slot_node;
+
+pub use node::{OneToNNode, Status, TermReason};
+pub use params::OneToNParams;
+pub use predict::{
+    blocked_through_epoch, budget_to_reach_epoch, estimated_termination_epoch,
+    estimated_unjammed_slots, slots_in_epochs,
+};
+pub use schedule::{OneToNSchedule, RepLoc};
+pub use slot_node::OneToNSlotNode;

@@ -1,0 +1,353 @@
+//! The per-node state machine of Figure 2, at repetition granularity.
+//!
+//! A node's entire behaviour is a function of `(status, S_u, epoch)` plus
+//! two per-repetition counters supplied by whichever engine drives it: the
+//! number of **clear** slots it heard and the number of times it heard the
+//! message **m**. Both engines (exact and fast) call
+//! [`OneToNNode::end_repetition`] with those counts, so the update rule and
+//! the four termination/promotion cases live in exactly one place.
+
+use crate::one_to_n::params::OneToNParams;
+use serde::{Deserialize, Serialize};
+
+/// Node status `t_u` (Figure 2) plus the absorbing terminated state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// Does not know `m`; transmits noise to make the population audible.
+    Uninformed,
+    /// Knows `m`; transmits it.
+    Informed,
+    /// Knows `m`, has heard it often enough to estimate `n`, and is waiting
+    /// for its rate variable to certify that everyone else knows it too.
+    Helper,
+    /// Halted.
+    Terminated,
+}
+
+/// Why a node terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TermReason {
+    /// Case 1: `S_u > safety_factor·2^(i/2)` — some property was already
+    /// violated; bail out to keep the expected cost finite (§3.4).
+    Safety,
+    /// Case 4: helper reached `S_u ≥ term_factor·√(2^i/n_u)`.
+    HelperDone,
+}
+
+/// One node of the 1-to-n protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OneToNNode {
+    status: Status,
+    /// The rate variable `S_u`.
+    s: f64,
+    /// `n_u = 2^j/S_u²`, fixed at the helper transition in epoch `j`.
+    n_est: Option<f64>,
+    epoch: u32,
+    term_reason: Option<TermReason>,
+    /// Whether this node ever held `m` (for outcome accounting).
+    ever_informed: bool,
+}
+
+impl OneToNNode {
+    /// A fresh node at the first epoch. `informed` marks the designated
+    /// sender (status `informed` from the start).
+    pub fn new(params: &OneToNParams, informed: bool) -> Self {
+        Self {
+            status: if informed {
+                Status::Informed
+            } else {
+                Status::Uninformed
+            },
+            s: params.s_init,
+            n_est: None,
+            epoch: params.first_epoch,
+            term_reason: None,
+            ever_informed: informed,
+        }
+    }
+
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    pub fn n_estimate(&self) -> Option<f64> {
+        self.n_est
+    }
+
+    pub fn term_reason(&self) -> Option<TermReason> {
+        self.term_reason
+    }
+
+    pub fn is_terminated(&self) -> bool {
+        self.status == Status::Terminated
+    }
+
+    /// Whether the node ever learned `m` (true for the sender).
+    pub fn ever_informed(&self) -> bool {
+        self.ever_informed
+    }
+
+    /// Epoch prologue: `S_u ← s_init` ("S_u is reset to 16 at the beginning
+    /// of each epoch").
+    pub fn begin_epoch(&mut self, epoch: u32, params: &OneToNParams) {
+        if self.is_terminated() {
+            return;
+        }
+        assert!(epoch > self.epoch || epoch == params.first_epoch);
+        self.epoch = epoch;
+        self.s = params.s_init;
+    }
+
+    /// Per-slot send probability in the current epoch.
+    pub fn send_prob(&self, params: &OneToNParams) -> f64 {
+        if self.is_terminated() {
+            0.0
+        } else {
+            params.send_prob(self.epoch, self.s)
+        }
+    }
+
+    /// Per-slot listen probability in the current epoch.
+    pub fn listen_prob(&self, params: &OneToNParams) -> f64 {
+        if self.is_terminated() {
+            0.0
+        } else {
+            params.listen_prob(self.epoch, self.s)
+        }
+    }
+
+    /// Whether this node's transmissions carry `m` (informed/helper) as
+    /// opposed to bare noise (uninformed).
+    pub fn sends_message(&self) -> bool {
+        matches!(self.status, Status::Informed | Status::Helper)
+    }
+
+    /// Repetition epilogue: the `S_u` update followed by the four cases of
+    /// Figure 2, executed **in order, at most one firing**.
+    ///
+    /// `clear_heard` — clear slots the node heard while listening;
+    /// `msgs_heard` — receptions of `m`.
+    pub fn end_repetition(&mut self, params: &OneToNParams, clear_heard: u64, msgs_heard: u64) {
+        if self.is_terminated() {
+            return;
+        }
+        let i = self.epoch;
+
+        // S_u update: C′ᵤ = max(0, Cᵤ − ½·E[listens]); S_u ← S_u·2^(C′ᵤ/denom).
+        // E[listens] uses the clamped expectation so a saturated listening
+        // probability cannot make the baseline exceed the repetition length.
+        let expected = params.expected_listens(i, self.s);
+        let c_prime = (clear_heard as f64 - 0.5 * expected).max(0.0);
+        if c_prime > 0.0 {
+            let denom = params.growth_denom(i, self.s);
+            self.s *= (c_prime / denom).exp2();
+        }
+
+        // Case 1: safety valve.
+        if self.s > params.safety_bound(i) {
+            self.status = Status::Terminated;
+            self.term_reason = Some(TermReason::Safety);
+            return;
+        }
+        // Case 2: uninformed hears m → informed.
+        if self.status == Status::Uninformed {
+            if msgs_heard > 0 {
+                self.status = Status::Informed;
+                self.ever_informed = true;
+            }
+            return;
+        }
+        // Case 3: informed hears m often → helper, estimate n.
+        if self.status == Status::Informed {
+            if msgs_heard as f64 > params.helper_threshold(i) {
+                self.status = Status::Helper;
+                self.n_est = Some(params.slots(i) as f64 / (self.s * self.s));
+            }
+            return;
+        }
+        // Case 4: helper whose rate certifies global helperhood terminates.
+        if self.status == Status::Helper {
+            let n_u = self.n_est.expect("helper always has an estimate");
+            if self.s >= params.term_bound(i, n_u) {
+                self.status = Status::Terminated;
+                self.term_reason = Some(TermReason::HelperDone);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OneToNParams {
+        OneToNParams::practical()
+    }
+
+    #[test]
+    fn fresh_nodes_have_figure2_initial_state() {
+        let p = params();
+        let sender = OneToNNode::new(&p, true);
+        let other = OneToNNode::new(&p, false);
+        assert_eq!(sender.status(), Status::Informed);
+        assert!(sender.sends_message());
+        assert!(sender.ever_informed());
+        assert_eq!(other.status(), Status::Uninformed);
+        assert!(!other.sends_message());
+        assert_eq!(other.s(), p.s_init);
+        assert_eq!(other.epoch(), p.first_epoch);
+    }
+
+    #[test]
+    fn silence_grows_s_at_the_paper_rate() {
+        // All-clear repetition with an unsaturated listen probability:
+        // C = E[listens] = s·d·i^κ, so C′ = E/2 and the growth factor is
+        // 2^(E/2 / (s·d·i^(κ+extra))) = 2^(1/(2·i^extra)) — the paper's
+        // 2^(1/(2i)) for extra = 1.
+        let mut p = params();
+        p.first_epoch = 12; // listen_prob(12, 16) ≈ 0.07 < 1: no clamping
+        assert!(p.listen_prob(p.first_epoch, p.s_init) < 1.0);
+        let mut node = OneToNNode::new(&p, false);
+        let i = p.first_epoch;
+        let clear = p.expected_listens(i, node.s()).round() as u64;
+        let s_before = node.s();
+        node.end_repetition(&p, clear, 0);
+        let expected_factor = (0.5 / (i as f64).powi(p.growth_extra_pow as i32)).exp2();
+        assert!(
+            (node.s() / s_before - expected_factor).abs() < 1e-6,
+            "factor {} vs {}",
+            node.s() / s_before,
+            expected_factor
+        );
+    }
+
+    #[test]
+    fn half_clear_or_less_does_not_grow_s() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, false);
+        let half = (p.expected_listens(p.first_epoch, node.s()) / 2.0).floor() as u64;
+        let s = node.s();
+        node.end_repetition(&p, half, 0);
+        assert_eq!(node.s(), s, "C ≤ E/2 ⇒ C′ = 0 ⇒ no growth");
+    }
+
+    #[test]
+    fn uninformed_becomes_informed_on_one_message() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, false);
+        node.end_repetition(&p, 0, 1);
+        assert_eq!(node.status(), Status::Informed);
+        assert!(node.ever_informed());
+    }
+
+    #[test]
+    fn at_most_one_case_fires_per_repetition() {
+        // A repetition delivering a flood of messages to an uninformed node
+        // makes it informed — not helper (cases execute at most once).
+        let p = params();
+        let mut node = OneToNNode::new(&p, false);
+        let flood = (p.helper_threshold(p.first_epoch) as u64 + 10).max(10);
+        node.end_repetition(&p, 0, flood);
+        assert_eq!(node.status(), Status::Informed, "not straight to helper");
+        // Next repetition with the same flood: now the helper case fires.
+        node.end_repetition(&p, 0, flood);
+        assert_eq!(node.status(), Status::Helper);
+    }
+
+    #[test]
+    fn helper_transition_records_n_estimate() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, true);
+        let flood = (p.helper_threshold(p.first_epoch) as u64) + 1;
+        node.end_repetition(&p, 0, flood);
+        assert_eq!(node.status(), Status::Helper);
+        let n_u = node.n_estimate().expect("estimate set");
+        let expect = p.slots(p.first_epoch) as f64 / (node.s() * node.s());
+        assert!((n_u - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn helper_terminates_when_rate_reaches_bound() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, true);
+        let i = p.first_epoch;
+        let flood = (p.helper_threshold(i) as u64) + 1;
+        node.end_repetition(&p, 0, flood);
+        assert_eq!(node.status(), Status::Helper);
+        let n_u = node.n_estimate().expect("set");
+        // Feed all-clear repetitions until S reaches the bound.
+        let mut reps = 0;
+        while node.status() == Status::Helper {
+            let clear = p.expected_listens(i, node.s()).ceil() as u64;
+            node.end_repetition(&p, clear, 0);
+            reps += 1;
+            assert!(reps < 100_000, "helper never terminated");
+        }
+        assert_eq!(node.status(), Status::Terminated);
+        assert_eq!(node.term_reason(), Some(TermReason::HelperDone));
+        assert!(node.s() >= p.term_bound(i, n_u));
+    }
+
+    #[test]
+    fn safety_valve_fires_before_absurd_rates() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, false);
+        let i = p.first_epoch;
+        let mut reps = 0;
+        // All-clear forever with no messages: S must eventually trip case 1.
+        while !node.is_terminated() {
+            let clear = p.expected_listens(i, node.s()).ceil() as u64;
+            node.end_repetition(&p, clear, 0);
+            reps += 1;
+            assert!(reps < 1_000_000, "safety valve never fired");
+        }
+        assert_eq!(node.term_reason(), Some(TermReason::Safety));
+        assert!(!node.ever_informed());
+    }
+
+    #[test]
+    fn epoch_reset_restores_s_init() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, false);
+        let clear = p.expected_listens(p.first_epoch, node.s()).ceil() as u64;
+        node.end_repetition(&p, clear, 0);
+        assert!(node.s() > p.s_init);
+        node.begin_epoch(p.first_epoch + 1, &p);
+        assert_eq!(node.s(), p.s_init);
+        assert_eq!(node.epoch(), p.first_epoch + 1);
+    }
+
+    #[test]
+    fn terminated_nodes_are_inert() {
+        let p = params();
+        let mut node = OneToNNode::new(&p, true);
+        let flood = (p.helper_threshold(p.first_epoch) as u64) + 1;
+        node.end_repetition(&p, 0, flood);
+        while !node.is_terminated() {
+            let clear = p.expected_listens(p.first_epoch, node.s()).ceil() as u64;
+            node.end_repetition(&p, clear, 0);
+        }
+        let snapshot = node;
+        node.end_repetition(&p, 1000, 1000);
+        node.begin_epoch(node.epoch() + 1, &p);
+        assert_eq!(node, snapshot, "terminated nodes never change");
+        assert_eq!(node.send_prob(&p), 0.0);
+        assert_eq!(node.listen_prob(&p), 0.0);
+    }
+
+    #[test]
+    fn probabilities_match_params() {
+        let p = params();
+        let node = OneToNNode::new(&p, false);
+        assert!((node.send_prob(&p) - p.send_prob(p.first_epoch, p.s_init)).abs() < 1e-15);
+        assert!((node.listen_prob(&p) - p.listen_prob(p.first_epoch, p.s_init)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,107 @@
+//! Schedule arithmetic for Figure 2 — the deterministic quantities that
+//! experiment design and tests reason with.
+//!
+//! Everything here is exact combinatorics of the public schedule (no
+//! randomness): how many slots a span of epochs occupies, how deep a
+//! blanket-jamming budget can push the system, and a first-order estimate
+//! of the unjammed timeline derived from the ideal-epoch calibration.
+
+use crate::one_to_n::params::OneToNParams;
+
+/// Total slots occupied by epochs `first..=last` (inclusive).
+pub fn slots_in_epochs(params: &OneToNParams, first: u32, last: u32) -> u64 {
+    assert!(first <= last, "need first <= last");
+    (first..=last).map(|i| params.epoch_slots(i)).sum()
+}
+
+/// The last epoch a blanket blocker with `budget` slot-units can fully
+/// block, starting from the first epoch. Returns `None` if the budget
+/// cannot even cover the first epoch.
+pub fn blocked_through_epoch(params: &OneToNParams, budget: u64) -> Option<u32> {
+    let mut epoch = params.first_epoch;
+    let mut remaining = budget;
+    let mut last_blocked = None;
+    loop {
+        let cost = params.epoch_slots(epoch);
+        if remaining < cost {
+            return last_blocked;
+        }
+        remaining -= cost;
+        last_blocked = Some(epoch);
+        epoch += 1;
+        assert!(epoch < 62, "budget implies an absurd epoch");
+    }
+}
+
+/// First-order estimate of the epoch in which an unjammed execution with
+/// `n` nodes terminates: the ideal epoch (where `√(2^i/n) = s_init`) — the
+/// calibrated practical constants terminate within about one epoch of it
+/// (see the `calibrate` binary's tables).
+pub fn estimated_termination_epoch(params: &OneToNParams, n: usize) -> u32 {
+    params.ideal_epoch(n).max(params.first_epoch)
+}
+
+/// First-order estimate of the unjammed latency in slots: every epoch up
+/// to the estimated termination epoch runs to completion.
+pub fn estimated_unjammed_slots(params: &OneToNParams, n: usize) -> u64 {
+    slots_in_epochs(
+        params,
+        params.first_epoch,
+        estimated_termination_epoch(params, n),
+    )
+}
+
+/// The jamming budget needed to push termination to `target_epoch`: block
+/// every epoch before it.
+pub fn budget_to_reach_epoch(params: &OneToNParams, target_epoch: u32) -> u64 {
+    if target_epoch <= params.first_epoch {
+        return 0;
+    }
+    slots_in_epochs(params, params.first_epoch, target_epoch - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OneToNParams {
+        OneToNParams::practical()
+    }
+
+    #[test]
+    fn slots_in_epochs_sums_the_schedule() {
+        let p = params();
+        let direct = p.epoch_slots(5) + p.epoch_slots(6) + p.epoch_slots(7);
+        assert_eq!(slots_in_epochs(&p, 5, 7), direct);
+        assert_eq!(slots_in_epochs(&p, 5, 5), p.epoch_slots(5));
+    }
+
+    #[test]
+    fn blocked_through_epoch_consumes_whole_epochs() {
+        let p = params();
+        let e5 = p.epoch_slots(5);
+        let e6 = p.epoch_slots(6);
+        assert_eq!(blocked_through_epoch(&p, 0), None);
+        assert_eq!(blocked_through_epoch(&p, e5 - 1), None);
+        assert_eq!(blocked_through_epoch(&p, e5), Some(5));
+        assert_eq!(blocked_through_epoch(&p, e5 + e6 - 1), Some(5));
+        assert_eq!(blocked_through_epoch(&p, e5 + e6), Some(6));
+    }
+
+    #[test]
+    fn budget_to_reach_epoch_inverts_blocking() {
+        let p = params();
+        for target in [6u32, 9, 12] {
+            let budget = budget_to_reach_epoch(&p, target);
+            assert_eq!(blocked_through_epoch(&p, budget), Some(target - 1));
+        }
+        assert_eq!(budget_to_reach_epoch(&p, p.first_epoch), 0);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_n() {
+        let p = params();
+        assert!(estimated_termination_epoch(&p, 64) > estimated_termination_epoch(&p, 8));
+        assert!(estimated_unjammed_slots(&p, 64) > estimated_unjammed_slots(&p, 8));
+    }
+}

@@ -1,0 +1,150 @@
+//! Public slot→repetition geometry of 1-to-n BROADCAST.
+//!
+//! Epoch `i` (from `first_epoch`) occupies `reps(i)·2^i` consecutive slots.
+//! Periods — the units the adversary plans against — are repetitions.
+
+use crate::one_to_n::params::OneToNParams;
+use crate::protocol::{PeriodLoc, Schedule};
+use rcb_channel::Slot;
+
+/// Slot geometry induced by a parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct OneToNSchedule {
+    params: OneToNParams,
+}
+
+/// Detailed location of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepLoc {
+    pub epoch: u32,
+    /// Repetition index within the epoch, `0 .. reps(epoch)`.
+    pub repetition: u64,
+    /// Offset within the repetition, `0 .. 2^epoch`.
+    pub offset: u64,
+    /// Global repetition index since the start of the execution.
+    pub global_repetition: u64,
+}
+
+impl OneToNSchedule {
+    pub fn new(params: OneToNParams) -> Self {
+        Self { params }
+    }
+
+    pub fn params(&self) -> &OneToNParams {
+        &self.params
+    }
+
+    /// Full location of a global slot.
+    pub fn locate_rep(&self, slot: Slot) -> RepLoc {
+        let mut epoch = self.params.first_epoch;
+        let mut remaining = slot;
+        let mut global_rep = 0u64;
+        loop {
+            let reps = self.params.reps(epoch);
+            let rep_len = self.params.slots(epoch);
+            let epoch_len = reps * rep_len;
+            if remaining < epoch_len {
+                let repetition = remaining / rep_len;
+                return RepLoc {
+                    epoch,
+                    repetition,
+                    offset: remaining % rep_len,
+                    global_repetition: global_rep + repetition,
+                };
+            }
+            remaining -= epoch_len;
+            global_rep += reps;
+            epoch += 1;
+            assert!(epoch < 62, "slot index implies an absurd epoch");
+        }
+    }
+
+    /// Slots consumed by all epochs strictly before `epoch`.
+    pub fn slots_before_epoch(&self, epoch: u32) -> u64 {
+        (self.params.first_epoch..epoch)
+            .map(|i| self.params.epoch_slots(i))
+            .sum()
+    }
+}
+
+impl Schedule for OneToNSchedule {
+    fn locate(&self, slot: Slot) -> PeriodLoc {
+        let loc = self.locate_rep(slot);
+        PeriodLoc {
+            period: loc.global_repetition,
+            offset: loc.offset,
+            len: self.params.slots(loc.epoch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> OneToNSchedule {
+        let mut p = OneToNParams::practical();
+        p.first_epoch = 3; // repetitions of 8 slots
+        OneToNSchedule::new(p)
+    }
+
+    #[test]
+    fn first_epoch_layout() {
+        let s = sched();
+        let reps3 = s.params().reps(3);
+        assert!(reps3 >= 2, "first epoch must have several repetitions");
+        let l0 = s.locate_rep(0);
+        assert_eq!((l0.epoch, l0.repetition, l0.offset), (3, 0, 0));
+        let l9 = s.locate_rep(9);
+        assert_eq!((l9.epoch, l9.repetition, l9.offset), (3, 1, 1));
+        let last = s.locate_rep(reps3 * 8 - 1);
+        assert_eq!(
+            (last.epoch, last.repetition, last.offset),
+            (3, reps3 - 1, 7)
+        );
+    }
+
+    #[test]
+    fn epoch_transition() {
+        let s = sched();
+        let reps3 = s.params().reps(3);
+        let first_of_next = s.params().epoch_slots(3);
+        let l = s.locate_rep(first_of_next);
+        assert_eq!((l.epoch, l.repetition, l.offset), (4, 0, 0));
+        assert_eq!(l.global_repetition, reps3);
+    }
+
+    #[test]
+    fn slots_before_epoch_accumulates() {
+        let s = sched();
+        assert_eq!(s.slots_before_epoch(3), 0);
+        assert_eq!(s.slots_before_epoch(4), s.params().epoch_slots(3));
+        assert_eq!(
+            s.slots_before_epoch(5),
+            s.params().epoch_slots(3) + s.params().epoch_slots(4)
+        );
+    }
+
+    #[test]
+    fn schedule_trait_period_is_global_repetition() {
+        let s = sched();
+        let reps3 = s.params().reps(3);
+        let slot = s.params().epoch_slots(3) + 16; // epoch 4, repetition 1
+        let loc = s.locate(slot);
+        assert_eq!(loc.period, reps3 + 1);
+        assert_eq!(loc.offset, 0);
+        assert_eq!(loc.len, 16);
+    }
+
+    #[test]
+    fn locate_is_monotone_in_slots() {
+        let s = sched();
+        let mut last_rep = 0;
+        for slot in 0..s.params().epoch_slots(3) + s.params().epoch_slots(4) {
+            let rep = s.locate_rep(slot).global_repetition;
+            assert!(rep >= last_rep);
+            assert!(rep - last_rep <= 1);
+            last_rep = rep;
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Slot-granularity adapter: one 1-to-n node as a [`SlotProtocol`].
+//!
+//! Wraps [`OneToNNode`] with per-slot coin flips and per-repetition
+//! counters, for the exact engine. Send and listen are mutually exclusive
+//! within a slot: the send coin is flipped first (a radio cannot do both;
+//! see DESIGN.md §3).
+
+use crate::one_to_n::node::OneToNNode;
+use crate::one_to_n::params::OneToNParams;
+use crate::protocol::SlotProtocol;
+use rcb_channel::message::Payload;
+use rcb_channel::slot::{Action, Reception};
+use rcb_mathkit::rng::RcbRng;
+use rcb_mathkit::sample::bernoulli;
+
+/// A 1-to-n node driven slot by slot.
+#[derive(Debug, Clone)]
+pub struct OneToNSlotNode {
+    params: OneToNParams,
+    node: OneToNNode,
+    /// Offset within the current repetition.
+    offset: u64,
+    /// Repetition index within the current epoch.
+    repetition: u64,
+    clear_heard: u64,
+    msgs_heard: u64,
+}
+
+impl OneToNSlotNode {
+    pub fn new(params: OneToNParams, informed: bool) -> Self {
+        let node = OneToNNode::new(&params, informed);
+        Self {
+            params,
+            node,
+            offset: 0,
+            repetition: 0,
+            clear_heard: 0,
+            msgs_heard: 0,
+        }
+    }
+
+    /// The underlying repetition-granularity state.
+    pub fn node(&self) -> &OneToNNode {
+        &self.node
+    }
+
+    pub fn params(&self) -> &OneToNParams {
+        &self.params
+    }
+}
+
+impl SlotProtocol for OneToNSlotNode {
+    fn act(&mut self, rng: &mut RcbRng) -> Action {
+        if self.node.is_terminated() {
+            return Action::Sleep;
+        }
+        if bernoulli(rng, self.node.send_prob(&self.params)) {
+            if self.node.sends_message() {
+                return Action::Send(Payload::message());
+            }
+            return Action::Send(Payload::Noise);
+        }
+        if bernoulli(rng, self.node.listen_prob(&self.params)) {
+            return Action::Listen;
+        }
+        Action::Sleep
+    }
+
+    fn end_slot(&mut self, heard: Option<&Reception>) {
+        // Terminated nodes are inert but the clock below must not run for
+        // them either — they have left the protocol.
+        if self.node.is_terminated() {
+            return;
+        }
+        if let Some(r) = heard {
+            match r {
+                Reception::Clear => self.clear_heard += 1,
+                r if r.is_message() => self.msgs_heard += 1,
+                _ => {}
+            }
+        }
+        self.offset += 1;
+        if self.offset < self.params.slots(self.node.epoch()) {
+            return;
+        }
+        // Repetition epilogue.
+        self.node
+            .end_repetition(&self.params, self.clear_heard, self.msgs_heard);
+        self.offset = 0;
+        self.clear_heard = 0;
+        self.msgs_heard = 0;
+        self.repetition += 1;
+        if self.repetition >= self.params.reps(self.node.epoch()) {
+            self.repetition = 0;
+            let next = self.node.epoch() + 1;
+            self.node.begin_epoch(next, &self.params);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.node.is_terminated()
+    }
+
+    fn received_message(&self) -> bool {
+        self.node.ever_informed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_to_n::node::Status;
+
+    fn tiny_params() -> OneToNParams {
+        let mut p = OneToNParams::practical();
+        p.first_epoch = 4; // repetitions of 16 slots
+        p
+    }
+
+    #[test]
+    fn sender_sends_message_payload() {
+        let p = tiny_params();
+        let mut sender = OneToNSlotNode::new(p, true);
+        let mut rng = RcbRng::new(1);
+        let mut saw_message = false;
+        for _ in 0..2000 {
+            if let Action::Send(payload) = sender.act(&mut rng) {
+                assert!(payload.kind() == rcb_channel::PayloadKind::Message);
+                saw_message = true;
+            }
+            sender.end_slot(None);
+        }
+        assert!(saw_message, "sender should transmit m at rate S/2^i");
+    }
+
+    #[test]
+    fn uninformed_sends_noise_payload() {
+        let p = tiny_params();
+        let mut node = OneToNSlotNode::new(p, false);
+        let mut rng = RcbRng::new(2);
+        let mut saw_noise = false;
+        for _ in 0..2000 {
+            if let Action::Send(payload) = node.act(&mut rng) {
+                assert!(payload.kind() == rcb_channel::PayloadKind::Noise);
+                saw_noise = true;
+            }
+            node.end_slot(None);
+        }
+        assert!(saw_noise);
+    }
+
+    #[test]
+    fn message_reception_informs_at_repetition_end() {
+        let p = tiny_params();
+        let mut node = OneToNSlotNode::new(p, false);
+        // Deliver m in the middle of the first repetition.
+        node.end_slot(Some(&Reception::Received(Payload::message())));
+        assert_eq!(
+            node.node().status(),
+            Status::Uninformed,
+            "cases fire at repetition end, not mid-repetition"
+        );
+        for _ in 0..p.slots(p.first_epoch) - 1 {
+            node.end_slot(None);
+        }
+        assert_eq!(node.node().status(), Status::Informed);
+        assert!(node.received_message());
+    }
+
+    #[test]
+    fn epoch_advances_after_all_repetitions() {
+        let p = tiny_params();
+        let mut node = OneToNSlotNode::new(p, false);
+        let epoch_slots = p.epoch_slots(p.first_epoch);
+        for _ in 0..epoch_slots {
+            node.end_slot(None);
+        }
+        assert_eq!(node.node().epoch(), p.first_epoch + 1);
+        assert_eq!(node.node().s(), p.s_init, "S resets at the epoch boundary");
+    }
+
+    #[test]
+    fn clear_slots_grow_s_via_slot_path() {
+        let p = tiny_params();
+        let mut node = OneToNSlotNode::new(p, false);
+        // Hear clear in every slot of one repetition (as if it listened
+        // constantly): S must grow.
+        for _ in 0..p.slots(p.first_epoch) {
+            node.end_slot(Some(&Reception::Clear));
+        }
+        assert!(node.node().s() > p.s_init);
+    }
+
+    #[test]
+    fn terminated_node_sleeps_forever() {
+        let p = tiny_params();
+        let mut node = OneToNSlotNode::new(p, false);
+        let mut rng = RcbRng::new(3);
+        // Flood with clear until the safety valve fires.
+        let mut guard = 0u64;
+        while !node.is_done() {
+            node.end_slot(Some(&Reception::Clear));
+            guard += 1;
+            assert!(guard < 100_000_000, "safety valve should have fired");
+        }
+        for _ in 0..100 {
+            assert!(matches!(node.act(&mut rng), Action::Sleep));
+            node.end_slot(None);
+        }
+    }
+
+    #[test]
+    fn noise_receptions_are_ignored_by_counters() {
+        let p = tiny_params();
+        let mut node = OneToNSlotNode::new(p, false);
+        for _ in 0..p.slots(p.first_epoch) {
+            node.end_slot(Some(&Reception::Noise));
+        }
+        // Noise is neither clear nor m: no growth, no status change.
+        assert_eq!(node.node().s(), p.s_init);
+        assert_eq!(node.node().status(), Status::Uninformed);
+    }
+}

@@ -1,0 +1,37 @@
+//! 1-to-1 BROADCAST (Figure 1 of the paper) — Alice sends `m` to Bob.
+//!
+//! The algorithm proceeds in epochs `i ≥ 11 + lg ln(8/ε)`, each consisting
+//! of a **send phase** and a **nack phase** of `2^i` slots each. In epoch
+//! `i` both parties act with probability `p_i = √(ln(8/ε)/2^(i−1))` per
+//! slot:
+//!
+//! * send phase — Alice sends `m`, Bob listens. By a birthday-paradox
+//!   argument an unjammed phase delivers `m` with probability `1 − ε/8`.
+//! * nack phase — if Bob is still uninformed he sends nacks, Alice listens.
+//!
+//! Halting is driven by the *noise threshold* `Θᵢ = √(2^(i−1)·ln(8/ε))/4`:
+//! hearing at least `Θᵢ` noisy slots is evidence of heavy jamming (the
+//! adversary must be spending), so the party stays in the game; hearing
+//! less, together with silence (no `m`, no nack), is evidence the other
+//! party has halted.
+//!
+//! The module separates:
+//! * [`profile`] — the numerical profile (rates, thresholds, start epoch);
+//!   pluggable so the golden-ratio baseline can reuse everything else;
+//! * [`state`] — the phase-granularity state machines (pure logic, used by
+//!   both engines);
+//! * [`schedule`] — the public slot→phase geometry;
+//! * [`slot`] — [`SlotProtocol`](crate::protocol::SlotProtocol) adapters
+//!   for the exact engine.
+
+pub mod predict;
+pub mod profile;
+pub mod schedule;
+pub mod slot;
+pub mod state;
+
+pub use predict::{epoch_activity, finishing_epoch, predicted_cost, predicted_latency};
+pub use profile::{DuelProfile, Fig1Profile};
+pub use schedule::DuelSchedule;
+pub use slot::{AliceProtocol, BobProtocol};
+pub use state::{AliceState, BobSendOutcome, BobState, PhaseKind};

@@ -1,0 +1,109 @@
+//! Closed-form cost accounting for two-party epoch protocols — the
+//! Theorem 1 proof's bookkeeping as executable math.
+//!
+//! Against the canonical blanket blocker with budget `T`, an execution
+//! runs every epoch the budget can fully block plus (with probability
+//! `≈ 1`) one final clean epoch. Each party's expected spend in epoch `i`
+//! is `2·p_i·2^i` (two phases, rate `p_i`). Summing geometric series gives
+//! the predicted cost curve; the experiments overlay it on measurements
+//! and the tests pin the simulators to it within Monte-Carlo tolerance.
+
+use crate::one_to_one::profile::DuelProfile;
+
+/// Expected per-party activity in one epoch of `profile`: both phases at
+/// rate `p_i` (`2·p_i·2^i`). For Alice this counts send-phase sends plus
+/// nack-phase listens; Bob's send-phase listening matches the same bound
+/// (he stops early on delivery, so it is an upper estimate for him).
+pub fn epoch_activity<P: DuelProfile>(profile: &P, epoch: u32) -> f64 {
+    2.0 * profile.rate(epoch) * profile.phase_len(epoch) as f64
+}
+
+/// The last epoch a blanket blocker with budget `T` can fully block, and
+/// the epoch in which the parties therefore finish (one past it). With
+/// `T = 0` the parties finish in the start epoch.
+pub fn finishing_epoch<P: DuelProfile>(profile: &P, budget: u64) -> u32 {
+    let mut epoch = profile.start_epoch();
+    let mut remaining = budget;
+    loop {
+        let epoch_slots = 2 * profile.phase_len(epoch);
+        if remaining < epoch_slots {
+            return epoch;
+        }
+        remaining -= epoch_slots;
+        epoch += 1;
+        assert!(epoch < 62, "budget implies an absurd epoch");
+    }
+}
+
+/// Predicted expected max-party cost against the blanket blocker: the sum
+/// of per-epoch activity from the start epoch through the finishing epoch.
+pub fn predicted_cost<P: DuelProfile>(profile: &P, budget: u64) -> f64 {
+    let finish = finishing_epoch(profile, budget);
+    (profile.start_epoch()..=finish)
+        .map(|i| epoch_activity(profile, i))
+        .sum()
+}
+
+/// Predicted latency in slots: every epoch through the finishing one runs
+/// to completion (`Σ 2·2^i`).
+pub fn predicted_latency<P: DuelProfile>(profile: &P, budget: u64) -> f64 {
+    let finish = finishing_epoch(profile, budget);
+    (profile.start_epoch()..=finish)
+        .map(|i| 2.0 * profile.phase_len(i) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_to_one::profile::Fig1Profile;
+
+    fn profile() -> Fig1Profile {
+        Fig1Profile::with_start_epoch(0.01, 8)
+    }
+
+    #[test]
+    fn finishing_epoch_tracks_budget() {
+        let p = profile();
+        assert_eq!(finishing_epoch(&p, 0), 8);
+        // Epoch 8 costs 512 slots to block fully.
+        assert_eq!(finishing_epoch(&p, 511), 8);
+        assert_eq!(finishing_epoch(&p, 512), 9);
+        // Blocking epochs 8 and 9 costs 512 + 1024.
+        assert_eq!(finishing_epoch(&p, 1536), 10);
+    }
+
+    #[test]
+    fn predicted_cost_scales_like_sqrt_t() {
+        let p = profile();
+        // Quadrupling the budget adds two epochs, i.e. multiplies the
+        // dominant (last-epoch) activity by 2 — the √T law.
+        let c1 = predicted_cost(&p, 1 << 14);
+        let c2 = predicted_cost(&p, 1 << 16);
+        let ratio = c2 / c1;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn predicted_latency_is_linear_in_t() {
+        let p = profile();
+        let l1 = predicted_latency(&p, 1 << 14);
+        let l2 = predicted_latency(&p, 1 << 16);
+        let ratio = l2 / l1;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn epoch_activity_formula() {
+        let p = profile();
+        let expect = 2.0 * p.rate(10) * 1024.0;
+        assert!((epoch_activity(&p, 10) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_prediction_is_one_epoch() {
+        let p = profile();
+        assert!((predicted_cost(&p, 0) - epoch_activity(&p, 8)).abs() < 1e-9);
+        assert!((predicted_latency(&p, 0) - 512.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Numerical profiles for two-party epoch protocols.
+//!
+//! Figure 1 and the King–Saia–Young baseline share the same epoch/phase
+//! skeleton and halting logic; they differ only in three numbers per epoch:
+//! where epochs start, the per-slot activity rate, and the noise threshold.
+//! [`DuelProfile`] captures exactly that surface.
+
+/// The per-epoch numbers of a two-party epoch-doubling protocol.
+pub trait DuelProfile {
+    /// Index of the first epoch.
+    fn start_epoch(&self) -> u32;
+
+    /// Per-slot send/listen probability `p_i` in epoch `i` (clamped to
+    /// `[0, 1]` by implementations).
+    fn rate(&self, epoch: u32) -> f64;
+
+    /// Noise threshold `Θᵢ`: hearing at least this many noisy slots in a
+    /// phase means "the adversary is spending; keep running".
+    fn noise_threshold(&self, epoch: u32) -> f64;
+
+    /// Number of slots in one phase of epoch `i` (`2^i` for all profiles in
+    /// this workspace; overridable for tests).
+    fn phase_len(&self, epoch: u32) -> u64 {
+        1u64 << epoch
+    }
+}
+
+/// The Figure 1 profile: `p_i = √(ln(8/ε)/2^(i−1))`,
+/// `Θᵢ = √(2^(i−1)·ln(8/ε))/4`, first epoch `⌈11 + lg ln(8/ε)⌉`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Profile {
+    epsilon: f64,
+    ln8e: f64,
+    start_epoch: u32,
+}
+
+impl Fig1Profile {
+    /// The paper's profile for failure probability `ε ∈ (0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        let ln8e = (8.0 / epsilon).ln();
+        let start_epoch = (11.0 + ln8e.log2()).ceil() as u32;
+        Self {
+            epsilon,
+            ln8e,
+            start_epoch,
+        }
+    }
+
+    /// Same formulas but a custom first epoch. The paper's `11 + lg ln(8/ε)`
+    /// exists to make each epoch's failure probability sum to `ε`; smaller
+    /// start epochs trade a slightly larger failure constant for far cheaper
+    /// executions, which is the right trade for simulation studies.
+    pub fn with_start_epoch(epsilon: f64, start_epoch: u32) -> Self {
+        let mut p = Self::new(epsilon);
+        assert!(start_epoch >= 1, "start epoch must be at least 1");
+        p.start_epoch = start_epoch;
+        p
+    }
+
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// `ln(8/ε)` — the factor all rates and thresholds carry.
+    pub fn ln8e(&self) -> f64 {
+        self.ln8e
+    }
+}
+
+impl DuelProfile for Fig1Profile {
+    fn start_epoch(&self) -> u32 {
+        self.start_epoch
+    }
+
+    fn rate(&self, epoch: u32) -> f64 {
+        let half_phase = (1u64 << epoch) as f64 / 2.0;
+        (self.ln8e / half_phase).sqrt().min(1.0)
+    }
+
+    fn noise_threshold(&self, epoch: u32) -> f64 {
+        let half_phase = (1u64 << epoch) as f64 / 2.0;
+        (half_phase * self.ln8e).sqrt() / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_epoch_matches_paper_formula() {
+        // ε = 0.1: ln 80 ≈ 4.382, lg ≈ 2.13 → start = ⌈13.13⌉ = 14.
+        let p = Fig1Profile::new(0.1);
+        assert_eq!(p.start_epoch(), 14);
+        // Smaller ε starts later.
+        assert!(Fig1Profile::new(1e-4).start_epoch() > p.start_epoch());
+    }
+
+    #[test]
+    fn rate_formula() {
+        let p = Fig1Profile::new(0.1);
+        let i = p.start_epoch();
+        let expect = (p.ln8e() / (1u64 << (i - 1)) as f64).sqrt();
+        assert!((p.rate(i) - expect).abs() < 1e-12);
+        // Rate halves per two epochs: p_{i+2} = p_i / 2.
+        assert!((p.rate(i + 2) - p.rate(i) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_is_clamped_to_one() {
+        // A tiny start epoch makes the nominal rate exceed 1.
+        let p = Fig1Profile::with_start_epoch(0.1, 1);
+        assert_eq!(p.rate(1), 1.0);
+    }
+
+    #[test]
+    fn threshold_is_quarter_of_expected_noise_under_half_jamming() {
+        // If the adversary jams 2^i/2 slots, the listener expects
+        // p_i · 2^(i−1) = √(2^(i−1)·ln(8/ε)) noisy receptions; Θᵢ is a
+        // quarter of that.
+        let p = Fig1Profile::new(0.05);
+        let i = p.start_epoch();
+        let expected_noise = p.rate(i) * (1u64 << (i - 1)) as f64;
+        assert!((p.noise_threshold(i) - expected_noise / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_cost_per_phase_grows_sqrt() {
+        // E[actions per phase] = p_i · 2^i = √(2^(i+1)·ln(8/ε)): doubles
+        // every two epochs.
+        let p = Fig1Profile::new(0.1);
+        let i = p.start_epoch();
+        let c1 = p.rate(i) * p.phase_len(i) as f64;
+        let c3 = p.rate(i + 2) * p.phase_len(i + 2) as f64;
+        assert!((c3 / c1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_len_is_power_of_two() {
+        let p = Fig1Profile::new(0.1);
+        assert_eq!(p.phase_len(14), 1 << 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_epsilon_one() {
+        Fig1Profile::new(1.0);
+    }
+}

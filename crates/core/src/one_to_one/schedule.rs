@@ -1,0 +1,152 @@
+//! Public slot→phase geometry of the two-party epoch protocols.
+//!
+//! Epoch `i` (starting from `start_epoch`) occupies `2·2^i` consecutive
+//! slots: a send phase of `2^i`, then a nack phase of `2^i`. The mapping is
+//! deterministic, hence known to the adversary.
+
+use crate::one_to_one::state::PhaseKind;
+use crate::protocol::{PeriodLoc, Schedule};
+use rcb_channel::Slot;
+
+/// Slot geometry for a protocol starting at `start_epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuelSchedule {
+    start_epoch: u32,
+}
+
+/// Detailed location of a slot in the duel schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuelLoc {
+    pub epoch: u32,
+    pub phase: PhaseKind,
+    /// Offset within the phase, in `[0, 2^epoch)`.
+    pub offset: u64,
+}
+
+impl DuelSchedule {
+    pub fn new(start_epoch: u32) -> Self {
+        assert!((1..62).contains(&start_epoch), "epoch out of range");
+        Self { start_epoch }
+    }
+
+    pub fn start_epoch(&self) -> u32 {
+        self.start_epoch
+    }
+
+    /// Slots consumed by all epochs strictly before `epoch`.
+    pub fn slots_before_epoch(&self, epoch: u32) -> u64 {
+        assert!(epoch >= self.start_epoch);
+        // Σ_{j=s}^{e−1} 2^(j+1) = 2^(e+1) − 2^(s+1).
+        (1u64 << (epoch + 1)) - (1u64 << (self.start_epoch + 1))
+    }
+
+    /// Full location of a global slot.
+    pub fn locate_duel(&self, slot: Slot) -> DuelLoc {
+        let mut epoch = self.start_epoch;
+        let mut remaining = slot;
+        loop {
+            let epoch_len = 1u64 << (epoch + 1);
+            if remaining < epoch_len {
+                let phase_len = 1u64 << epoch;
+                let (phase, offset) = if remaining < phase_len {
+                    (PhaseKind::Send, remaining)
+                } else {
+                    (PhaseKind::Nack, remaining - phase_len)
+                };
+                return DuelLoc {
+                    epoch,
+                    phase,
+                    offset,
+                };
+            }
+            remaining -= epoch_len;
+            epoch += 1;
+            assert!(epoch < 62, "slot index implies an absurd epoch");
+        }
+    }
+}
+
+impl Schedule for DuelSchedule {
+    fn locate(&self, slot: Slot) -> PeriodLoc {
+        let loc = self.locate_duel(slot);
+        let phase_index = match loc.phase {
+            PhaseKind::Send => 0,
+            PhaseKind::Nack => 1,
+        };
+        PeriodLoc {
+            period: 2 * (loc.epoch - self.start_epoch) as u64 + phase_index,
+            offset: loc.offset,
+            len: 1u64 << loc.epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_epoch_layout() {
+        let s = DuelSchedule::new(4); // phases of 16 slots
+        let l0 = s.locate_duel(0);
+        assert_eq!((l0.epoch, l0.phase, l0.offset), (4, PhaseKind::Send, 0));
+        let l15 = s.locate_duel(15);
+        assert_eq!((l15.epoch, l15.phase, l15.offset), (4, PhaseKind::Send, 15));
+        let l16 = s.locate_duel(16);
+        assert_eq!((l16.epoch, l16.phase, l16.offset), (4, PhaseKind::Nack, 0));
+        let l31 = s.locate_duel(31);
+        assert_eq!((l31.epoch, l31.phase, l31.offset), (4, PhaseKind::Nack, 15));
+    }
+
+    #[test]
+    fn epoch_boundaries_double() {
+        let s = DuelSchedule::new(4);
+        // Epoch 4 occupies 32 slots; epoch 5 the next 64.
+        let l32 = s.locate_duel(32);
+        assert_eq!((l32.epoch, l32.phase, l32.offset), (5, PhaseKind::Send, 0));
+        let l95 = s.locate_duel(95);
+        assert_eq!((l95.epoch, l95.phase, l95.offset), (5, PhaseKind::Nack, 31));
+        let l96 = s.locate_duel(96);
+        assert_eq!(l96.epoch, 6);
+    }
+
+    #[test]
+    fn slots_before_epoch_formula() {
+        let s = DuelSchedule::new(4);
+        assert_eq!(s.slots_before_epoch(4), 0);
+        assert_eq!(s.slots_before_epoch(5), 32);
+        assert_eq!(s.slots_before_epoch(6), 32 + 64);
+        assert_eq!(s.slots_before_epoch(7), 32 + 64 + 128);
+    }
+
+    #[test]
+    fn period_index_interleaves_phases() {
+        let s = DuelSchedule::new(4);
+        assert_eq!(s.locate(0).period, 0); // epoch 4 send
+        assert_eq!(s.locate(16).period, 1); // epoch 4 nack
+        assert_eq!(s.locate(32).period, 2); // epoch 5 send
+        assert_eq!(s.locate(64).period, 3); // epoch 5 nack
+        assert_eq!(s.locate(32).len, 32);
+    }
+
+    #[test]
+    fn schedule_is_consistent_with_cumulative_lengths() {
+        let s = DuelSchedule::new(5);
+        let mut slot = 0u64;
+        for epoch in 5..10u32 {
+            for phase in [PhaseKind::Send, PhaseKind::Nack] {
+                for offset in [0u64, (1 << epoch) - 1] {
+                    let l = s.locate_duel(slot + offset);
+                    assert_eq!((l.epoch, l.phase, l.offset), (epoch, phase, offset));
+                }
+                slot += 1 << epoch;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_absurd_start() {
+        DuelSchedule::new(62);
+    }
+}

@@ -1,0 +1,228 @@
+//! Phase-granularity state machines for Figure 1.
+//!
+//! These are pure transition functions — no randomness, no channel — fed
+//! with per-phase aggregates (did `m`/a nack arrive? how many noisy slots
+//! were heard?). Both the exact slot-level adapters and the fast duel
+//! engine drive executions through these same machines, so the two engines
+//! cannot drift apart on halting logic.
+
+use serde::{Deserialize, Serialize};
+
+/// Which half of an epoch a slot belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Alice transmits `m`; Bob listens.
+    Send,
+    /// Bob transmits nacks (if still uninformed); Alice listens.
+    Nack,
+}
+
+/// Alice's phase-level state.
+///
+/// Reconstructed halting rule (Theorem 1 proof): at the end of a nack phase
+/// Alice halts iff she received **no nack** and heard **fewer than Θᵢ**
+/// noisy slots — silence means Bob is gone (he either received `m` and
+/// halted, or halted prematurely); noise means the adversary is paying to
+/// keep her guessing, so she continues.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AliceState {
+    epoch: u32,
+    done: bool,
+}
+
+impl AliceState {
+    pub fn new(start_epoch: u32) -> Self {
+        Self {
+            epoch: start_epoch,
+            done: false,
+        }
+    }
+
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Epoch epilogue. `heard_nack`: whether any nack arrived during the
+    /// nack phase; `noise_heard`: noisy slots Alice heard while listening
+    /// in the nack phase; `threshold`: `Θᵢ` for the current epoch.
+    ///
+    /// Returns `true` if Alice halts.
+    pub fn end_epoch(&mut self, heard_nack: bool, noise_heard: u64, threshold: f64) -> bool {
+        assert!(!self.done, "end_epoch called on a halted Alice");
+        if !heard_nack && (noise_heard as f64) < threshold {
+            self.done = true;
+        } else {
+            self.epoch += 1;
+        }
+        self.done
+    }
+}
+
+/// What Bob decides at the end of a send phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BobSendOutcome {
+    /// `m` arrived: halt, success.
+    Success,
+    /// No `m` and little noise: conclude Alice has halted; give up.
+    HaltPremature,
+    /// No `m` but heavy jamming: stay in the game, send nacks.
+    ContinueToNack,
+}
+
+/// Bob's phase-level state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BobState {
+    epoch: u32,
+    got_message: bool,
+    done: bool,
+}
+
+impl BobState {
+    pub fn new(start_epoch: u32) -> Self {
+        Self {
+            epoch: start_epoch,
+            got_message: false,
+            done: false,
+        }
+    }
+
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub fn got_message(&self) -> bool {
+        self.got_message
+    }
+
+    /// Send-phase epilogue. `got_m`: whether `m` arrived this phase;
+    /// `noise_heard`: noisy slots heard; `threshold`: `Θᵢ`.
+    pub fn end_send_phase(
+        &mut self,
+        got_m: bool,
+        noise_heard: u64,
+        threshold: f64,
+    ) -> BobSendOutcome {
+        assert!(!self.done, "end_send_phase called on a halted Bob");
+        if got_m {
+            self.got_message = true;
+            self.done = true;
+            BobSendOutcome::Success
+        } else if (noise_heard as f64) < threshold {
+            self.done = true;
+            BobSendOutcome::HaltPremature
+        } else {
+            BobSendOutcome::ContinueToNack
+        }
+    }
+
+    /// Nack-phase epilogue: Bob (still uninformed, still running) advances
+    /// to the next epoch.
+    pub fn end_nack_phase(&mut self) {
+        assert!(!self.done, "end_nack_phase called on a halted Bob");
+        self.epoch += 1;
+    }
+
+    /// Immediate halt upon receiving `m` mid-phase (saves the remaining
+    /// listening cost; the analysis only needs Bob to halt by phase end).
+    pub fn receive_message(&mut self) {
+        self.got_message = true;
+        self.done = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THR: f64 = 10.0;
+
+    #[test]
+    fn alice_halts_on_silence() {
+        let mut a = AliceState::new(14);
+        assert!(a.end_epoch(false, 0, THR));
+        assert!(a.is_done());
+        assert_eq!(a.epoch(), 14, "epoch does not advance past halting");
+    }
+
+    #[test]
+    fn alice_continues_on_nack() {
+        let mut a = AliceState::new(14);
+        assert!(!a.end_epoch(true, 0, THR));
+        assert_eq!(a.epoch(), 15);
+    }
+
+    #[test]
+    fn alice_continues_on_heavy_noise() {
+        let mut a = AliceState::new(14);
+        assert!(!a.end_epoch(false, 10, THR), "noise == Θ is 'heavy'");
+        assert_eq!(a.epoch(), 15);
+    }
+
+    #[test]
+    fn alice_halts_just_below_threshold() {
+        let mut a = AliceState::new(14);
+        assert!(a.end_epoch(false, 9, THR));
+    }
+
+    #[test]
+    #[should_panic]
+    fn alice_end_epoch_after_halt_panics() {
+        let mut a = AliceState::new(14);
+        a.end_epoch(false, 0, THR);
+        a.end_epoch(false, 0, THR);
+    }
+
+    #[test]
+    fn bob_success_dominates() {
+        let mut b = BobState::new(14);
+        // Even with heavy noise, receiving m is a success.
+        assert_eq!(b.end_send_phase(true, 1000, THR), BobSendOutcome::Success);
+        assert!(b.is_done() && b.got_message());
+    }
+
+    #[test]
+    fn bob_gives_up_on_silence() {
+        let mut b = BobState::new(14);
+        assert_eq!(
+            b.end_send_phase(false, 3, THR),
+            BobSendOutcome::HaltPremature
+        );
+        assert!(b.is_done());
+        assert!(!b.got_message());
+    }
+
+    #[test]
+    fn bob_fights_through_jamming() {
+        let mut b = BobState::new(14);
+        assert_eq!(
+            b.end_send_phase(false, 50, THR),
+            BobSendOutcome::ContinueToNack
+        );
+        assert!(!b.is_done());
+        b.end_nack_phase();
+        assert_eq!(b.epoch(), 15);
+    }
+
+    #[test]
+    fn bob_mid_phase_receive_halts() {
+        let mut b = BobState::new(14);
+        b.receive_message();
+        assert!(b.is_done() && b.got_message());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bob_send_phase_after_halt_panics() {
+        let mut b = BobState::new(14);
+        b.receive_message();
+        b.end_send_phase(false, 0, THR);
+    }
+}

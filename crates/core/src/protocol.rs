@@ -1,0 +1,73 @@
+//! Protocol-facing traits shared by algorithms, baselines, and engines.
+
+use rcb_channel::slot::{Action, Reception};
+use rcb_channel::Slot;
+use rcb_mathkit::rng::RcbRng;
+
+/// A node's slot-granularity behaviour, driven by the exact engine.
+///
+/// Contract per slot, in order:
+/// 1. the engine calls [`act`](SlotProtocol::act) to get the node's action
+///    (a finished node must return [`Action::Sleep`]);
+/// 2. the channel resolves;
+/// 3. the engine calls [`end_slot`](SlotProtocol::end_slot) on **every**
+///    node — with `Some(reception)` if the node listened, `None` otherwise —
+///    so the node can advance its internal clock.
+pub trait SlotProtocol {
+    /// The node's action for the next slot.
+    fn act(&mut self, rng: &mut RcbRng) -> Action;
+
+    /// Slot epilogue: `heard` is what the node received if it listened.
+    fn end_slot(&mut self, heard: Option<&Reception>);
+
+    /// Whether the node has halted (for any reason).
+    fn is_done(&self) -> bool;
+
+    /// Whether this node has (ever) received the broadcast message `m`.
+    /// For the designated sender this is `true` from the start.
+    fn received_message(&self) -> bool;
+}
+
+/// Location of a slot within a protocol's public, deterministic schedule.
+/// Adversaries receive this (periods are phases or repetitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodLoc {
+    /// Index of the period containing the slot.
+    pub period: u64,
+    /// Offset of the slot within its period.
+    pub offset: u64,
+    /// Length of the period in slots.
+    pub len: u64,
+}
+
+/// A protocol's public schedule: the mapping from global slot index to
+/// period structure. Deterministic and known to the adversary (§1.2: "the
+/// adversary is assumed to know our protocols except for any random bits").
+pub trait Schedule {
+    fn locate(&self, slot: Slot) -> PeriodLoc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl Schedule for Fixed {
+        fn locate(&self, slot: Slot) -> PeriodLoc {
+            PeriodLoc {
+                period: slot / 8,
+                offset: slot % 8,
+                len: 8,
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_trait_is_object_safe() {
+        let s: &dyn Schedule = &Fixed;
+        let loc = s.locate(19);
+        assert_eq!(loc.period, 2);
+        assert_eq!(loc.offset, 3);
+        assert_eq!(loc.len, 8);
+    }
+}

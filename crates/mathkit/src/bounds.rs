@@ -1,0 +1,167 @@
+//! Chernoff-bound calculators (Theorem 6 / Corollary 1 of the paper, citing
+//! Motwani–Raghavan).
+//!
+//! These are used two ways:
+//!
+//! * by tests, to choose statistically sound tolerances ("with 50k samples a
+//!   deviation beyond `concentration_radius(μ, 1e-9)` indicates a bug, not
+//!   bad luck");
+//! * by the analysis crate, to annotate experiment tables with the failure
+//!   probabilities the paper's proofs would predict for the measured
+//!   parameters.
+
+/// Upper-tail Chernoff bound (Corollary 1, first inequality):
+/// `Pr[X > (1+δ)·μ] ≤ exp(−δ²μ/3)` for `0 < δ < 1`.
+///
+/// For `δ ≥ 1` falls back to the generic Theorem-6 form
+/// `(e^δ / (1+δ)^(1+δ))^μ`, which remains valid for all `δ > 0`.
+pub fn chernoff_upper_tail(mu: f64, delta: f64) -> f64 {
+    assert!(
+        mu >= 0.0 && delta >= 0.0,
+        "mu and delta must be nonnegative"
+    );
+    if mu == 0.0 || delta == 0.0 {
+        return 1.0;
+    }
+    if delta < 1.0 {
+        (-delta * delta * mu / 3.0).exp()
+    } else {
+        // exp(μ·(δ − (1+δ)·ln(1+δ))), computed in log space for stability.
+        let ln_bound = mu * (delta - (1.0 + delta) * (1.0 + delta).ln());
+        ln_bound.exp()
+    }
+}
+
+/// Lower-tail Chernoff bound (Corollary 1, second inequality):
+/// `Pr[X < (1−δ)·μ] ≤ exp(−δ²μ/2)` for `0 < δ < 1`.
+pub fn chernoff_lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0, "mu must be nonnegative");
+    assert!(
+        (0.0..=1.0).contains(&delta),
+        "lower tail needs 0 <= delta <= 1"
+    );
+    if mu == 0.0 || delta == 0.0 {
+        return 1.0;
+    }
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// Two-sided concentration radius (Corollary 1, last bound):
+/// `Pr[|X − μ| > √(3·μ·ln(1/ε))] < 2ε`.
+///
+/// Returns the radius `√(3·μ·ln(1/ε))`.
+pub fn concentration_radius(mu: f64, epsilon: f64) -> f64 {
+    assert!(mu >= 0.0, "mu must be nonnegative");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    (3.0 * mu * (1.0 / epsilon).ln()).sqrt()
+}
+
+/// Fact 1 of the paper: `1 − y ≥ e^(−2y)` for `0 ≤ y ≤ 1/2`.
+///
+/// Provided as a checked helper so tests can assert the inequality the
+/// Lemma 2 bounds (`p_m`, `p_c`) rest on.
+pub fn fact1_holds(y: f64) -> bool {
+    (0.0..=0.5).contains(&y) && (1.0 - y) >= (-2.0 * y).exp() - 1e-15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RcbRng;
+    use crate::sample::binomial;
+
+    #[test]
+    fn upper_tail_decreases_in_mu_and_delta() {
+        assert!(chernoff_upper_tail(100.0, 0.5) < chernoff_upper_tail(10.0, 0.5));
+        assert!(chernoff_upper_tail(100.0, 0.9) < chernoff_upper_tail(100.0, 0.1));
+    }
+
+    #[test]
+    fn upper_tail_large_delta_uses_theorem6_form() {
+        // δ = 2, μ = 10: exp(10·(2 − 3·ln3)) ≈ exp(−12.96).
+        let b = chernoff_upper_tail(10.0, 2.0);
+        let expect = (10.0_f64 * (2.0 - 3.0 * 3.0_f64.ln())).exp();
+        assert!((b - expect).abs() < 1e-12);
+        assert!(b < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_trivial_bound() {
+        assert_eq!(chernoff_upper_tail(0.0, 0.5), 1.0);
+        assert_eq!(chernoff_upper_tail(10.0, 0.0), 1.0);
+        assert_eq!(chernoff_lower_tail(0.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn bounds_are_valid_empirically() {
+        // Empirical tail mass of Binomial(1000, 0.1) must not exceed the
+        // Chernoff prediction by a wide margin (the bound must be an upper
+        // bound up to Monte-Carlo noise).
+        let mut rng = RcbRng::new(21);
+        let (n, p) = (1000u64, 0.1);
+        let mu = n as f64 * p;
+        let delta = 0.3;
+        let trials = 200_000;
+        let mut upper_hits = 0u64;
+        let mut lower_hits = 0u64;
+        for _ in 0..trials {
+            let x = binomial(&mut rng, n, p) as f64;
+            if x > (1.0 + delta) * mu {
+                upper_hits += 1;
+            }
+            if x < (1.0 - delta) * mu {
+                lower_hits += 1;
+            }
+        }
+        let upper_freq = upper_hits as f64 / trials as f64;
+        let lower_freq = lower_hits as f64 / trials as f64;
+        assert!(upper_freq <= chernoff_upper_tail(mu, delta) * 1.5 + 1e-4);
+        assert!(lower_freq <= chernoff_lower_tail(mu, delta) * 1.5 + 1e-4);
+    }
+
+    #[test]
+    fn concentration_radius_matches_formula() {
+        let r = concentration_radius(100.0, 0.01);
+        let expect = (3.0 * 100.0 * (1.0 / 0.01_f64).ln()).sqrt();
+        assert!((r - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_radius_captures_mass() {
+        // |X − μ| > radius(μ, ε) should happen with frequency < 2ε.
+        let mut rng = RcbRng::new(22);
+        let (n, p) = (500u64, 0.2);
+        let mu = n as f64 * p;
+        let eps = 0.01;
+        let radius = concentration_radius(mu, eps);
+        let trials = 100_000;
+        let escapes = (0..trials)
+            .filter(|_| {
+                let x = binomial(&mut rng, n, p) as f64;
+                (x - mu).abs() > radius
+            })
+            .count();
+        let freq = escapes as f64 / trials as f64;
+        assert!(
+            freq < 2.0 * eps,
+            "escape frequency {freq} vs bound {}",
+            2.0 * eps
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn concentration_radius_rejects_bad_epsilon() {
+        concentration_radius(10.0, 1.5);
+    }
+
+    #[test]
+    fn fact1_holds_on_valid_range() {
+        for i in 0..=50 {
+            let y = i as f64 / 100.0;
+            assert!(fact1_holds(y), "Fact 1 failed at y = {y}");
+        }
+        assert!(!fact1_holds(0.6));
+        assert!(!fact1_holds(-0.1));
+    }
+}

@@ -1,0 +1,225 @@
+//! Log-binned histograms for cost and latency distributions.
+//!
+//! Jamming produces heavy-tailed cost distributions (a run that survives
+//! one extra epoch costs ~√2 more), so linear bins waste resolution;
+//! log-spaced bins give constant relative resolution across decades.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with logarithmically spaced bins over `(0, ∞)`, plus a
+/// dedicated underflow bin for zeros.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Bin boundaries grow by this factor per bin.
+    growth: f64,
+    /// Smallest positive value the first bin covers.
+    base: f64,
+    counts: Vec<u64>,
+    zeros: u64,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Bins cover `[base·growth^k, base·growth^(k+1))`. `growth` must
+    /// exceed 1; `base` must be positive.
+    pub fn new(base: f64, growth: f64) -> Self {
+        assert!(base > 0.0, "base must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        Self {
+            growth,
+            base,
+            counts: Vec::new(),
+            zeros: 0,
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Default: bins from 1 upward, doubling — right for slot costs.
+    pub fn doubling() -> Self {
+        Self::new(1.0, 2.0)
+    }
+
+    fn bin_of(&self, value: f64) -> usize {
+        ((value / self.base).ln() / self.growth.ln()).max(0.0) as usize
+    }
+
+    /// Records one observation (must be ≥ 0 and finite).
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite() && value >= 0.0, "bad observation {value}");
+        self.total += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        if value < self.base {
+            self.zeros += 1;
+            return;
+        }
+        let bin = self.bin_of(value);
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper edge of the bin
+    /// containing the q-th observation. Exact to within one bin's relative
+    /// width (`growth`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q in [0,1]");
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zeros;
+        if seen >= target {
+            return 0.0;
+        }
+        for (bin, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return self.base * self.growth.powi(bin as i32 + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Renders the histogram as ASCII bars, widest bin normalized to
+    /// `width` characters. Empty leading/trailing bins are skipped.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width >= 1);
+        let mut out = String::new();
+        if self.total == 0 {
+            out.push_str("(empty)\n");
+            return out;
+        }
+        let peak = self
+            .counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.zeros);
+        let bar = |count: u64| -> String {
+            let len = if peak == 0 {
+                0
+            } else {
+                ((count as f64 / peak as f64) * width as f64).round() as usize
+            };
+            "#".repeat(len)
+        };
+        if self.zeros > 0 {
+            out.push_str(&format!(
+                "{:>12} | {} ({})\n",
+                format!("< {}", self.base),
+                bar(self.zeros),
+                self.zeros
+            ));
+        }
+        let first = self.counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        for bin in first..=last {
+            let lo = self.base * self.growth.powi(bin as i32);
+            out.push_str(&format!(
+                "{lo:>12.0} | {} ({})\n",
+                bar(self.counts[bin]),
+                self.counts[bin]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RcbRng;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = LogHistogram::doubling();
+        for v in [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 110.5 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_bin_accurate() {
+        let mut h = LogHistogram::doubling();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        // Median of 1..1000 is ~500; the containing bin [256,512) reports
+        // its upper edge 512.
+        let med = h.quantile(0.5);
+        assert!((500.0..=1024.0).contains(&med), "median bin edge {med}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 990.0, "p99 {p99}");
+        assert_eq!(h.quantile(0.0), 0.0_f64.max(h.quantile(0.0))); // no panic
+    }
+
+    #[test]
+    fn zeros_live_in_the_underflow_bin() {
+        let mut h = LogHistogram::doubling();
+        for _ in 0..10 {
+            h.record(0.0);
+        }
+        h.record(8.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let rendered = h.render(20);
+        assert!(rendered.contains("< 1"));
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let mut h = LogHistogram::doubling();
+        let mut rng = RcbRng::new(1);
+        for _ in 0..500 {
+            h.record(rng.below(1000) as f64);
+        }
+        let s = h.render(30);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn empty_histogram_renders_and_nan_means() {
+        let h = LogHistogram::doubling();
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+        assert_eq!(h.render(10), "(empty)\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_values() {
+        LogHistogram::doubling().record(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_growth() {
+        LogHistogram::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Nonparametric hypothesis testing for engine cross-validation.
+//!
+//! The exact and fast engines must agree *in distribution*, not just in
+//! mean. The Mann–Whitney U test (two-sample rank test) detects location
+//! shifts without any normality assumption — right for the skewed cost
+//! distributions jamming produces. The normal approximation with tie
+//! correction is accurate for the sample sizes our tests use (≥ 20 per
+//! side).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MannWhitney {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Standardized statistic (continuity-corrected, tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p_two_sided: f64,
+    /// Common-language effect size: `P(X > Y) + ½P(X = Y)`.
+    pub effect_size: f64,
+}
+
+/// Standard normal CDF via the complementary error function (Abramowitz &
+/// Stegun 7.1.26 polynomial, |error| < 1.5e-7 — ample for test verdicts).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf_abs = 1.0 - poly * (-(x / std::f64::consts::SQRT_2).powi(2)).exp();
+    let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// Two-sided Mann–Whitney U test of `xs` vs `ys`.
+///
+/// ```
+/// use rcb_mathkit::hypothesis::mann_whitney_u;
+///
+/// let same = mann_whitney_u(&[1.0, 2.0, 3.0, 4.0], &[1.5, 2.5, 3.5]);
+/// assert!(same.p_two_sided > 0.3);
+/// let shifted = mann_whitney_u(&[1.0; 30], &[9.0; 30]);
+/// assert!(shifted.p_two_sided < 1e-6);
+/// ```
+///
+/// # Panics
+/// If either sample is empty or any value is NaN.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> MannWhitney {
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "samples must be non-empty"
+    );
+    let n1 = xs.len() as f64;
+    let n2 = ys.len() as f64;
+
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = xs
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(ys.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in sample"));
+
+    let total = pooled.len();
+    let mut rank_sum_x = 0.0;
+    let mut tie_term = 0.0;
+    let mut i = 0usize;
+    while i < total {
+        let mut j = i;
+        while j < total && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        // Midrank for positions i..j (1-based ranks).
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        let tie_size = (j - i) as f64;
+        if tie_size > 1.0 {
+            tie_term += tie_size.powi(3) - tie_size;
+        }
+        for entry in &pooled[i..j] {
+            if entry.1 == 0 {
+                rank_sum_x += midrank;
+            }
+        }
+        i = j;
+    }
+
+    let u1 = rank_sum_x - n1 * (n1 + 1.0) / 2.0;
+    let mean_u = n1 * n2 / 2.0;
+    let n = n1 + n2;
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    let z = if var_u <= 0.0 {
+        0.0 // all values identical: no evidence of a shift
+    } else {
+        // Continuity correction toward the mean.
+        let diff = u1 - mean_u;
+        let corrected = diff - 0.5 * diff.signum();
+        corrected / var_u.sqrt()
+    };
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    MannWhitney {
+        u: u1,
+        z,
+        p_two_sided: p.clamp(0.0, 1.0),
+        effect_size: u1 / (n1 * n2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RcbRng;
+
+    #[test]
+    fn normal_cdf_anchors() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(6.0) > 0.999_999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn identical_distributions_are_not_rejected() {
+        let mut rng = RcbRng::new(1);
+        let xs: Vec<f64> = (0..200).map(|_| rng.f64()).collect();
+        let ys: Vec<f64> = (0..200).map(|_| rng.f64()).collect();
+        let r = mann_whitney_u(&xs, &ys);
+        assert!(r.p_two_sided > 0.01, "p = {}", r.p_two_sided);
+        assert!((r.effect_size - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn shifted_distribution_is_detected() {
+        let mut rng = RcbRng::new(2);
+        let xs: Vec<f64> = (0..200).map(|_| rng.f64()).collect();
+        let ys: Vec<f64> = (0..200).map(|_| rng.f64() + 0.3).collect();
+        let r = mann_whitney_u(&xs, &ys);
+        assert!(r.p_two_sided < 1e-6, "p = {}", r.p_two_sided);
+        assert!(r.effect_size < 0.35, "X mostly below Y");
+    }
+
+    #[test]
+    fn handles_heavy_ties() {
+        // Integer-valued (cost-like) data with many ties.
+        let xs: Vec<f64> = (0..100).map(|i| (i % 5) as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i % 5) as f64).collect();
+        let r = mann_whitney_u(&xs, &ys);
+        assert!(
+            r.p_two_sided > 0.5,
+            "identical tied samples: p = {}",
+            r.p_two_sided
+        );
+    }
+
+    #[test]
+    fn all_constant_samples_are_equal() {
+        let r = mann_whitney_u(&[3.0; 10], &[3.0; 10]);
+        assert_eq!(r.z, 0.0);
+        assert!(r.p_two_sided > 0.99);
+    }
+
+    #[test]
+    fn asymmetric_sizes_work() {
+        let mut rng = RcbRng::new(3);
+        let xs: Vec<f64> = (0..30).map(|_| rng.f64()).collect();
+        let ys: Vec<f64> = (0..300).map(|_| rng.f64()).collect();
+        let r = mann_whitney_u(&xs, &ys);
+        assert!(r.p_two_sided > 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        mann_whitney_u(&[], &[1.0]);
+    }
+
+    #[test]
+    fn direction_of_effect_size() {
+        // xs entirely below ys: effect size ≈ 0; reversed: ≈ 1.
+        let low: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let high: Vec<f64> = (0..50).map(|i| 1000.0 + i as f64).collect();
+        assert!(mann_whitney_u(&low, &high).effect_size < 0.01);
+        assert!(mann_whitney_u(&high, &low).effect_size > 0.99);
+    }
+}

@@ -1,0 +1,323 @@
+//! Exact samplers for the distributions the simulation engines draw from.
+//!
+//! The central object is the *Bernoulli process over a block of `n` slots*:
+//! a node that sends with probability `p` in each of `n` slots produces a
+//! random subset of slots. The fast 1-to-n engine needs that subset sampled
+//! in time proportional to its (typically tiny) size, not to `n`. We use
+//! geometric skips: the gap to the next success is `Geometric(p)`, sampled by
+//! inversion, so the whole subset costs `O(np + 1)` expected work and is
+//! *exactly* distributed as per-slot coin flips.
+
+use crate::rng::RcbRng;
+
+/// A single biased coin flip.
+#[inline]
+pub fn bernoulli(rng: &mut RcbRng, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.f64() < p
+    }
+}
+
+/// Number of failures before the first success of a `p`-coin
+/// (support `0, 1, 2, …`), sampled by inversion.
+///
+/// Returns `u64::MAX` when `p` is so small the skip overflows — callers use
+/// the value as "skip past the end of the block", so saturation is correct.
+#[inline]
+pub fn geometric_failures(rng: &mut RcbRng, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0, "geometric needs 0 < p <= 1, got {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    // U in (0,1]: use 1 - f64() so ln() is finite.
+    let u = 1.0 - rng.f64();
+    let skip = (u.ln() / (-p).ln_1p()).floor();
+    if skip >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        skip as u64
+    }
+}
+
+/// Exact `Binomial(n, p)` sample in `O(np + 1)` expected time via geometric
+/// skips. This is exact (not an approximation): it counts the successes of
+/// `n` independent `p`-coins.
+pub fn binomial(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mut successes = 0u64;
+    let mut pos = 0u64;
+    loop {
+        let skip = geometric_failures(rng, p);
+        pos = match pos.checked_add(skip) {
+            Some(v) => v,
+            None => return successes,
+        };
+        if pos >= n {
+            return successes;
+        }
+        successes += 1;
+        pos += 1;
+    }
+}
+
+/// The success *positions* of `n` independent `p`-coins, sorted ascending.
+///
+/// Equivalent in distribution to flipping a coin per slot, but costs
+/// `O(np + 1)` expected time. This is the workhorse of the fast engine:
+/// "the slots in which node `u` sends during this repetition".
+pub fn sample_slots(rng: &mut RcbRng, n: u64, p: f64) -> Vec<u64> {
+    if n == 0 || p <= 0.0 {
+        return Vec::new();
+    }
+    if p >= 1.0 {
+        return (0..n).collect();
+    }
+    let mut out = Vec::with_capacity(((n as f64 * p) * 1.5) as usize + 4);
+    let mut pos = 0u64;
+    loop {
+        let skip = geometric_failures(rng, p);
+        pos = match pos.checked_add(skip) {
+            Some(v) => v,
+            None => return out,
+        };
+        if pos >= n {
+            return out;
+        }
+        out.push(pos);
+        pos += 1;
+    }
+}
+
+/// `k` distinct values drawn uniformly from `0..n` (Floyd's algorithm),
+/// returned in arbitrary order. Panics if `k > n`.
+pub fn sample_distinct(rng: &mut RcbRng, n: u64, k: u64) -> Vec<u64> {
+    assert!(k <= n, "cannot draw {k} distinct values from 0..{n}");
+    let mut chosen: Vec<u64> = Vec::with_capacity(k as usize);
+    // Floyd: for j in n-k..n, pick t in [0, j]; if t already chosen, take j.
+    for j in (n - k)..n {
+        let t = rng.below(j + 1);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// A reusable sampler handle bundling an RNG; convenience for code that does
+/// many draws and wants method syntax.
+#[derive(Debug)]
+pub struct Sampler {
+    rng: RcbRng,
+}
+
+impl Sampler {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: RcbRng::new(seed),
+        }
+    }
+
+    pub fn from_rng(rng: RcbRng) -> Self {
+        Self { rng }
+    }
+
+    pub fn rng_mut(&mut self) -> &mut RcbRng {
+        &mut self.rng
+    }
+
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        bernoulli(&mut self.rng, p)
+    }
+
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        binomial(&mut self.rng, n, p)
+    }
+
+    pub fn slots(&mut self, n: u64, p: f64) -> Vec<u64> {
+        sample_slots(&mut self.rng, n, p)
+    }
+
+    pub fn distinct(&mut self, n: u64, k: u64) -> Vec<u64> {
+        sample_distinct(&mut self.rng, n, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = RcbRng::new(1);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+        assert!(!bernoulli(&mut rng, -0.5));
+        assert!(bernoulli(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = RcbRng::new(2);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        // E[failures before success] = (1-p)/p.
+        let mut rng = RcbRng::new(3);
+        let p = 0.2;
+        let mut stats = RunningStats::new();
+        for _ in 0..100_000 {
+            stats.push(geometric_failures(&mut rng, p) as f64);
+        }
+        let expected = (1.0 - p) / p;
+        assert!(
+            (stats.mean() - expected).abs() < 0.1,
+            "mean {} vs {}",
+            stats.mean(),
+            expected
+        );
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = RcbRng::new(4);
+        for _ in 0..100 {
+            assert_eq!(geometric_failures(&mut rng, 1.0), 0);
+        }
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = RcbRng::new(5);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn binomial_moments_match_theory() {
+        let mut rng = RcbRng::new(6);
+        let (n, p) = (400u64, 0.1);
+        let mut stats = RunningStats::new();
+        for _ in 0..50_000 {
+            stats.push(binomial(&mut rng, n, p) as f64);
+        }
+        let mean = n as f64 * p;
+        let var = n as f64 * p * (1.0 - p);
+        assert!((stats.mean() - mean).abs() < 0.15, "mean {}", stats.mean());
+        assert!(
+            (stats.variance() - var).abs() < var * 0.05,
+            "var {} vs {var}",
+            stats.variance()
+        );
+    }
+
+    #[test]
+    fn binomial_tiny_p_is_usually_zero() {
+        let mut rng = RcbRng::new(7);
+        let mut total = 0;
+        for _ in 0..1000 {
+            total += binomial(&mut rng, 1000, 1e-9);
+        }
+        assert!(total <= 2, "np = 1e-6 per draw; got {total} in 1000 draws");
+    }
+
+    #[test]
+    fn sample_slots_sorted_distinct_in_range() {
+        let mut rng = RcbRng::new(8);
+        for _ in 0..100 {
+            let slots = sample_slots(&mut rng, 1000, 0.05);
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "sorted+distinct");
+            assert!(slots.iter().all(|&s| s < 1000));
+        }
+    }
+
+    #[test]
+    fn sample_slots_count_is_binomial() {
+        let mut rng = RcbRng::new(9);
+        let (n, p) = (2000u64, 0.01);
+        let mut stats = RunningStats::new();
+        for _ in 0..20_000 {
+            stats.push(sample_slots(&mut rng, n, p).len() as f64);
+        }
+        assert!((stats.mean() - 20.0).abs() < 0.3, "mean {}", stats.mean());
+    }
+
+    #[test]
+    fn sample_slots_p_one_gives_all() {
+        let mut rng = RcbRng::new(10);
+        assert_eq!(sample_slots(&mut rng, 5, 1.0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_slots_positions_are_uniform() {
+        // Each slot should be hit with probability p: check the first and
+        // last deciles get roughly equal mass.
+        let mut rng = RcbRng::new(11);
+        let n = 100u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..50_000 {
+            for s in sample_slots(&mut rng, n, 0.1) {
+                counts[s as usize] += 1;
+            }
+        }
+        let first: u64 = counts[..10].iter().sum();
+        let last: u64 = counts[90..].iter().sum();
+        let ratio = first as f64 / last as f64;
+        assert!((0.93..1.07).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = RcbRng::new(12);
+        for _ in 0..200 {
+            let k = rng.below(50);
+            let mut v = sample_distinct(&mut rng, 50, k);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), k as usize, "distinctness");
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = RcbRng::new(13);
+        let mut v = sample_distinct(&mut rng, 10, 10);
+        v.sort_unstable();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_distinct_k_too_large_panics() {
+        let mut rng = RcbRng::new(14);
+        sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn sampler_wrapper_smoke() {
+        let mut s = Sampler::new(15);
+        assert!(s.binomial(10, 1.0) == 10);
+        assert!(s.slots(10, 0.0).is_empty());
+        assert_eq!(s.distinct(5, 5).len(), 5);
+        let _ = s.bernoulli(0.5);
+        let _ = s.rng_mut().f64();
+    }
+}

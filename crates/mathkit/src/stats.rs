@@ -1,0 +1,283 @@
+//! Streaming and batch statistics for Monte-Carlo trial aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator with min/max tracking.
+///
+/// Supports `merge` so per-thread accumulators can be combined by the
+/// parallel trial runner without storing raw samples.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Combines two accumulators (Chan et al. parallel update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n − 1 denominator). NaN with < 2 observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// 95% normal-approximation confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.sem();
+        (self.mean() - half, self.mean() + half)
+    }
+}
+
+/// Batch summary of a sample: moments plus selected percentiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: u64,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+/// Linear-interpolation percentile of a **sorted** slice, `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Summarizes a sample (sorts a copy internally).
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "summarize of empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let mut stats = RunningStats::new();
+    for &x in samples {
+        stats.push(x);
+    }
+    Summary {
+        count: stats.count(),
+        mean: stats.mean(),
+        std_dev: if stats.count() < 2 {
+            0.0
+        } else {
+            stats.std_dev()
+        },
+        min: sorted[0],
+        p25: percentile(&sorted, 0.25),
+        median: percentile(&sorted, 0.50),
+        p75: percentile(&sorted, 0.75),
+        p95: percentile(&sorted, 0.95),
+        p99: percentile(&sorted, 0.99),
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic_moments() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = RunningStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..317] {
+            a.push(x);
+        }
+        for &x in &data[317..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        let mut rng = crate::rng::RcbRng::new(1);
+        for i in 0..10_000 {
+            let x = rng.f64();
+            if i < 100 {
+                small.push(x);
+            }
+            large.push(x);
+        }
+        let w_small = small.ci95().1 - small.ci95().0;
+        let w_large = large.ci95().1 - large.ci95().0;
+        assert!(w_large < w_small / 5.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert!((percentile(&sorted, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 0.37), 42.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_fields_are_ordered() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let s = summarize(&data);
+        assert_eq!(s.count, 101);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.0).abs() < 1e-9);
+        assert!(s.p25 <= s.median && s.median <= s.p75);
+        assert!(s.p75 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!((s.mean - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,371 @@
+//! Fast 1-to-1 engine: samples whole phases at once.
+//!
+//! Exploits the structure of the two-party protocols: within a phase of
+//! epoch `i`, Alice's send slots and Bob's listen slots are independent
+//! Bernoulli processes at rate `p_i`, so the engine samples the two slot
+//! sets directly (geometric skips; exact) and resolves them against the
+//! adversary's per-phase [`JamPlan`](rcb_adversary::traits::JamPlan). Cost
+//! per epoch is proportional to the
+//! parties' *activity*, not to `2^i` — executions with `T` in the millions
+//! take microseconds.
+//!
+//! Drives the *same* phase-level state machines
+//! ([`AliceState`]/[`BobState`]) as the slot adapters, so halting semantics
+//! cannot diverge from the exact engine; an integration test cross-checks
+//! the two distributionally.
+//!
+//! Jamming semantics (2-uniform adversary): a plan's jammed slots target
+//! the **listening party's** group in each phase — Bob in send phases,
+//! Alice in nack phases — which is the only jamming that accomplishes
+//! anything (jamming a sender is wasted energy) and costs 1 per slot.
+
+use rcb_adversary::traits::{RepetitionAdversary, RepetitionContext, RepetitionSummary};
+use rcb_core::one_to_one::profile::DuelProfile;
+use rcb_core::one_to_one::state::{AliceState, BobSendOutcome, BobState};
+use rcb_mathkit::rng::RcbRng;
+use rcb_mathkit::sample::sample_slots;
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::DuelOutcome;
+
+/// Limits for the fast duel engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DuelConfig {
+    /// Hard cap on elapsed slots; runs reaching it are marked truncated.
+    pub max_slots: u64,
+}
+
+impl Default for DuelConfig {
+    fn default() -> Self {
+        Self { max_slots: 1 << 40 }
+    }
+}
+
+/// Sorted-merge membership scan: for each element of `listens` (sorted),
+/// reports whether it occurs in `sends` (sorted) via the callback; returns
+/// at the first callback that says "stop".
+fn scan_listens(listens: &[u64], sends: &[u64], mut on_listen: impl FnMut(u64, bool) -> bool) {
+    let mut j = 0usize;
+    for &t in listens {
+        while j < sends.len() && sends[j] < t {
+            j += 1;
+        }
+        let hit = j < sends.len() && sends[j] == t;
+        if on_listen(t, hit) {
+            return;
+        }
+    }
+}
+
+/// Runs one execution of a two-party epoch protocol described by `profile`
+/// against a repetition-granularity adversary.
+///
+/// ```
+/// use rcb_sim::duel::{run_duel, DuelConfig};
+/// use rcb_adversary::rep_strategies::BudgetedRepBlocker;
+/// use rcb_core::one_to_one::profile::Fig1Profile;
+/// use rcb_mathkit::rng::RcbRng;
+///
+/// let profile = Fig1Profile::with_start_epoch(0.05, 8);
+/// let mut jammer = BudgetedRepBlocker::new(50_000, 1.0);
+/// let mut rng = RcbRng::new(1);
+/// let out = run_duel(&profile, &mut jammer, &mut rng, DuelConfig::default());
+/// assert!(out.delivered);
+/// assert!(out.max_cost() < out.adversary_cost / 4); // √T ≪ T
+/// ```
+pub fn run_duel<P: DuelProfile>(
+    profile: &P,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: DuelConfig,
+) -> DuelOutcome {
+    let mut alice = AliceState::new(profile.start_epoch());
+    let mut bob = BobState::new(profile.start_epoch());
+
+    let mut alice_cost = 0u64;
+    let mut bob_cost = 0u64;
+    let mut adversary_cost = 0u64;
+    let mut slots = 0u64;
+    let mut delivery_slot = None;
+    let mut period = 0u64;
+    let mut epoch = profile.start_epoch();
+    let mut truncated = false;
+
+    while !(alice.is_done() && bob.is_done()) {
+        if slots >= config.max_slots {
+            truncated = true;
+            break;
+        }
+        let len = profile.phase_len(epoch);
+        let rate = profile.rate(epoch);
+        let thr = profile.noise_threshold(epoch);
+        let active = (!alice.is_done() as usize) + (!bob.is_done() as usize);
+
+        // ---- Send phase: Alice transmits, Bob listens. ----
+        let ctx = RepetitionContext {
+            epoch,
+            repetition: period,
+            slots: len,
+            active_nodes: active,
+        };
+        let plan = adversary.plan(&ctx);
+        adversary_cost += plan.jam_count(len);
+
+        let alice_sends = if alice.is_done() {
+            Vec::new()
+        } else {
+            sample_slots(rng, len, rate)
+        };
+        alice_cost += alice_sends.len() as u64;
+
+        let mut bob_noise = 0u64;
+        let mut bob_outcome = None;
+        if !bob.is_done() {
+            let bob_listens = sample_slots(rng, len, rate);
+            let mut got_m_at = None;
+            let mut listened = 0u64;
+            scan_listens(&bob_listens, &alice_sends, |t, alice_sent| {
+                listened += 1;
+                if plan.is_jammed(t, len) {
+                    bob_noise += 1;
+                    false
+                } else if alice_sent {
+                    got_m_at = Some(t);
+                    true // Bob halts immediately on m; stop listening.
+                } else {
+                    false
+                }
+            });
+            bob_cost += listened;
+            if let Some(t) = got_m_at {
+                bob.receive_message();
+                delivery_slot = Some(slots + t);
+            } else {
+                bob_outcome = Some(bob.end_send_phase(false, bob_noise, thr));
+            }
+        }
+        adversary.observe(
+            &ctx,
+            &RepetitionSummary {
+                message_slots: alice_sends.len() as u64,
+                busy_slots: alice_sends.len() as u64,
+                jammed_slots: plan.jam_count(len),
+                listen_actions: bob_cost,
+                send_actions: alice_sends.len() as u64,
+            },
+        );
+        slots += len;
+        period += 1;
+
+        // ---- Nack phase: Bob (if still fighting) transmits, Alice listens.
+        let ctx2 = RepetitionContext {
+            epoch,
+            repetition: period,
+            slots: len,
+            active_nodes: (!alice.is_done() as usize) + (!bob.is_done() as usize),
+        };
+        let plan2 = adversary.plan(&ctx2);
+        adversary_cost += plan2.jam_count(len);
+
+        let bob_nacking = matches!(bob_outcome, Some(BobSendOutcome::ContinueToNack));
+        let bob_nacks = if bob_nacking {
+            sample_slots(rng, len, rate)
+        } else {
+            Vec::new()
+        };
+        bob_cost += bob_nacks.len() as u64;
+
+        if !alice.is_done() {
+            let alice_listens = sample_slots(rng, len, rate);
+            alice_cost += alice_listens.len() as u64;
+            let mut heard_nack = false;
+            let mut alice_noise = 0u64;
+            scan_listens(&alice_listens, &bob_nacks, |t, bob_sent| {
+                if plan2.is_jammed(t, len) {
+                    alice_noise += 1;
+                } else if bob_sent {
+                    heard_nack = true;
+                }
+                false
+            });
+            alice.end_epoch(heard_nack, alice_noise, thr);
+        }
+        if bob_nacking {
+            bob.end_nack_phase();
+        }
+        adversary.observe(
+            &ctx2,
+            &RepetitionSummary {
+                message_slots: 0,
+                busy_slots: bob_nacks.len() as u64,
+                jammed_slots: plan2.jam_count(len),
+                listen_actions: alice_cost,
+                send_actions: bob_nacks.len() as u64,
+            },
+        );
+        slots += len;
+        period += 1;
+        epoch += 1;
+        assert!(
+            epoch < 62,
+            "epoch diverged; adversary budget must be finite"
+        );
+    }
+
+    DuelOutcome {
+        delivered: bob.got_message(),
+        bob_premature: bob.is_done() && !bob.got_message(),
+        alice_cost,
+        bob_cost,
+        adversary_cost,
+        slots,
+        delivery_slot,
+        last_epoch: epoch.saturating_sub(1).max(profile.start_epoch()),
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_adversary::rep_strategies::{BudgetedRepBlocker, NoJamRep};
+    use rcb_core::one_to_one::profile::Fig1Profile;
+
+    #[test]
+    fn unjammed_run_delivers_with_high_probability() {
+        let profile = Fig1Profile::new(0.1); // paper start epoch (14)
+        let mut delivered = 0;
+        let trials = 100;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = NoJamRep;
+            let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
+            assert!(!out.truncated);
+            assert_eq!(out.adversary_cost, 0);
+            if out.delivered {
+                delivered += 1;
+                assert!(out.delivery_slot.is_some());
+            } else {
+                assert!(out.bob_premature);
+            }
+        }
+        assert!(delivered >= 90, "delivered {delivered}/100 at ε = 0.1");
+    }
+
+    #[test]
+    fn unjammed_cost_is_the_efficiency_function() {
+        // With T = 0, expected cost is O(ln(1/ε)) — concretely, about one
+        // epoch's activity: p_i·2^i per phase at the start epoch.
+        let profile = Fig1Profile::new(0.1);
+        let mut rng = RcbRng::new(42);
+        let mut total = 0u64;
+        let trials = 50;
+        for _ in 0..trials {
+            let mut adv = NoJamRep;
+            let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
+            total += out.max_cost();
+        }
+        let mean = total as f64 / trials as f64;
+        let i = profile.start_epoch();
+        let one_epoch = profile.rate(i) * (2 * (1u64 << i)) as f64;
+        assert!(
+            mean < 3.0 * one_epoch,
+            "mean cost {mean} vs one-epoch bound {one_epoch}"
+        );
+    }
+
+    #[test]
+    fn full_blocking_forces_epoch_progression() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let mut rng = RcbRng::new(1);
+        // Budget enough to fully block epochs 8 and 9 (4 phases: 2·256+2·512).
+        let mut adv = BudgetedRepBlocker::new(1536, 1.0);
+        let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
+        assert!(out.adversary_cost > 0);
+        assert!(
+            out.last_epoch >= 10,
+            "blocked epochs must push progression, got {}",
+            out.last_epoch
+        );
+        assert!(out.delivered, "after the budget is gone, delivery succeeds");
+    }
+
+    #[test]
+    fn latency_is_linear_in_adversary_budget() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let mut slots_small = 0u64;
+        let mut slots_large = 0u64;
+        for seed in 0..20 {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = BudgetedRepBlocker::new(2_000, 1.0);
+            slots_small += run_duel(&profile, &mut adv, &mut rng, DuelConfig::default()).slots;
+            let mut rng = RcbRng::new(seed + 1000);
+            let mut adv = BudgetedRepBlocker::new(64_000, 1.0);
+            slots_large += run_duel(&profile, &mut adv, &mut rng, DuelConfig::default()).slots;
+        }
+        // 32× budget should yield far more than 4× latency (it is ~linear).
+        assert!(
+            slots_large > slots_small * 4,
+            "latency {slots_large} vs {slots_small}"
+        );
+    }
+
+    #[test]
+    fn cost_grows_sublinearly_in_t() {
+        // The heart of Theorem 1: doubling T must not double cost; the
+        // ratio between budgets 4096 and 262144 (64×) should be near
+        // √64 = 8, certainly below 20.
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let trials = 30;
+        let mut cost_small = 0.0;
+        let mut cost_large = 0.0;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = BudgetedRepBlocker::new(4096, 1.0);
+            cost_small +=
+                run_duel(&profile, &mut adv, &mut rng, DuelConfig::default()).max_cost() as f64;
+            let mut rng = RcbRng::new(seed + 500);
+            let mut adv = BudgetedRepBlocker::new(262_144, 1.0);
+            cost_large +=
+                run_duel(&profile, &mut adv, &mut rng, DuelConfig::default()).max_cost() as f64;
+        }
+        let ratio = cost_large / cost_small;
+        assert!(
+            ratio > 3.0 && ratio < 20.0,
+            "64× budget → cost ratio {ratio}, expected ≈ 8"
+        );
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let mut rng = RcbRng::new(3);
+        let mut adv = BudgetedRepBlocker::new(10_000, 1.0);
+        let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig { max_slots: 100 });
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn scan_listens_merge_logic() {
+        let listens = [1u64, 3, 5, 7];
+        let sends = [2u64, 3, 7];
+        let mut hits = Vec::new();
+        scan_listens(&listens, &sends, |t, hit| {
+            hits.push((t, hit));
+            false
+        });
+        assert_eq!(hits, vec![(1, false), (3, true), (5, false), (7, true)]);
+    }
+
+    #[test]
+    fn scan_listens_early_stop() {
+        let listens = [1u64, 2, 3];
+        let sends = [2u64];
+        let mut seen = 0;
+        scan_listens(&listens, &sends, |_, hit| {
+            seen += 1;
+            hit
+        });
+        assert_eq!(seen, 2, "stops at the first hit");
+    }
+}

@@ -1,0 +1,261 @@
+//! The reference engine: every slot resolved through the channel substrate.
+//!
+//! General over any node set implementing
+//! [`SlotProtocol`](rcb_core::protocol::SlotProtocol) and any
+//! [`SlotAdversary`]. Used directly for small configurations, for the
+//! spoofing experiments (only this engine supports payload injection), and
+//! as the ground truth the fast engines are cross-validated against.
+
+use rcb_adversary::traits::{SlotAdversary, SlotContext, SlotObservation};
+use rcb_channel::ledger::EnergyLedger;
+use rcb_channel::partition::Partition;
+use rcb_channel::slot::{resolve_slot_into, Action, Reception, SlotResolution};
+use rcb_channel::trace::Trace;
+use rcb_core::protocol::{Schedule, SlotProtocol};
+use rcb_mathkit::rng::RcbRng;
+use serde::{Deserialize, Serialize};
+
+/// Engine limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExactConfig {
+    /// Hard slot cap; a run that reaches it is reported as truncated.
+    pub max_slots: u64,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        Self {
+            max_slots: 100_000_000,
+        }
+    }
+}
+
+/// Result of an exact-engine run.
+#[derive(Debug, Clone)]
+pub struct ExactOutcome {
+    /// Full energy ledger of the execution.
+    pub ledger: EnergyLedger,
+    /// Slots executed.
+    pub slots: u64,
+    /// All nodes halted before the cap.
+    pub completed: bool,
+}
+
+/// Runs `protocols` against `adversary` until every node is done (or the
+/// slot cap is hit). `schedule` supplies the public period structure handed
+/// to the adversary; `trace`, when provided, records per-slot summaries.
+pub fn run_exact(
+    protocols: &mut [&mut dyn SlotProtocol],
+    adversary: &mut dyn SlotAdversary,
+    schedule: &dyn Schedule,
+    partition: &Partition,
+    rng: &mut RcbRng,
+    config: ExactConfig,
+    mut trace: Option<&mut Trace>,
+) -> ExactOutcome {
+    assert_eq!(
+        protocols.len(),
+        partition.nodes(),
+        "one protocol per partition slot"
+    );
+    let mut ledger = EnergyLedger::new(protocols.len());
+    let mut actions: Vec<Action> = Vec::with_capacity(protocols.len());
+    let mut receptions: Vec<Option<Reception>> = vec![None; protocols.len()];
+    let mut resolution = SlotResolution {
+        states: Vec::new(),
+        receptions: Vec::new(),
+        senders: 0,
+    };
+
+    let mut slot = 0u64;
+    while slot < config.max_slots {
+        if protocols.iter().all(|p| p.is_done()) {
+            return ExactOutcome {
+                ledger,
+                slots: slot,
+                completed: true,
+            };
+        }
+        let loc = schedule.locate(slot);
+        let ctx = SlotContext {
+            slot,
+            period: loc.period,
+            offset: loc.offset,
+            period_len: loc.len,
+            groups: partition.groups(),
+        };
+        // Adversary commits before node coins are flipped (§1.2).
+        let jam = adversary.decide(&ctx);
+
+        actions.clear();
+        for p in protocols.iter_mut() {
+            actions.push(p.act(rng));
+        }
+
+        resolve_slot_into(&actions, &jam, partition, &mut ledger, &mut resolution);
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(slot, jam.jam_mask, &resolution);
+        }
+
+        for r in receptions.iter_mut() {
+            *r = None;
+        }
+        for (node, reception) in &resolution.receptions {
+            receptions[*node] = Some(reception.clone());
+        }
+        for (i, p) in protocols.iter_mut().enumerate() {
+            p.end_slot(receptions[i].as_ref());
+        }
+
+        adversary.observe(&SlotObservation {
+            ctx,
+            actions: &actions,
+            resolution: &resolution,
+        });
+        slot += 1;
+    }
+    let completed = protocols.iter().all(|p| p.is_done());
+    ExactOutcome {
+        ledger,
+        slots: slot,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_adversary::slot_strategies::{BudgetedPhaseBlocker, NoJam};
+    use rcb_core::one_to_one::profile::Fig1Profile;
+    use rcb_core::one_to_one::schedule::DuelSchedule;
+    use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
+
+    fn fig1_pair(
+        start_epoch: u32,
+    ) -> (
+        AliceProtocol<Fig1Profile>,
+        BobProtocol<Fig1Profile>,
+        DuelSchedule,
+    ) {
+        let profile = Fig1Profile::with_start_epoch(0.1, start_epoch);
+        (
+            AliceProtocol::new(profile),
+            BobProtocol::new(profile),
+            DuelSchedule::new(start_epoch),
+        )
+    }
+
+    #[test]
+    fn unjammed_duel_delivers_and_halts_fast() {
+        let mut delivered = 0;
+        let trials = 50;
+        for seed in 0..trials {
+            let (mut alice, mut bob, schedule) = fig1_pair(6);
+            let mut rng = RcbRng::new(seed);
+            let mut adv = NoJam;
+            let partition = Partition::pair();
+            let out = run_exact(
+                &mut [&mut alice, &mut bob],
+                &mut adv,
+                &schedule,
+                &partition,
+                &mut rng,
+                ExactConfig::default(),
+                None,
+            );
+            assert!(out.completed, "unjammed duel must halt");
+            assert_eq!(out.ledger.adversary_cost(), 0);
+            if bob.received_message() {
+                delivered += 1;
+            }
+            // With no jamming both should halt within very few epochs:
+            // epoch 6 + margin.
+            assert!(out.slots < 4096, "slots {}", out.slots);
+        }
+        // ε = 0.1 nominal; small start epoch weakens the constant a bit.
+        // Expect the vast majority of runs to deliver.
+        assert!(
+            delivered >= trials * 8 / 10,
+            "delivered {delivered}/{trials}"
+        );
+    }
+
+    #[test]
+    fn jamming_inflates_costs_and_charges_adversary() {
+        let (mut alice, mut bob, schedule) = fig1_pair(6);
+        let mut rng = RcbRng::new(7);
+        // Fully block early phases with a healthy budget.
+        let mut adv = BudgetedPhaseBlocker::new(2_000, 1.0);
+        let partition = Partition::pair();
+        let out = run_exact(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig::default(),
+            None,
+        );
+        assert!(out.completed);
+        assert!(out.ledger.adversary_cost() > 0);
+        // Heavy early jamming must push the pair past the first epoch.
+        assert!(out.slots > 128, "slots {}", out.slots);
+    }
+
+    #[test]
+    fn trace_records_slots() {
+        let (mut alice, mut bob, schedule) = fig1_pair(5);
+        let mut rng = RcbRng::new(8);
+        let mut adv = NoJam;
+        let partition = Partition::pair();
+        let mut trace = Trace::with_capacity(64);
+        let out = run_exact(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig::default(),
+            Some(&mut trace),
+        );
+        assert!(out.completed);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn slot_cap_truncates() {
+        let (mut alice, mut bob, schedule) = fig1_pair(8);
+        let mut rng = RcbRng::new(9);
+        let mut adv = NoJam;
+        let partition = Partition::pair();
+        let out = run_exact(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig { max_slots: 10 },
+            None,
+        );
+        assert_eq!(out.slots, 10);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_size_mismatch_panics() {
+        let (mut alice, _, schedule) = fig1_pair(5);
+        let mut rng = RcbRng::new(10);
+        let mut adv = NoJam;
+        let partition = Partition::pair(); // 2 slots, 1 protocol
+        run_exact(
+            &mut [&mut alice],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig::default(),
+            None,
+        );
+    }
+}

@@ -1,0 +1,492 @@
+//! Fast 1-to-n engine: samples whole repetitions at once.
+//!
+//! Per repetition of epoch `i` (`2^i` slots):
+//!
+//! 1. every live node's send slots and listen slots are sampled as exact
+//!    Bernoulli processes (geometric skips), with listen slots that collide
+//!    with the node's own send slots dropped (a radio cannot do both — the
+//!    same rule the slot adapter uses);
+//! 2. all send events are sorted by slot and collapsed into per-slot
+//!    channel states (single `m` / single noise / collision);
+//! 3. every listen event is resolved against the jam plan and the channel
+//!    state — observations therefore remain **fully coupled across nodes**
+//!    (two listeners of the same slot hear the same thing), which Lemma 6
+//!    style properties depend on;
+//! 4. each node's `(clear, messages)` counts feed
+//!    [`OneToNNode::end_repetition`] — the same state machine the exact
+//!    engine drives.
+//!
+//! Work per repetition is `O(events·log(senders))`, independent of `2^i`.
+
+use rcb_adversary::traits::{RepetitionAdversary, RepetitionContext, RepetitionSummary};
+use rcb_core::one_to_n::node::OneToNNode;
+use rcb_core::one_to_n::params::OneToNParams;
+use rcb_mathkit::rng::RcbRng;
+use rcb_mathkit::sample::sample_slots;
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::BroadcastOutcome;
+
+/// Limits for the fast broadcast engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FastConfig {
+    /// Hard cap on the epoch index; runs reaching it are truncated. (Bounds
+    /// the tiny-probability executions whose expected cost the paper's
+    /// safety valve exists to cap.)
+    pub max_epoch: u32,
+}
+
+impl Default for FastConfig {
+    fn default() -> Self {
+        Self { max_epoch: 40 }
+    }
+}
+
+/// Per-slot channel content, collapsed from the send events of one
+/// repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotContent {
+    /// Exactly one sender, transmitting `m`; the field is the sender id.
+    Message(u32),
+    /// Exactly one sender, transmitting noise (an uninformed node).
+    SingleNoise,
+    /// Two or more senders.
+    Collision,
+}
+
+/// Observer hook for instrumented runs (dynamics experiment E10): called
+/// after every repetition epilogue with the full node states.
+pub trait BroadcastObserver {
+    fn on_repetition(&mut self, epoch: u32, period: u64, jammed_slots: u64, nodes: &[OneToNNode]);
+}
+
+/// The no-op observer.
+impl BroadcastObserver for () {
+    fn on_repetition(&mut self, _: u32, _: u64, _: u64, _: &[OneToNNode]) {}
+}
+
+/// Runs one 1-to-n execution: node 0 is the designated sender.
+///
+/// ```
+/// use rcb_sim::fast::{run_broadcast, FastConfig};
+/// use rcb_adversary::rep_strategies::NoJamRep;
+/// use rcb_core::one_to_n::OneToNParams;
+/// use rcb_mathkit::rng::RcbRng;
+///
+/// let params = OneToNParams::practical();
+/// let mut rng = RcbRng::new(7);
+/// let out = run_broadcast(&params, 16, &mut NoJamRep, &mut rng, FastConfig::default());
+/// assert!(out.all_informed && out.all_terminated);
+/// ```
+pub fn run_broadcast(
+    params: &OneToNParams,
+    n: usize,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+) -> BroadcastOutcome {
+    run_broadcast_from(params, n, &[0], adversary, rng, config, &mut ())
+}
+
+/// [`run_broadcast`] with a per-repetition observer.
+pub fn run_broadcast_observed(
+    params: &OneToNParams,
+    n: usize,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+    observer: &mut dyn BroadcastObserver,
+) -> BroadcastOutcome {
+    run_broadcast_from(params, n, &[0], adversary, rng, config, observer)
+}
+
+/// Multi-source variant: every node in `sources` starts informed.
+///
+/// Figure 2 never uses the fact that exactly one node holds `m` initially —
+/// the analysis works for any informed set `A` with `|A| ≥ 1` (Lemma 9
+/// explicitly tracks a growing `A`). Multiple sources simply shorten the
+/// dissemination phase; rates, helper logic, and termination are untouched.
+pub fn run_broadcast_from(
+    params: &OneToNParams,
+    n: usize,
+    sources: &[usize],
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+    observer: &mut dyn BroadcastObserver,
+) -> BroadcastOutcome {
+    assert!(n >= 1, "need at least one node");
+    assert!(!sources.is_empty(), "need at least one source");
+    assert!(sources.iter().all(|&s| s < n), "source ids must be < n");
+    let mut nodes: Vec<OneToNNode> = (0..n)
+        .map(|u| OneToNNode::new(params, sources.contains(&u)))
+        .collect();
+    let mut costs = vec![0u64; n];
+    let mut adversary_cost = 0u64;
+    let mut slots_total = 0u64;
+    let mut period = 0u64;
+    let mut truncated = true;
+
+    // Reusable buffers.
+    let mut send_events: Vec<(u64, u32)> = Vec::new();
+    let mut slot_contents: Vec<(u64, SlotContent)> = Vec::new();
+    let mut clear_counts = vec![0u64; n];
+    let mut msg_counts = vec![0u64; n];
+
+    let mut epoch = params.first_epoch;
+    'epochs: while epoch <= config.max_epoch {
+        let len = params.slots(epoch);
+        let reps = params.reps(epoch);
+        for _ in 0..reps {
+            let active = nodes.iter().filter(|v| !v.is_terminated()).count();
+            if active == 0 {
+                truncated = false;
+                break 'epochs;
+            }
+            let ctx = RepetitionContext {
+                epoch,
+                repetition: period,
+                slots: len,
+                active_nodes: active,
+            };
+            let plan = adversary.plan(&ctx);
+            adversary_cost += plan.jam_count(len);
+
+            // 1. Send events.
+            send_events.clear();
+            for (u, node) in nodes.iter().enumerate() {
+                if node.is_terminated() {
+                    continue;
+                }
+                let sends = sample_slots(rng, len, node.send_prob(params));
+                costs[u] += sends.len() as u64;
+                for t in sends {
+                    send_events.push((t, u as u32));
+                }
+            }
+            send_events.sort_unstable();
+
+            // 2. Collapse into per-slot channel content.
+            slot_contents.clear();
+            let mut k = 0usize;
+            while k < send_events.len() {
+                let (t, u) = send_events[k];
+                let mut j = k + 1;
+                while j < send_events.len() && send_events[j].0 == t {
+                    j += 1;
+                }
+                let content = if j - k >= 2 {
+                    SlotContent::Collision
+                } else if nodes[u as usize].sends_message() {
+                    SlotContent::Message(u)
+                } else {
+                    SlotContent::SingleNoise
+                };
+                slot_contents.push((t, content));
+                k = j;
+            }
+
+            // 3. Listen events.
+            let mut total_listens = 0u64;
+            for (u, node) in nodes.iter().enumerate() {
+                if node.is_terminated() {
+                    continue;
+                }
+                let listens = sample_slots(rng, len, node.listen_prob(params));
+                // Drop listen slots where this node itself transmits.
+                // Own sends for node u are a sorted subsequence of
+                // send_events; rescan them via binary search on the full
+                // sorted list (senders per slot are few).
+                for t in listens {
+                    if slot_in_own_sends(&send_events, t, u as u32) {
+                        continue;
+                    }
+                    costs[u] += 1;
+                    total_listens += 1;
+                    if plan.is_jammed(t, len) {
+                        continue; // noise
+                    }
+                    match slot_contents.binary_search_by_key(&t, |&(s, _)| s) {
+                        Err(_) => clear_counts[u] += 1,
+                        Ok(idx) => match slot_contents[idx].1 {
+                            SlotContent::Message(sender) => {
+                                debug_assert_ne!(sender, u as u32);
+                                msg_counts[u] += 1;
+                            }
+                            SlotContent::SingleNoise | SlotContent::Collision => {}
+                        },
+                    }
+                }
+            }
+
+            // 4. Repetition epilogue.
+            let message_slots = slot_contents
+                .iter()
+                .filter(|(_, c)| matches!(c, SlotContent::Message(_)))
+                .count() as u64;
+            for (u, node) in nodes.iter_mut().enumerate() {
+                if node.is_terminated() {
+                    continue;
+                }
+                node.end_repetition(params, clear_counts[u], msg_counts[u]);
+                clear_counts[u] = 0;
+                msg_counts[u] = 0;
+            }
+            adversary.observe(
+                &ctx,
+                &RepetitionSummary {
+                    message_slots,
+                    busy_slots: slot_contents.len() as u64,
+                    jammed_slots: plan.jam_count(len),
+                    listen_actions: total_listens,
+                    send_actions: send_events.len() as u64,
+                },
+            );
+            observer.on_repetition(epoch, period, plan.jam_count(len), &nodes);
+            slots_total += len;
+            period += 1;
+        }
+        if nodes.iter().all(|v| v.is_terminated()) {
+            truncated = false;
+            break;
+        }
+        epoch += 1;
+        if epoch <= config.max_epoch {
+            for node in nodes.iter_mut() {
+                node.begin_epoch(epoch, params);
+            }
+        }
+    }
+
+    let informed = nodes.iter().filter(|v| v.ever_informed()).count();
+    let safety = nodes
+        .iter()
+        .filter(|v| v.term_reason() == Some(rcb_core::one_to_n::TermReason::Safety))
+        .count();
+    BroadcastOutcome {
+        n,
+        informed,
+        all_informed: informed == n,
+        all_terminated: nodes.iter().all(|v| v.is_terminated()),
+        safety_terminations: safety,
+        node_costs: costs,
+        adversary_cost,
+        slots: slots_total,
+        last_epoch: epoch.min(config.max_epoch),
+        truncated,
+    }
+}
+
+/// Whether `(t, u)` occurs in the sorted `send_events`.
+fn slot_in_own_sends(send_events: &[(u64, u32)], t: u64, u: u32) -> bool {
+    let mut idx = send_events.partition_point(|&(s, _)| s < t);
+    while idx < send_events.len() && send_events[idx].0 == t {
+        if send_events[idx].1 == u {
+            return true;
+        }
+        idx += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_adversary::rep_strategies::{BudgetedRepBlocker, NoJamRep};
+
+    fn params() -> OneToNParams {
+        OneToNParams::practical()
+    }
+
+    #[test]
+    fn single_node_terminates_alone() {
+        // n = 1: the sender hears only silence, S grows, and the safety
+        // valve or helper logic must terminate it with bounded cost.
+        let p = params();
+        let mut rng = RcbRng::new(1);
+        let mut adv = NoJamRep;
+        let out = run_broadcast(&p, 1, &mut adv, &mut rng, FastConfig::default());
+        assert!(out.all_terminated, "last epoch {}", out.last_epoch);
+        assert!(out.all_informed);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn unjammed_broadcast_informs_everyone() {
+        let p = params();
+        let mut ok = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = NoJamRep;
+            let out = run_broadcast(&p, 16, &mut adv, &mut rng, FastConfig::default());
+            assert!(
+                !out.truncated,
+                "seed {seed}: truncated at epoch {}",
+                out.last_epoch
+            );
+            if out.all_informed && out.all_terminated {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 9, "informed+terminated in {ok}/{trials} runs");
+    }
+
+    #[test]
+    fn termination_happens_near_the_ideal_epoch() {
+        let p = params();
+        let n = 32;
+        let mut rng = RcbRng::new(3);
+        let mut adv = NoJamRep;
+        let out = run_broadcast(&p, n, &mut adv, &mut rng, FastConfig::default());
+        let ideal = p.ideal_epoch(n);
+        assert!(
+            out.last_epoch <= ideal + 3,
+            "terminated at epoch {} vs ideal {ideal}",
+            out.last_epoch
+        );
+    }
+
+    #[test]
+    fn jamming_charges_adversary_and_inflates_cost() {
+        let p = params();
+        let n = 16;
+        let mut rng = RcbRng::new(4);
+        let mut adv_free = NoJamRep;
+        let free = run_broadcast(&p, n, &mut adv_free, &mut rng, FastConfig::default());
+
+        let mut rng = RcbRng::new(4);
+        // T must comfortably exceed the unjammed slot total: at comparable
+        // budgets blanket jamming can even *reduce* node cost (blocked
+        // epochs suppress the expensive growth-phase listening).
+        let budget = 16 * free.slots;
+        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
+        let jammed = run_broadcast(&p, n, &mut adv, &mut rng, FastConfig::default());
+        assert!(jammed.adversary_cost > 0);
+        assert!(
+            jammed.max_cost() > free.max_cost(),
+            "jammed {} vs free {}",
+            jammed.max_cost(),
+            free.max_cost()
+        );
+        assert!(jammed.slots > free.slots);
+        assert!(jammed.all_informed, "budget exhausted ⇒ delivery resumes");
+    }
+
+    #[test]
+    fn per_node_cost_shrinks_as_n_grows() {
+        // The headline of Theorem 3: bigger systems pay less per node under
+        // the same attack budget.
+        let p = params();
+        let budget = 2_000_000u64;
+        let mean_cost = |n: usize, seed: u64| {
+            let mut total = 0.0;
+            let trials = 3;
+            for s in 0..trials {
+                let mut rng = RcbRng::new(seed + s);
+                let mut adv = BudgetedRepBlocker::new(budget, 1.0);
+                let out = run_broadcast(&p, n, &mut adv, &mut rng, FastConfig::default());
+                total += out.mean_cost();
+            }
+            total / trials as f64
+        };
+        let small = mean_cost(8, 10);
+        let large = mean_cost(64, 20);
+        assert!(
+            large < small,
+            "per-node cost should fall with n: n=8 → {small}, n=128 → {large}"
+        );
+    }
+
+    #[test]
+    fn slot_in_own_sends_lookup() {
+        let events = [(1u64, 0u32), (3, 1), (3, 2), (7, 0)];
+        assert!(slot_in_own_sends(&events, 1, 0));
+        assert!(!slot_in_own_sends(&events, 1, 1));
+        assert!(slot_in_own_sends(&events, 3, 2));
+        assert!(!slot_in_own_sends(&events, 3, 0));
+        assert!(!slot_in_own_sends(&events, 5, 0));
+    }
+
+    #[test]
+    fn multi_source_broadcast_informs_and_is_no_slower() {
+        let p = params();
+        let n = 24;
+        let mut single_slots = 0u64;
+        let mut multi_slots = 0u64;
+        let trials = 6;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(400 + seed);
+            let mut adv = NoJamRep;
+            let out = run_broadcast_from(
+                &p,
+                n,
+                &[0],
+                &mut adv,
+                &mut rng,
+                FastConfig::default(),
+                &mut (),
+            );
+            assert!(out.all_informed);
+            single_slots += out.slots;
+
+            let mut rng = RcbRng::new(800 + seed);
+            let mut adv = NoJamRep;
+            let out = run_broadcast_from(
+                &p,
+                n,
+                &[0, 5, 11, 17],
+                &mut adv,
+                &mut rng,
+                FastConfig::default(),
+                &mut (),
+            );
+            assert!(out.all_informed);
+            assert!(out.informed == n);
+            multi_slots += out.slots;
+        }
+        // Extra sources can only help dissemination; allow slack for the
+        // epoch-granular termination.
+        assert!(
+            multi_slots <= single_slots + single_slots / 2,
+            "multi {multi_slots} vs single {single_slots}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_source_panics() {
+        let p = params();
+        let mut rng = RcbRng::new(1);
+        let mut adv = NoJamRep;
+        run_broadcast_from(
+            &p,
+            4,
+            &[4],
+            &mut adv,
+            &mut rng,
+            FastConfig::default(),
+            &mut (),
+        );
+    }
+
+    #[test]
+    fn epoch_cap_truncates() {
+        let p = params();
+        let mut rng = RcbRng::new(5);
+        // Unlimited full blocking: nobody can ever terminate.
+        let mut adv = rcb_adversary::rep_strategies::SuffixFractionRep::new(1.0);
+        let out = run_broadcast(
+            &p,
+            4,
+            &mut adv,
+            &mut rng,
+            FastConfig {
+                max_epoch: p.first_epoch + 2,
+            },
+        );
+        assert!(out.truncated);
+        assert!(!out.all_terminated);
+        assert_eq!(out.last_epoch, p.first_epoch + 2);
+    }
+}

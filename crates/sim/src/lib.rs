@@ -1,0 +1,39 @@
+//! # rcb-sim
+//!
+//! Simulation engines and the Monte-Carlo trial runner.
+//!
+//! Two engines execute protocols against adversaries:
+//!
+//! * [`exact`] — the reference engine: every slot is resolved through
+//!   `rcb_channel::resolve_slot` for an arbitrary set of
+//!   [`SlotProtocol`](rcb_core::protocol::SlotProtocol) nodes and a
+//!   [`SlotAdversary`](rcb_adversary::SlotAdversary). Faithful and general,
+//!   cost `O(slots · n)`.
+//! * [`duel`] / [`fast`] — the production engines: they exploit the
+//!   protocols' period structure to sample only the *events* (sends,
+//!   listens) instead of iterating silent slots. The sampling is exact —
+//!   a Bernoulli process over a block is its Binomial count plus uniform
+//!   positions, implemented by geometric skips in `rcb-mathkit` — so these
+//!   engines agree with [`exact`] in distribution; integration tests
+//!   cross-validate them.
+//!
+//! [`runner`] fans trials out over threads (crossbeam scoped threads, one
+//! deterministic RNG stream per trial), and [`lowerbound`] packages the
+//! Theorem 2 / Theorem 5 measurement games.
+
+pub mod duel;
+pub mod exact;
+pub mod fast;
+pub mod lowerbound;
+pub mod outcome;
+pub mod reduction;
+pub mod runner;
+
+pub use duel::{run_duel, DuelConfig};
+pub use exact::{run_exact, ExactConfig, ExactOutcome};
+pub use fast::{
+    run_broadcast, run_broadcast_from, run_broadcast_observed, BroadcastObserver, FastConfig,
+};
+pub use outcome::{BroadcastOutcome, DuelOutcome};
+pub use reduction::{simulate_reduction, ReductionOutcome};
+pub use runner::{run_trials, Parallelism};

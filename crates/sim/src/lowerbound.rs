@@ -1,0 +1,204 @@
+//! Measurement games for the lower bounds (Theorems 2 and 5).
+//!
+//! * [`product_game`] — Theorem 2: runs a δ-split oblivious protocol
+//!   against the threshold adversary and measures `E(A)·E(B)/T`, which the
+//!   theorem pins to `≥ 1 − O(ε)` (and the normal-form analysis to exactly
+//!   1 for boundary pairs).
+//! * [`golden_ratio_game`] — Theorem 5: for each split δ the adversary
+//!   plays the better of its two scenarios — jam Bob (cost exponent δ for
+//!   the good nodes) or impersonate Bob (cost exponent `(1−δ)/δ`) — and the
+//!   measured worst-case exponent is minimized at `δ = φ−1 ≈ 0.618`.
+
+use rcb_adversary::spoof::{predicted_exponent, SpoofScenario};
+use rcb_baselines::oblivious::ConstantRatePair;
+use rcb_mathkit::rng::RcbRng;
+use rcb_mathkit::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Result of the Theorem 2 product game for one split δ.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProductGameRow {
+    pub delta: f64,
+    pub budget: u64,
+    /// Monte-Carlo mean of Alice's cost (0/1 model).
+    pub mean_a: f64,
+    /// Monte-Carlo mean of Bob's cost (0/1 model).
+    pub mean_b: f64,
+    /// `mean_a · mean_b / budget` — Theorem 2 says ≥ 1 − O(ε).
+    pub product_over_t: f64,
+    /// Closed-form (fractional-model) product over T, for comparison.
+    pub closed_product_over_t: f64,
+    pub trials: u64,
+}
+
+/// Runs the Theorem 2 game: `trials` Monte-Carlo executions of the δ-split
+/// boundary pair against a budget-`T` threshold adversary.
+pub fn product_game(budget: u64, delta: f64, trials: u64, rng: &mut RcbRng) -> ProductGameRow {
+    let pair = ConstantRatePair::from_split(budget, delta);
+    let closed = pair.expected_costs(budget);
+    let mut stats_a = RunningStats::new();
+    let mut stats_b = RunningStats::new();
+    // Cap generously: expected duration is T slots; 64·T bounds the tail.
+    let max_slots = budget.saturating_mul(64).max(1 << 20);
+    for _ in 0..trials {
+        let (a, b, _slots, _jammed) = pair.simulate(budget, max_slots, rng);
+        stats_a.push(a as f64);
+        stats_b.push(b as f64);
+    }
+    ProductGameRow {
+        delta,
+        budget,
+        mean_a: stats_a.mean(),
+        mean_b: stats_b.mean(),
+        product_over_t: stats_a.mean() * stats_b.mean() / budget as f64,
+        closed_product_over_t: closed.expected_a * closed.expected_b / budget as f64,
+        trials,
+    }
+}
+
+/// Result of the Theorem 5 game for one split δ.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GoldenRatioRow {
+    pub delta: f64,
+    pub announced_budget: u64,
+    /// Scenario (i): measured `log(max good cost)/log(T)` with `T` = the
+    /// announced jamming budget.
+    pub exponent_jam: f64,
+    /// Scenario (ii): measured `log(Alice cost)/log(T)` with `T` = the
+    /// adversary's simulation cost (it *is* Bob).
+    pub exponent_spoof: f64,
+    /// The adversary plays the better scenario.
+    pub worst_exponent: f64,
+    /// Which scenario the adversary picks.
+    pub picked: SpoofScenario,
+    /// The proof's prediction `max{δ, (1−δ)/δ}`.
+    pub predicted: f64,
+    pub trials: u64,
+}
+
+/// Runs the Theorem 5 game for a δ-split protocol at announced budget `T̃`.
+///
+/// Scenario (i): the threshold adversary jams with budget `T̃`; the binding
+/// good-node cost is Bob's `≈ T̃^δ`. Scenario (ii): there is no Bob — the
+/// adversary simulates his listening schedule at cost `B ≈ T̃^δ` while Alice
+/// spends `≈ T̃^(1−δ)`; measured against `T = B` her exponent is
+/// `(1−δ)/δ`. Alice cannot distinguish the scenarios (she cannot see whether
+/// Bob's group is jammed), so the adversary freely picks the worse one.
+pub fn golden_ratio_game(
+    announced_budget: u64,
+    delta: f64,
+    trials: u64,
+    rng: &mut RcbRng,
+) -> GoldenRatioRow {
+    let pair = ConstantRatePair::from_split(announced_budget, delta);
+    let max_slots = announced_budget.saturating_mul(64).max(1 << 20);
+
+    // Scenario (i): jam-Bob. The boundary pair is never actually jammed
+    // (a·b = 1/T̃), so the execution is clean; the adversary's *budget* is
+    // the T the lower bound measures against.
+    let mut cost_a1 = RunningStats::new();
+    let mut cost_b1 = RunningStats::new();
+    for _ in 0..trials {
+        let (a, b, _, _) = pair.simulate(announced_budget, max_slots, rng);
+        cost_a1.push(a as f64);
+        cost_b1.push(b as f64);
+    }
+    let t1 = announced_budget as f64;
+    let exponent_jam = cost_a1.mean().max(cost_b1.mean()).max(1.0).ln() / t1.ln();
+
+    // Scenario (ii): impersonate-Bob. Same execution distribution (Alice
+    // cannot tell), but the adversary pays Bob's side and T = B.
+    let mut cost_a2 = RunningStats::new();
+    let mut adv_cost = RunningStats::new();
+    for _ in 0..trials {
+        let (a, b, _, _) = pair.simulate(announced_budget, max_slots, rng);
+        cost_a2.push(a as f64);
+        adv_cost.push(b as f64);
+    }
+    let t2 = adv_cost.mean().max(2.0);
+    let exponent_spoof = cost_a2.mean().max(1.0).ln() / t2.ln();
+
+    let (worst_exponent, picked) = if exponent_jam >= exponent_spoof {
+        (exponent_jam, SpoofScenario::JamBob)
+    } else {
+        (exponent_spoof, SpoofScenario::ImpersonateBob)
+    };
+    GoldenRatioRow {
+        delta,
+        announced_budget,
+        exponent_jam,
+        exponent_spoof,
+        worst_exponent,
+        picked,
+        predicted: predicted_exponent(delta),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_mathkit::PHI_MINUS_ONE;
+
+    #[test]
+    fn product_game_pins_product_to_t() {
+        let mut rng = RcbRng::new(1);
+        for delta in [0.4, 0.5, 0.65] {
+            let row = product_game(1024, delta, 1500, &mut rng);
+            assert!(
+                (row.product_over_t - 1.0).abs() < 0.1,
+                "δ = {delta}: product/T = {}",
+                row.product_over_t
+            );
+            assert!((row.closed_product_over_t - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn product_game_splits_costs_by_delta() {
+        let mut rng = RcbRng::new(2);
+        let t = 1u64 << 12;
+        let row = product_game(t, 0.75, 500, &mut rng);
+        // E(B) ≈ T^0.75 ≫ E(A) ≈ T^0.25.
+        assert!(row.mean_b > row.mean_a * 10.0);
+    }
+
+    #[test]
+    fn golden_ratio_game_matches_prediction() {
+        let mut rng = RcbRng::new(3);
+        let t = 1u64 << 12;
+        for delta in [0.45, PHI_MINUS_ONE, 0.8] {
+            let row = golden_ratio_game(t, delta, 400, &mut rng);
+            assert!(
+                (row.worst_exponent - row.predicted).abs() < 0.12,
+                "δ = {delta}: measured {} vs predicted {}",
+                row.worst_exponent,
+                row.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn golden_ratio_point_is_the_minimum() {
+        let mut rng = RcbRng::new(4);
+        let t = 1u64 << 12;
+        let at_phi = golden_ratio_game(t, PHI_MINUS_ONE, 600, &mut rng).worst_exponent;
+        for delta in [0.40, 0.50, 0.75, 0.85] {
+            let other = golden_ratio_game(t, delta, 600, &mut rng).worst_exponent;
+            assert!(
+                other > at_phi - 0.03,
+                "δ = {delta} ({other}) should not beat φ−1 ({at_phi})"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_choice_flips_around_phi() {
+        let mut rng = RcbRng::new(5);
+        let t = 1u64 << 12;
+        let low = golden_ratio_game(t, 0.45, 400, &mut rng);
+        assert_eq!(low.picked, SpoofScenario::ImpersonateBob);
+        let high = golden_ratio_game(t, 0.85, 400, &mut rng);
+        assert_eq!(high.picked, SpoofScenario::JamBob);
+    }
+}

@@ -1,0 +1,130 @@
+//! Execution outcomes reported by the engines.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one 1-to-1 execution (Figure 1, KSY, or combined).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DuelOutcome {
+    /// Bob received `m` (the success criterion of Theorem 1).
+    pub delivered: bool,
+    /// Bob halted without `m` (the ε-probability failure mode).
+    pub bob_premature: bool,
+    /// Alice's total send/listen cost.
+    pub alice_cost: u64,
+    /// Bob's total send/listen cost.
+    pub bob_cost: u64,
+    /// Adversary spend `T` actually incurred (jammed slots).
+    pub adversary_cost: u64,
+    /// Slots elapsed until both parties halted.
+    pub slots: u64,
+    /// Slot at which Bob received `m`, if he did.
+    pub delivery_slot: Option<u64>,
+    /// Last epoch index reached.
+    pub last_epoch: u32,
+    /// The run hit the slot cap before both parties halted.
+    pub truncated: bool,
+}
+
+impl DuelOutcome {
+    /// `max{C(Alice), C(Bob)}` — the resource-competitiveness measure.
+    pub fn max_cost(&self) -> u64 {
+        self.alice_cost.max(self.bob_cost)
+    }
+}
+
+/// Outcome of one 1-to-n execution (Figure 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastOutcome {
+    /// Number of nodes (including the sender).
+    pub n: usize,
+    /// Nodes that ever learned `m`.
+    pub informed: usize,
+    /// Every node learned `m` (the success criterion of Theorem 3).
+    pub all_informed: bool,
+    /// Every node terminated.
+    pub all_terminated: bool,
+    /// Nodes that terminated through the case-1 safety valve.
+    pub safety_terminations: usize,
+    /// Per-node total costs (sends + listens), indexed by node id.
+    pub node_costs: Vec<u64>,
+    /// Adversary spend `T` (jammed slots).
+    pub adversary_cost: u64,
+    /// Slots elapsed until the last node terminated (latency).
+    pub slots: u64,
+    /// Last epoch index any node reached.
+    pub last_epoch: u32,
+    /// The run hit the epoch cap before all nodes terminated.
+    pub truncated: bool,
+}
+
+impl BroadcastOutcome {
+    /// `max_u C(u)` — the per-node cost bound of Theorem 3.
+    pub fn max_cost(&self) -> u64 {
+        self.node_costs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-node cost (the *fair*-algorithm measure of Theorem 4).
+    pub fn mean_cost(&self) -> f64 {
+        if self.node_costs.is_empty() {
+            return 0.0;
+        }
+        self.node_costs.iter().map(|&c| c as f64).sum::<f64>() / self.node_costs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duel_max_cost() {
+        let o = DuelOutcome {
+            delivered: true,
+            bob_premature: false,
+            alice_cost: 10,
+            bob_cost: 25,
+            adversary_cost: 0,
+            slots: 100,
+            delivery_slot: Some(40),
+            last_epoch: 5,
+            truncated: false,
+        };
+        assert_eq!(o.max_cost(), 25);
+    }
+
+    #[test]
+    fn broadcast_cost_summaries() {
+        let o = BroadcastOutcome {
+            n: 4,
+            informed: 4,
+            all_informed: true,
+            all_terminated: true,
+            safety_terminations: 0,
+            node_costs: vec![4, 8, 6, 2],
+            adversary_cost: 0,
+            slots: 1000,
+            last_epoch: 7,
+            truncated: false,
+        };
+        assert_eq!(o.max_cost(), 8);
+        assert!((o.mean_cost() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_costs_are_zero() {
+        let o = BroadcastOutcome {
+            n: 0,
+            informed: 0,
+            all_informed: true,
+            all_terminated: true,
+            safety_terminations: 0,
+            node_costs: vec![],
+            adversary_cost: 0,
+            slots: 0,
+            last_epoch: 0,
+            truncated: false,
+        };
+        assert_eq!(o.max_cost(), 0);
+        assert_eq!(o.mean_cost(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Scenario: an interference lab — pit the exact slot-level engine against
+//! four different jammer personalities and watch what each buys per unit
+//! of energy.
+//!
+//! Uses the exact engine (every slot resolved through the channel model),
+//! a traced execution, and the 2-uniform partition so the jammer can
+//! target Bob's side only.
+//!
+//! ```sh
+//! cargo run --release --example jamming_lab
+//! ```
+
+use rcb::prelude::*;
+use rcb_adversary::slot_strategies::ScheduleJammer;
+use rcb_channel::trace::Trace;
+use rcb_core::one_to_one::schedule::DuelSchedule;
+
+fn run_one(label: &str, adversary: &mut dyn SlotAdversary, seed: u64) -> (String, u64, u64, bool) {
+    let profile = Fig1Profile::with_start_epoch(0.05, 7);
+    let mut alice = AliceProtocol::new(profile);
+    let mut bob = BobProtocol::new(profile);
+    let schedule = DuelSchedule::new(7);
+    let partition = Partition::pair();
+    let mut rng = RcbRng::new(seed);
+    let mut trace = Trace::with_capacity(4096);
+    let out = run_exact(
+        &mut [&mut alice, &mut bob],
+        adversary,
+        &schedule,
+        &partition,
+        &mut rng,
+        ExactConfig::default(),
+        Some(&mut trace),
+    );
+    let jammed_slots = trace.records().iter().filter(|r| r.jam_mask != 0).count() as u64;
+    (
+        format!(
+            "{label:<22} adversary spent {:>6}  (≥{jammed_slots} jammed slots seen)  \
+             good-node max cost {:>5}  delivered: {}",
+            out.ledger.adversary_cost(),
+            out.ledger.max_node_cost(),
+            bob.received_message()
+        ),
+        out.ledger.adversary_cost(),
+        out.ledger.max_node_cost(),
+        bob.received_message(),
+    )
+}
+
+fn main() {
+    let budget = 2048u64;
+    println!("1-to-1 BROADCAST on the exact engine; every jammer gets {budget} energy\n");
+
+    let mut blanket = BudgetedPhaseBlocker::new(budget, 1.0);
+    println!("{}", run_one("blanket blocker", &mut blanket, 1).0);
+
+    let mut random = RandomJammer::new(0.5, budget, 99);
+    println!("{}", run_one("random 50% jammer", &mut random, 2).0);
+
+    let mut periodic = PeriodicJammer::new(16, 4, budget);
+    println!("{}", run_one("periodic 4/16 burst", &mut periodic, 3).0);
+
+    let mut reactive = ReactiveJammer::new(budget);
+    println!("{}", run_one("reactive (follows TX)", &mut reactive, 4).0);
+
+    let schedule: Vec<u64> = (0..budget).map(|i| i * 3).collect();
+    let mut scripted = ScheduleJammer::new(schedule);
+    println!("{}", run_one("scripted every-3rd", &mut scripted, 5).0);
+
+    println!();
+    println!("Blanket blocking of whole phases extracts the most good-node cost —");
+    println!("exactly what Lemma 1 predicts (suffix/blanket jamming is WLOG optimal).");
+    println!("Diffuse and reactive jammers spend the same budget for less damage.");
+}

@@ -1,0 +1,69 @@
+//! Scenario: choosing a 1-to-1 protocol for an energy-budgeted link.
+//!
+//! Compares three strategies against the same blanket jammer:
+//!
+//! * **Figure 1** (this paper): cost ~ √(T·ln(1/ε)), Monte Carlo;
+//! * **KSY** (King–Saia–Young, PODC 2011): cost ~ T^0.618, Las-Vegas-style,
+//!   no ε-dependence — cheaper when there is no attack;
+//! * **Combined**: both at once, energy-balanced (the min of the two).
+//!
+//! ```sh
+//! cargo run --release --example protocol_shootout
+//! ```
+
+use rcb::prelude::*;
+use rcb_core::one_to_one::schedule::DuelSchedule;
+use rcb_sim::runner::{run_trials, Parallelism};
+
+fn mean_duel_cost<P: DuelProfile + Sync>(profile: &P, budget: u64, trials: u64) -> f64 {
+    let outs = run_trials(trials, 0xD0E1 ^ budget, Parallelism::Auto, |_, rng| {
+        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
+        run_duel(profile, &mut adv, rng, DuelConfig::default())
+    });
+    outs.iter().map(|o| o.max_cost() as f64).sum::<f64>() / trials as f64
+}
+
+fn mean_combined_cost(budget: u64, trials: u64) -> f64 {
+    let fig1 = Fig1Profile::with_start_epoch(0.01, 8);
+    let ksy = KsyProfile::new();
+    let outs = run_trials(trials, 0xC0DE ^ budget, Parallelism::Auto, |_, rng| {
+        let mut alice = combined_alice(fig1, ksy);
+        let mut bob = combined_bob(fig1, ksy);
+        let mut adv = BudgetedPhaseBlocker::new(budget, 1.0);
+        let schedule = DuelSchedule::new(8);
+        let partition = Partition::pair();
+        let out = run_exact(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            rng,
+            ExactConfig {
+                max_slots: (budget * 64).max(1 << 20),
+            },
+            None,
+        );
+        out.ledger.max_node_cost() as f64
+    });
+    outs.iter().sum::<f64>() / trials as f64
+}
+
+fn main() {
+    let fig1 = Fig1Profile::with_start_epoch(0.01, 8);
+    let ksy = KsyProfile::new();
+    let trials = 40;
+
+    println!("         T | Fig-1 (sqrt T) | KSY (T^0.62) | Combined (min)");
+    println!("-----------+----------------+--------------+---------------");
+    for budget in [0u64, 1 << 8, 1 << 12, 1 << 16, 1 << 19] {
+        let f = mean_duel_cost(&fig1, budget, trials);
+        let k = mean_duel_cost(&ksy, budget, trials);
+        let c = mean_combined_cost(budget, 10);
+        println!("{budget:>10} | {f:>14.1} | {k:>12.1} | {c:>13.1}");
+    }
+
+    println!();
+    println!("KSY wins at T = 0 (no ln(1/ε) floor); Figure 1 pulls ahead as T");
+    println!("grows (0.5 < 0.618 in the exponent); the combined protocol pays at");
+    println!("most a constant factor over the better column (paper, Section 1.3).");
+}

@@ -1,0 +1,89 @@
+//! # rcb — Resource-Competitive Broadcast with Jamming
+//!
+//! A Rust reproduction of Gilbert, King, Pettie, Porat, Saia & Young,
+//! *"(Near) Optimal Resource-Competitive Broadcast with Jamming"*,
+//! SPAA 2014.
+//!
+//! The workspace implements the paper end to end:
+//!
+//! | Piece | Crate |
+//! |---|---|
+//! | Slotted single-hop radio channel (collisions, CCA, ℓ-uniform jamming, energy ledger) | [`rcb_channel`] |
+//! | Adaptive jamming/spoofing adversary strategies, incl. the lower-bound constructions | [`rcb_adversary`] |
+//! | The paper's algorithms: 1-to-1 (Figure 1), 1-to-n (Figure 2), combined | [`rcb_core`] |
+//! | Baselines: King–Saia–Young golden ratio, naive always-on, oblivious splits | [`rcb_baselines`] |
+//! | Exact and fast simulation engines, parallel Monte-Carlo runner | [`rcb_sim`] |
+//! | Scaling fits and table rendering for the experiment harness | [`rcb_analysis`] |
+//! | Samplers, statistics, Chernoff calculators | [`rcb_mathkit`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcb::prelude::*;
+//!
+//! // Alice sends m to Bob while an adversary blanket-jams early phases
+//! // with a budget of 10_000 slot-units.
+//! let profile = Fig1Profile::with_start_epoch(0.01, 8);
+//! let mut adversary = BudgetedRepBlocker::new(10_000, 1.0);
+//! let mut rng = RcbRng::new(42);
+//! let outcome = run_duel(&profile, &mut adversary, &mut rng, DuelConfig::default());
+//!
+//! assert!(outcome.delivered, "after the budget is spent, m gets through");
+//! // Resource competitiveness: the good nodes spend far less than T.
+//! assert!(outcome.max_cost() < outcome.adversary_cost / 4);
+//! ```
+//!
+//! ## 1-to-n in one call
+//!
+//! ```
+//! use rcb::prelude::*;
+//!
+//! let params = OneToNParams::practical();
+//! let mut adversary = NoJamRep; // T = 0: the efficiency-function regime
+//! let mut rng = RcbRng::new(7);
+//! let out = run_broadcast(&params, 32, &mut adversary, &mut rng, FastConfig::default());
+//! assert!(out.all_informed && out.all_terminated);
+//! ```
+
+pub use rcb_adversary as adversary;
+pub use rcb_analysis as analysis;
+pub use rcb_baselines as baselines;
+pub use rcb_channel as channel;
+pub use rcb_core as core_alg;
+pub use rcb_mathkit as mathkit;
+pub use rcb_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use rcb_adversary::rep_strategies::{
+        BudgetedRepBlocker, HalfRepBlocker, NoJamRep, RandomRep, SuffixFractionRep,
+    };
+    pub use rcb_adversary::slot_strategies::{
+        BudgetedPhaseBlocker, NoJam, PeriodicJammer, RandomJammer, ReactiveJammer,
+    };
+    pub use rcb_adversary::threshold::ThresholdAdversary;
+    pub use rcb_adversary::traits::{JamPlan, RepetitionAdversary, SlotAdversary};
+    pub use rcb_baselines::combined::{combined_alice, combined_bob};
+    pub use rcb_baselines::ksy::{KsyAlice, KsyBob, KsyProfile};
+    pub use rcb_baselines::naive::{NaiveAlice, NaiveBob};
+    pub use rcb_baselines::oblivious::ConstantRatePair;
+    pub use rcb_channel::{Action, EnergyLedger, Partition, Payload, Reception};
+    pub use rcb_core::combined::BalancedDuo;
+    pub use rcb_core::one_to_n::{OneToNNode, OneToNParams, OneToNSchedule, OneToNSlotNode};
+    pub use rcb_core::one_to_one::{
+        AliceProtocol, BobProtocol, DuelProfile, DuelSchedule, Fig1Profile,
+    };
+    pub use rcb_core::protocol::{Schedule, SlotProtocol};
+    pub use rcb_mathkit::rng::{RcbRng, SeedSequence};
+    pub use rcb_sim::duel::{run_duel, DuelConfig};
+    pub use rcb_sim::exact::{run_exact, ExactConfig};
+    pub use rcb_sim::fast::{run_broadcast, FastConfig};
+    pub use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
+    pub use rcb_sim::runner::{run_trials, Parallelism};
+}
+
+/// Compiles the README's code blocks as doctests so the front-page example
+/// can never rot.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
