@@ -19,12 +19,14 @@
 //! implements Theorem 2's `a_i·b_i > 1/T` rule and [`spoof`] the Theorem 5
 //! jam-or-impersonate choice.
 
+pub mod adapter;
 pub mod rep_strategies;
 pub mod slot_strategies;
 pub mod spoof;
 pub mod threshold;
 pub mod traits;
 
+pub use adapter::{JamTarget, RepAsSlotAdversary};
 pub use rep_strategies::{
     BanditBlocker, BudgetedRepBlocker, HalfRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep,
     SuffixFractionRep,

@@ -147,6 +147,23 @@ pub trait RepetitionAdversary {
     }
 }
 
+/// Boxed strategies forward, so `Box<dyn RepetitionAdversary>` plugs into
+/// anything generic over `A: RepetitionAdversary` (e.g. the conformance
+/// harness, which builds a fresh boxed strategy per trial per engine).
+impl<A: RepetitionAdversary + ?Sized> RepetitionAdversary for Box<A> {
+    fn plan(&mut self, ctx: &RepetitionContext) -> JamPlan {
+        (**self).plan(ctx)
+    }
+
+    fn observe(&mut self, ctx: &RepetitionContext, summary: &RepetitionSummary) {
+        (**self).observe(ctx, summary)
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        (**self).remaining_budget()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

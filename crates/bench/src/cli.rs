@@ -26,6 +26,7 @@ use rcb_core::one_to_one::profile::{DuelProfile, Fig1Profile};
 use rcb_mathkit::rng::SeedSequence;
 use rcb_mathkit::stats::RunningStats;
 use rcb_mathkit::PHI_MINUS_ONE;
+use rcb_sim::conformance::{default_grid, run_grid, ConformanceConfig};
 use rcb_sim::duel::{run_duel, DuelConfig};
 use rcb_sim::fast::{run_broadcast, FastConfig};
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
@@ -107,6 +108,9 @@ COMMANDS:
              --budget N   --delta F   --trials N   --seed N
   golden     Theorem 5 golden-ratio sweep
              --budget N   --trials N   --seed N
+  conformance  cross-engine agreement grid (exact vs fast engines)
+             --trials N (default 200)   --seed N (default 2014)
+             --alpha F (default 0.001)
   help       this text
 ";
 
@@ -118,6 +122,7 @@ pub fn run_cli(args: &Args) -> Result<String, String> {
         Some("broadcast") => cmd_broadcast(args),
         Some("product") => cmd_product(args),
         Some("golden") => cmd_golden(args),
+        Some("conformance") => cmd_conformance(args),
         Some(other) => Err(format!("unknown command `{other}`; try `rcbsim help`")),
     }
 }
@@ -317,6 +322,34 @@ fn cmd_golden(args: &Args) -> Result<String, String> {
     ))
 }
 
+fn cmd_conformance(args: &Args) -> Result<String, String> {
+    let trials: u64 = args.get("trials", 200)?;
+    let seed: u64 = args.get("seed", 2014)?;
+    let alpha: f64 = args.get("alpha", 1e-3)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    if !(0.0..1.0).contains(&alpha) || alpha <= 0.0 {
+        return Err("--alpha must be in (0,1)".into());
+    }
+    let cfg = ConformanceConfig {
+        trials,
+        seed,
+        alpha,
+        parallelism: Parallelism::Auto,
+    };
+    let (duels, broadcasts) = default_grid();
+    let report = run_grid(&duels, &broadcasts, &cfg);
+    let text = report.render();
+    if report.passed() {
+        Ok(text)
+    } else {
+        // A failed grid is a real engine divergence: make the exit status
+        // reflect it so CI can gate on `rcbsim conformance`.
+        Err(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,5 +446,33 @@ mod tests {
         let a = parse(&["golden", "--budget", "256", "--trials", "50"]).expect("parse");
         let report = run_cli(&a).expect("run");
         assert!(report.contains("0.618"));
+    }
+
+    #[test]
+    fn conformance_command_smoke() {
+        // Tiny trial count: this checks plumbing, not statistical power —
+        // the sim crate's own tests and the default 200-trial CLI run do
+        // that. Even at 25 trials a grid-wide p < 1e-6 would be a real bug.
+        let a = parse(&[
+            "conformance",
+            "--trials",
+            "25",
+            "--seed",
+            "2014",
+            "--alpha=0.000001",
+        ])
+        .expect("parse");
+        let report = run_cli(&a).expect("conformance grid diverged");
+        assert!(report.contains("grid PASSED"));
+        assert!(report.contains("alice_cost"));
+        assert!(report.contains("broadcast n=5"));
+    }
+
+    #[test]
+    fn conformance_rejects_bad_flags() {
+        let zero = parse(&["conformance", "--trials", "0"]).expect("parse");
+        assert!(run_cli(&zero).is_err());
+        let alpha = parse(&["conformance", "--alpha", "2.0"]).expect("parse");
+        assert!(run_cli(&alpha).is_err());
     }
 }

@@ -32,7 +32,7 @@ pub use ledger::EnergyLedger;
 pub use message::{Payload, PayloadKind};
 pub use partition::Partition;
 pub use slot::{resolve_slot, Action, ChannelState, JamDecision, Reception, SlotResolution};
-pub use trace::{SlotRecord, Trace};
+pub use trace::{Group0State, ReceptionKind, SlotRecord, Trace};
 
 /// Index of a node in the system. The broadcast sender is conventionally
 /// node 0 in the 1-to-n protocol and "Alice" in the 1-to-1 protocol.

@@ -4,8 +4,8 @@
 //! slot only when handed an enabled [`Trace`], so the hot path pays one
 //! branch when disabled.
 
-use crate::slot::{ChannelState, SlotResolution};
-use crate::Slot;
+use crate::slot::{ChannelState, Reception, SlotResolution};
+use crate::{NodeId, Slot};
 use serde::{Deserialize, Serialize};
 
 /// Compact, serializable description of what happened in one slot.
@@ -22,6 +22,47 @@ pub struct SlotRecord {
     /// the experiments need; full per-group state is not retained to keep
     /// traces small).
     pub group0: Group0State,
+    /// What each listening node heard, in node order. Bodies are stripped —
+    /// a trace replayer (conformance harness) only needs the kind to feed
+    /// the protocol state machines.
+    pub receptions: Vec<(NodeId, ReceptionKind)>,
+}
+
+/// A [`Reception`] with the payload body stripped, cheap to store per slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReceptionKind {
+    /// CCA idle: nothing on the channel.
+    Clear,
+    /// Decoded the broadcast message `m`.
+    Message,
+    /// Decoded a (possibly spoofed) nack.
+    Nack,
+    /// Decoded an ack.
+    Ack,
+    /// Undecodable energy: jamming, collision, or a noise payload.
+    Noise,
+}
+
+impl ReceptionKind {
+    pub fn from_reception(reception: &Reception) -> Self {
+        match reception {
+            Reception::Clear => ReceptionKind::Clear,
+            Reception::Noise => ReceptionKind::Noise,
+            Reception::Received(payload) => match payload.kind() {
+                crate::message::PayloadKind::Message => ReceptionKind::Message,
+                crate::message::PayloadKind::Nack => ReceptionKind::Nack,
+                crate::message::PayloadKind::Ack => ReceptionKind::Ack,
+                // A lone noise payload normally resolves to `Reception::Noise`,
+                // but classify defensively.
+                crate::message::PayloadKind::Noise => ReceptionKind::Noise,
+            },
+        }
+    }
+
+    /// Did this reception deliver the broadcast message?
+    pub fn is_message(&self) -> bool {
+        matches!(self, ReceptionKind::Message)
+    }
 }
 
 /// Reduced channel state for group 0.
@@ -84,7 +125,23 @@ impl Trace {
             listeners: resolution.receptions.len(),
             jam_mask,
             group0: Group0State::from_states(&resolution.states),
+            receptions: resolution
+                .receptions
+                .iter()
+                .map(|(node, r)| (*node, ReceptionKind::from_reception(r)))
+                .collect(),
         });
+    }
+
+    /// Rebuilds a trace from raw records — e.g. deserialized from disk, or
+    /// synthesized by replay tooling.
+    pub fn from_records(records: Vec<SlotRecord>) -> Self {
+        let capacity = records.len();
+        Self {
+            records,
+            capacity,
+            dropped: 0,
+        }
     }
 
     pub fn records(&self) -> &[SlotRecord] {
@@ -132,6 +189,35 @@ mod tests {
         assert_eq!(rec.senders, 1);
         assert_eq!(rec.listeners, 1);
         assert_eq!(rec.group0, Group0State::Message);
+        assert_eq!(rec.receptions, vec![(1, ReceptionKind::Message)]);
+    }
+
+    #[test]
+    fn receptions_record_what_each_listener_heard() {
+        let mut t = Trace::with_capacity(10);
+        // Two listeners, one nack sender: both listeners decode the nack.
+        let r = resolution(
+            &[
+                Action::Listen,
+                Action::Send(Payload::nack()),
+                Action::Listen,
+            ],
+            &JamDecision::none(),
+        );
+        t.record(0, 0, &r);
+        let rec = &t.records()[0];
+        assert_eq!(
+            rec.receptions,
+            vec![(0, ReceptionKind::Nack), (2, ReceptionKind::Nack)]
+        );
+
+        // Jammed slot: the listener hears noise.
+        let p = Partition::uniform(1);
+        let mut l = EnergyLedger::new(1);
+        let jammed = resolve_slot(&[Action::Listen], &JamDecision::jam_all(&p), &p, &mut l);
+        t.record(1, 1, &jammed);
+        assert_eq!(t.records()[1].receptions, vec![(0, ReceptionKind::Noise)]);
+        assert!(!t.records()[1].receptions[0].1.is_message());
     }
 
     #[test]

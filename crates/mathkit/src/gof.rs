@@ -1,0 +1,329 @@
+//! Goodness-of-fit tests for the conformance harness.
+//!
+//! The cross-engine differ needs more than a location test: two engines can
+//! share a mean while disagreeing in shape. [`ks_two_sample`] compares full
+//! empirical distributions; [`chi_square_gof`] checks observed category
+//! counts against expected frequencies (used to prove the geometric-skip
+//! samplers match naive per-slot coin flips).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KsTest {
+    /// Supremum distance between the two empirical CDFs.
+    pub d: f64,
+    /// Two-sided p-value (asymptotic Kolmogorov distribution with the
+    /// Stephens small-sample correction).
+    pub p: f64,
+}
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChiSquare {
+    /// The χ² statistic.
+    pub stat: f64,
+    /// Degrees of freedom (categories − 1).
+    pub df: u64,
+    /// Upper-tail p-value `P(χ²_df ≥ stat)`.
+    pub p: f64,
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_survival(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100u32 {
+        let term = (-2.0 * (k as f64 * lambda).powi(2)).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample Kolmogorov–Smirnov test of `xs` vs `ys`.
+///
+/// ```
+/// use rcb_mathkit::gof::ks_two_sample;
+///
+/// let same = ks_two_sample(&[1.0, 2.0, 3.0, 4.0], &[1.5, 2.5, 3.5]);
+/// assert!(same.p > 0.3);
+/// let apart: Vec<f64> = (0..50).map(f64::from).collect();
+/// let far: Vec<f64> = (100..150).map(f64::from).collect();
+/// assert!(ks_two_sample(&apart, &far).p < 1e-6);
+/// ```
+///
+/// # Panics
+/// If either sample is empty or any value is NaN.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> KsTest {
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "samples must be non-empty"
+    );
+    let mut a: Vec<f64> = xs.to_vec();
+    let mut b: Vec<f64> = ys.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+
+    // Sweep the merged order, tracking the CDF gap. Advance past ties in
+    // *both* samples before measuring, so tied values do not inflate D.
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let v = a[i].min(b[j]);
+        while i < a.len() && a[i] == v {
+            i += 1;
+        }
+        while j < b.len() && b[j] == v {
+            j += 1;
+        }
+        d = d.max((i as f64 / n1 - j as f64 / n2).abs());
+    }
+    // The remaining tail of the longer sample only shrinks the gap toward
+    // |1 − 1| = 0, so no further sweep is needed.
+
+    let ne = n1 * n2 / (n1 + n2);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsTest {
+        d,
+        p: kolmogorov_survival(lambda),
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = Γ(a, x)/Γ(a)`, via the
+/// series for `x < a + 1` and the continued fraction otherwise (Numerical
+/// Recipes §6.2). Accurate to ~1e-10 over the chi-square range we use.
+fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain");
+    if x == 0.0 {
+        return 1.0;
+    }
+    let ln_gamma_a = ln_gamma(a);
+    if x < a + 1.0 {
+        // P(a,x) by series; Q = 1 − P.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-14 {
+                break;
+            }
+        }
+        let p = sum * (-x + a * x.ln() - ln_gamma_a).exp();
+        (1.0 - p).clamp(0.0, 1.0)
+    } else {
+        // Q(a,x) by Lentz's continued fraction.
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-14 {
+                break;
+            }
+        }
+        (h * (-x + a * x.ln() - ln_gamma_a).exp()).clamp(0.0, 1.0)
+    }
+}
+
+/// `ln Γ(x)` by the Lanczos approximation (g = 7, n = 9), |ε| < 1e-13 for
+/// positive arguments.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π/sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Chi-square goodness-of-fit: `observed[i]` counts vs `expected[i]`
+/// frequencies (same length, expected all positive).
+///
+/// ```
+/// use rcb_mathkit::gof::chi_square_gof;
+///
+/// let even = chi_square_gof(&[52, 48], &[50.0, 50.0]);
+/// assert!(even.p > 0.5);
+/// let skew = chi_square_gof(&[90, 10], &[50.0, 50.0]);
+/// assert!(skew.p < 1e-6);
+/// ```
+///
+/// # Panics
+/// If lengths differ, fewer than two categories, or an expected count is
+/// not positive.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64]) -> ChiSquare {
+    assert_eq!(observed.len(), expected.len(), "category count mismatch");
+    assert!(observed.len() >= 2, "need at least two categories");
+    assert!(
+        expected.iter().all(|&e| e > 0.0),
+        "expected counts must be positive"
+    );
+    let stat: f64 = observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| (o as f64 - e).powi(2) / e)
+        .sum();
+    let df = (observed.len() - 1) as u64;
+    ChiSquare {
+        stat,
+        df,
+        p: gamma_q(df as f64 / 2.0, stat / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RcbRng;
+
+    #[test]
+    fn ln_gamma_anchors() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_q_anchors() {
+        // Q(1/2, x/2) is the χ²₁ survival function: Q at the 95th
+        // percentile (3.841) is 0.05.
+        assert!((gamma_q(0.5, 3.841 / 2.0) - 0.05).abs() < 1e-3);
+        // χ²₅ 95th percentile is 11.070.
+        assert!((gamma_q(2.5, 11.070 / 2.0) - 0.05).abs() < 1e-3);
+        assert!((gamma_q(1.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!(gamma_q(1.0, 50.0) < 1e-20);
+    }
+
+    #[test]
+    fn ks_identical_samples_not_rejected() {
+        let mut rng = RcbRng::new(1);
+        let xs: Vec<f64> = (0..300).map(|_| rng.f64()).collect();
+        let ys: Vec<f64> = (0..300).map(|_| rng.f64()).collect();
+        let r = ks_two_sample(&xs, &ys);
+        assert!(r.p > 0.01, "p = {}", r.p);
+        assert!(r.d < 0.15);
+    }
+
+    #[test]
+    fn ks_detects_shift_and_spread() {
+        let mut rng = RcbRng::new(2);
+        let xs: Vec<f64> = (0..300).map(|_| rng.f64()).collect();
+        let shifted: Vec<f64> = (0..300).map(|_| rng.f64() + 0.4).collect();
+        assert!(ks_two_sample(&xs, &shifted).p < 1e-6);
+        // Same mean, different spread: a pure location test misses this.
+        let wide: Vec<f64> = (0..300).map(|_| (rng.f64() - 0.5) * 4.0 + 0.5).collect();
+        assert!(ks_two_sample(&xs, &wide).p < 1e-6);
+    }
+
+    #[test]
+    fn ks_handles_heavy_ties() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 4) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| (i % 4) as f64).collect();
+        let r = ks_two_sample(&xs, &ys);
+        assert_eq!(r.d, 0.0, "identical tied samples");
+        assert!(r.p > 0.99);
+    }
+
+    #[test]
+    fn ks_statistic_matches_hand_computation() {
+        // xs = {1, 2}, ys = {1, 3}: after 1 the CDFs agree (1/2, 1/2);
+        // after 2 they are (1, 1/2); D = 1/2.
+        let r = ks_two_sample(&[1.0, 2.0], &[1.0, 3.0]);
+        assert!((r.d - 0.5).abs() < 1e-12, "d = {}", r.d);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ks_empty_sample_panics() {
+        ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    fn chi_square_uniform_die() {
+        // A fair die rolled 600 times with mild fluctuation.
+        let obs = [95u64, 102, 105, 98, 103, 97];
+        let r = chi_square_gof(&obs, &[100.0; 6]);
+        assert_eq!(r.df, 5);
+        assert!(r.p > 0.5, "p = {}", r.p);
+        // A loaded die is rejected.
+        let loaded = [200u64, 80, 80, 80, 80, 80];
+        assert!(chi_square_gof(&loaded, &[100.0; 6]).p < 1e-6);
+    }
+
+    #[test]
+    fn chi_square_statistic_is_exact() {
+        // obs (60, 40) vs exp (50, 50): χ² = 100/50 + 100/50 = 4, df 1,
+        // p = Q(1/2, 2) ≈ 0.0455.
+        let r = chi_square_gof(&[60, 40], &[50.0, 50.0]);
+        assert!((r.stat - 4.0).abs() < 1e-12);
+        assert!((r.p - 0.0455).abs() < 1e-3, "p = {}", r.p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn chi_square_rejects_nonpositive_expected() {
+        chi_square_gof(&[1, 2], &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn p_values_are_roughly_uniform_under_null() {
+        // Repeated same-distribution KS tests should not pile up tiny
+        // p-values: with 40 runs the minimum should comfortably exceed
+        // 1/1000 and the median sit near 1/2.
+        let mut rng = RcbRng::new(3);
+        let mut ps = Vec::new();
+        for _ in 0..40 {
+            let xs: Vec<f64> = (0..80).map(|_| rng.f64()).collect();
+            let ys: Vec<f64> = (0..80).map(|_| rng.f64()).collect();
+            ps.push(ks_two_sample(&xs, &ys).p);
+        }
+        ps.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        assert!(ps[0] > 1e-3, "min p = {}", ps[0]);
+        assert!(ps[20] > 0.1, "median p = {}", ps[20]);
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod bounds;
 pub mod fit;
+pub mod gof;
 pub mod histogram;
 pub mod hypothesis;
 pub mod rng;
@@ -23,6 +24,7 @@ pub use bounds::{chernoff_lower_tail, chernoff_upper_tail, concentration_radius}
 pub use fit::{
     linear_fit, power_law_fit, power_law_fit_with_offset, LinearFit, OffsetPowerLawFit, PowerLawFit,
 };
+pub use gof::{chi_square_gof, ks_two_sample, ChiSquare, KsTest};
 pub use histogram::LogHistogram;
 pub use hypothesis::{mann_whitney_u, normal_cdf, MannWhitney};
 pub use rng::{seed_stream, RcbRng, SeedSequence};

@@ -9,6 +9,7 @@
 //! *exactly* distributed as per-slot coin flips.
 
 use crate::rng::RcbRng;
+use std::collections::HashSet;
 
 /// A single biased coin flip.
 #[inline]
@@ -99,16 +100,25 @@ pub fn sample_slots(rng: &mut RcbRng, n: u64, p: f64) -> Vec<u64> {
 
 /// `k` distinct values drawn uniformly from `0..n` (Floyd's algorithm),
 /// returned in arbitrary order. Panics if `k > n`.
+///
+/// Membership is tracked in a hash set, so the whole draw is expected
+/// `O(k)` — the natural `chosen.contains(&t)` scan would make Floyd's
+/// algorithm quadratic in `k`. The value sequence is identical to the
+/// scan-based version for a given RNG stream: only the lookup changed.
 pub fn sample_distinct(rng: &mut RcbRng, n: u64, k: u64) -> Vec<u64> {
     assert!(k <= n, "cannot draw {k} distinct values from 0..{n}");
     let mut chosen: Vec<u64> = Vec::with_capacity(k as usize);
+    let mut member: HashSet<u64> = HashSet::with_capacity(k as usize);
     // Floyd: for j in n-k..n, pick t in [0, j]; if t already chosen, take j.
     for j in (n - k)..n {
         let t = rng.below(j + 1);
-        if chosen.contains(&t) {
-            chosen.push(j);
-        } else {
+        if member.insert(t) {
             chosen.push(t);
+        } else {
+            // `j` has never been drawn before (every earlier element is
+            // at most the previous `j`), so this insert always succeeds.
+            member.insert(j);
+            chosen.push(j);
         }
     }
     chosen
@@ -309,6 +319,41 @@ mod tests {
     fn sample_distinct_k_too_large_panics() {
         let mut rng = RcbRng::new(14);
         sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn sample_distinct_matches_linear_scan_reference() {
+        // The hash-set membership check must not change the sampled
+        // sequence: replay the same RNG stream through the textbook
+        // contains()-based Floyd and demand identical output.
+        fn reference(rng: &mut RcbRng, n: u64, k: u64) -> Vec<u64> {
+            let mut chosen: Vec<u64> = Vec::with_capacity(k as usize);
+            for j in (n - k)..n {
+                let t = rng.below(j + 1);
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            chosen
+        }
+        for seed in 0..20 {
+            for &(n, k) in &[(1u64, 1u64), (10, 3), (100, 100), (5000, 700)] {
+                let fast = sample_distinct(&mut RcbRng::new(seed), n, k);
+                let slow = reference(&mut RcbRng::new(seed), n, k);
+                assert_eq!(fast, slow, "seed {seed}, n {n}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_large_k_is_fast() {
+        // 200k draws would take minutes under the quadratic scan; the hash
+        // set keeps it well under a second.
+        let mut rng = RcbRng::new(16);
+        let v = sample_distinct(&mut rng, 1 << 20, 200_000);
+        assert_eq!(v.len(), 200_000);
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! Statistical differ: paired trial batches on the exact and fast engines.
+//!
+//! Each *cell* fixes a protocol configuration and an adversary policy; the
+//! harness runs `trials` independent executions per engine (deterministic
+//! per-trial RNG streams via [`run_trials`]) and compares the load-bearing
+//! metrics with two nonparametric tests: Mann–Whitney U (location shifts)
+//! and two-sample Kolmogorov–Smirnov (any distributional difference). Under
+//! the null — both engines sample the same distribution — p-values are
+//! uniform, so `p < alpha` with `alpha = 1e-3` is a 1-in-1000 fluke per
+//! test and treated as an engine divergence.
+//!
+//! This replaces the ad-hoc mean±tolerance checks the validation tests used
+//! to hand-roll, and fixes their confound: the old tests compared
+//! `BudgetedPhaseBlocker` (2 budget units per slot, both parties hear
+//! noise) on the exact engine against `BudgetedRepBlocker` (1 unit, only
+//! the listener) on the fast engine — two different attacks. Here one
+//! [`AdversarySpec`] builds the *same* repetition strategy for both
+//! engines; the exact engine drives it through
+//! [`RepAsSlotAdversary`].
+
+use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep};
+use rcb_adversary::traits::RepetitionAdversary;
+use rcb_adversary::RepAsSlotAdversary;
+use rcb_channel::partition::Partition;
+use rcb_core::one_to_n::{OneToNParams, OneToNSchedule, OneToNSlotNode};
+use rcb_core::one_to_one::profile::Fig1Profile;
+use rcb_core::one_to_one::schedule::DuelSchedule;
+use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
+use rcb_core::protocol::SlotProtocol;
+use rcb_mathkit::gof::ks_two_sample;
+use rcb_mathkit::hypothesis::mann_whitney_u;
+
+use crate::duel::{run_duel, DuelConfig};
+use crate::exact::{run_exact, ExactConfig};
+use crate::fast::{run_broadcast, FastConfig};
+use crate::runner::{run_trials, Parallelism};
+
+use std::fmt;
+
+/// An adversary policy both engines can run. Each trial on each engine gets
+/// a **fresh** instance (budgets reset), so trials stay i.i.d.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversarySpec {
+    /// No jamming (`T = 0`).
+    NoJam,
+    /// [`BudgetedRepBlocker`]: jam a `fraction`-suffix of every repetition
+    /// while the budget lasts.
+    Budgeted { budget: u64, fraction: f64 },
+    /// [`KeepAliveBlocker`]: jam only odd repetitions, keeping the victims
+    /// active for longer.
+    KeepAlive { budget: u64, fraction: f64 },
+}
+
+impl AdversarySpec {
+    /// A fresh strategy instance with its full budget.
+    pub fn build(&self) -> Box<dyn RepetitionAdversary> {
+        match *self {
+            AdversarySpec::NoJam => Box::new(NoJamRep),
+            AdversarySpec::Budgeted { budget, fraction } => {
+                Box::new(BudgetedRepBlocker::new(budget, fraction))
+            }
+            AdversarySpec::KeepAlive { budget, fraction } => {
+                Box::new(KeepAliveBlocker::new(budget, fraction))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversarySpec::NoJam => write!(f, "T=0"),
+            AdversarySpec::Budgeted { budget, fraction } => {
+                write!(f, "blocker(T={budget}, q={fraction})")
+            }
+            AdversarySpec::KeepAlive { budget, fraction } => {
+                write!(f, "keepalive(T={budget}, q={fraction})")
+            }
+        }
+    }
+}
+
+/// One 1-to-1 (Figure 1) grid cell.
+#[derive(Debug, Clone, Copy)]
+pub struct DuelCell {
+    /// Error tolerance ε of the profile.
+    pub error_rate: f64,
+    /// Start epoch (kept small so the exact engine stays fast).
+    pub start_epoch: u32,
+    pub adversary: AdversarySpec,
+}
+
+/// One 1-to-n (Figure 2) grid cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastCell {
+    pub n: usize,
+    /// `OneToNParams::practical()` with this `first_epoch`.
+    pub first_epoch: u32,
+    pub adversary: AdversarySpec,
+}
+
+/// Harness parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ConformanceConfig {
+    /// Trials per engine per cell.
+    pub trials: u64,
+    /// Master seed; the fast engine's batch uses a derived stream.
+    pub seed: u64,
+    /// Per-test significance level for the divergence verdict.
+    pub alpha: f64,
+    pub parallelism: Parallelism,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        Self {
+            trials: 200,
+            seed: 2014,
+            alpha: 1e-3,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+impl ConformanceConfig {
+    /// The fast engine must not share trial seeds with the exact engine:
+    /// the engines consume different amounts of randomness per trial, and
+    /// partially-shared streams would correlate the two samples.
+    fn fast_seed(&self) -> u64 {
+        self.seed ^ 0x9e37_79b9_7f4a_7c15
+    }
+}
+
+/// Two-engine comparison of one metric.
+#[derive(Debug, Clone)]
+pub struct MetricVerdict {
+    pub metric: &'static str,
+    pub exact_mean: f64,
+    pub fast_mean: f64,
+    /// Mann–Whitney two-sided p.
+    pub mw_p: f64,
+    /// Rank-biserial effect size in `[-1, 1]`.
+    pub effect_size: f64,
+    /// KS statistic `D` and its p-value.
+    pub ks_d: f64,
+    pub ks_p: f64,
+    /// Advisory metrics are reported but excluded from the divergence
+    /// verdict (e.g. `slots`: the fast engines round runs up to phase
+    /// boundaries by construction, so small shifts are expected).
+    pub advisory: bool,
+}
+
+impl MetricVerdict {
+    fn compare(metric: &'static str, exact: &[f64], fast: &[f64], advisory: bool) -> Self {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let degenerate = {
+            // Both samples one identical constant: every test statistic is
+            // 0/0; that is perfect agreement, not a divergence.
+            let first = exact[0];
+            exact.iter().chain(fast).all(|&x| x == first)
+        };
+        let (mw_p, effect_size, ks_d, ks_p) = if degenerate {
+            (1.0, 0.0, 0.0, 1.0)
+        } else {
+            let mw = mann_whitney_u(exact, fast);
+            let ks = ks_two_sample(exact, fast);
+            (mw.p_two_sided, mw.effect_size, ks.d, ks.p)
+        };
+        Self {
+            metric,
+            exact_mean: mean(exact),
+            fast_mean: mean(fast),
+            mw_p,
+            effect_size,
+            ks_d,
+            ks_p,
+            advisory,
+        }
+    }
+
+    /// The smaller of the two test p-values.
+    pub fn worst_p(&self) -> f64 {
+        self.mw_p.min(self.ks_p)
+    }
+
+    pub fn diverges(&self, alpha: f64) -> bool {
+        !self.advisory && self.worst_p() < alpha
+    }
+}
+
+/// All metric verdicts for one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    pub name: String,
+    pub trials: u64,
+    pub metrics: Vec<MetricVerdict>,
+}
+
+impl CellReport {
+    pub fn diverges(&self, alpha: f64) -> bool {
+        self.metrics.iter().any(|m| m.diverges(alpha))
+    }
+
+    /// Smallest verdict-relevant p in the cell (1.0 if all advisory).
+    pub fn worst_p(&self) -> f64 {
+        self.metrics
+            .iter()
+            .filter(|m| !m.advisory)
+            .map(MetricVerdict::worst_p)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// The full grid's verdicts.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    pub alpha: f64,
+    pub cells: Vec<CellReport>,
+}
+
+impl GridReport {
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| !c.diverges(self.alpha))
+    }
+
+    pub fn worst_p(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(CellReport::worst_p)
+            .fold(1.0, f64::min)
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "cell: {} ({} trials/engine)\n",
+                cell.name, cell.trials
+            ));
+            out.push_str(
+                "  metric            exact-mean   fast-mean      MW-p     KS-D      KS-p\n",
+            );
+            for m in &cell.metrics {
+                let flag = if m.diverges(self.alpha) {
+                    "  << DIVERGES"
+                } else if m.advisory {
+                    "  (advisory)"
+                } else {
+                    ""
+                };
+                out.push_str(&format!(
+                    "  {:<16} {:>11.3} {:>11.3} {:>9.4} {:>8.4} {:>9.4}{}\n",
+                    m.metric, m.exact_mean, m.fast_mean, m.mw_p, m.ks_d, m.ks_p, flag
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "grid {}: worst p = {:.4} (alpha = {})\n",
+            if self.passed() { "PASSED" } else { "FAILED" },
+            self.worst_p(),
+            self.alpha
+        ));
+        out
+    }
+}
+
+struct DuelSample {
+    alice: f64,
+    bob: f64,
+    max: f64,
+    delivered: f64,
+    slots: f64,
+}
+
+/// Runs one duel cell on both engines and compares the metrics.
+pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
+    let profile = Fig1Profile::with_start_epoch(cell.error_rate, cell.start_epoch);
+    let exact: Vec<DuelSample> = run_trials(cfg.trials, cfg.seed, cfg.parallelism, |_, rng| {
+        let mut alice = AliceProtocol::new(profile);
+        let mut bob = BobProtocol::new(profile);
+        let schedule = DuelSchedule::new(cell.start_epoch);
+        let partition = Partition::pair();
+        let mut adv = RepAsSlotAdversary::duel(cell.adversary.build());
+        let out = run_exact(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            rng,
+            ExactConfig::default(),
+            None,
+        );
+        DuelSample {
+            alice: out.ledger.node_cost(0) as f64,
+            bob: out.ledger.node_cost(1) as f64,
+            max: out.ledger.max_node_cost() as f64,
+            delivered: bob.received_message() as u64 as f64,
+            slots: out.slots as f64,
+        }
+    });
+    let fast: Vec<DuelSample> =
+        run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
+            let mut adv = cell.adversary.build();
+            let out = run_duel(&profile, &mut adv, rng, DuelConfig::default());
+            DuelSample {
+                alice: out.alice_cost as f64,
+                bob: out.bob_cost as f64,
+                max: out.max_cost() as f64,
+                delivered: out.delivered as u64 as f64,
+                slots: out.slots as f64,
+            }
+        });
+
+    let col = |f: fn(&DuelSample) -> f64, v: &[DuelSample]| v.iter().map(f).collect::<Vec<_>>();
+    let metrics = vec![
+        MetricVerdict::compare(
+            "alice_cost",
+            &col(|s| s.alice, &exact),
+            &col(|s| s.alice, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "bob_cost",
+            &col(|s| s.bob, &exact),
+            &col(|s| s.bob, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "max_cost",
+            &col(|s| s.max, &exact),
+            &col(|s| s.max, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "delivered",
+            &col(|s| s.delivered, &exact),
+            &col(|s| s.delivered, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "slots",
+            &col(|s| s.slots, &exact),
+            &col(|s| s.slots, &fast),
+            true,
+        ),
+    ];
+    CellReport {
+        name: format!(
+            "duel ε={} i₀={} {}",
+            cell.error_rate, cell.start_epoch, cell.adversary
+        ),
+        trials: cfg.trials,
+        metrics,
+    }
+}
+
+struct BroadcastSample {
+    mean: f64,
+    max: f64,
+    informed: f64,
+    slots: f64,
+}
+
+/// Runs one 1-to-n cell on both engines and compares the metrics.
+pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> CellReport {
+    let mut params = OneToNParams::practical();
+    params.first_epoch = cell.first_epoch;
+    let n = cell.n;
+
+    let exact: Vec<BroadcastSample> =
+        run_trials(cfg.trials, cfg.seed, cfg.parallelism, |_, rng| {
+            let mut nodes: Vec<OneToNSlotNode> = (0..n)
+                .map(|u| OneToNSlotNode::new(params, u == 0))
+                .collect();
+            let mut refs: Vec<&mut dyn SlotProtocol> = Vec::new();
+            for node in nodes.iter_mut() {
+                refs.push(node);
+            }
+            let schedule = OneToNSchedule::new(params);
+            let partition = Partition::uniform(n);
+            let mut adv = RepAsSlotAdversary::broadcast(cell.adversary.build(), n);
+            let out = run_exact(
+                &mut refs,
+                &mut adv,
+                &schedule,
+                &partition,
+                rng,
+                ExactConfig {
+                    max_slots: 40_000_000,
+                },
+                None,
+            );
+            let informed = nodes.iter().filter(|v| v.received_message()).count();
+            BroadcastSample {
+                mean: out.ledger.mean_node_cost(),
+                max: out.ledger.max_node_cost() as f64,
+                informed: informed as f64 / n as f64,
+                slots: out.slots as f64,
+            }
+        });
+    let fast: Vec<BroadcastSample> =
+        run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
+            let mut adv = cell.adversary.build();
+            let out = run_broadcast(&params, n, &mut adv, rng, FastConfig::default());
+            BroadcastSample {
+                mean: out.mean_cost(),
+                max: out.max_cost() as f64,
+                informed: out.informed as f64 / n as f64,
+                slots: out.slots as f64,
+            }
+        });
+
+    let col =
+        |f: fn(&BroadcastSample) -> f64, v: &[BroadcastSample]| v.iter().map(f).collect::<Vec<_>>();
+    let metrics = vec![
+        MetricVerdict::compare(
+            "mean_cost",
+            &col(|s| s.mean, &exact),
+            &col(|s| s.mean, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "max_cost",
+            &col(|s| s.max, &exact),
+            &col(|s| s.max, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "informed",
+            &col(|s| s.informed, &exact),
+            &col(|s| s.informed, &fast),
+            false,
+        ),
+        MetricVerdict::compare(
+            "slots",
+            &col(|s| s.slots, &exact),
+            &col(|s| s.slots, &fast),
+            true,
+        ),
+    ];
+    CellReport {
+        name: format!(
+            "broadcast n={} i₀={} {}",
+            cell.n, cell.first_epoch, cell.adversary
+        ),
+        trials: cfg.trials,
+        metrics,
+    }
+}
+
+/// The default (profile × adversary × budget) grid: unjammed baselines,
+/// blanket blockers at two budgets, a partial-fraction blocker, and a
+/// keep-alive schedule, for both protocol families.
+pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
+    let duel = |adversary| DuelCell {
+        error_rate: 0.05,
+        start_epoch: 6,
+        adversary,
+    };
+    let duels = vec![
+        duel(AdversarySpec::NoJam),
+        duel(AdversarySpec::Budgeted {
+            budget: 512,
+            fraction: 1.0,
+        }),
+        duel(AdversarySpec::Budgeted {
+            budget: 2048,
+            fraction: 1.0,
+        }),
+        duel(AdversarySpec::Budgeted {
+            budget: 1024,
+            fraction: 0.5,
+        }),
+        duel(AdversarySpec::KeepAlive {
+            budget: 1024,
+            fraction: 1.0,
+        }),
+    ];
+    let broadcast = |adversary| BroadcastCell {
+        n: 5,
+        first_epoch: 4,
+        adversary,
+    };
+    let broadcasts = vec![
+        broadcast(AdversarySpec::NoJam),
+        broadcast(AdversarySpec::Budgeted {
+            budget: 256,
+            fraction: 1.0,
+        }),
+    ];
+    (duels, broadcasts)
+}
+
+/// Runs a grid of cells and collects the verdicts.
+pub fn run_grid(
+    duels: &[DuelCell],
+    broadcasts: &[BroadcastCell],
+    cfg: &ConformanceConfig,
+) -> GridReport {
+    let mut cells = Vec::new();
+    for cell in duels {
+        cells.push(run_duel_cell(cell, cfg));
+    }
+    for cell in broadcasts {
+        cells.push(run_broadcast_cell(cell, cfg));
+    }
+    GridReport {
+        alpha: cfg.alpha,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ConformanceConfig {
+        ConformanceConfig {
+            trials: 40,
+            seed: 7,
+            alpha: 1e-3,
+            parallelism: Parallelism::Fixed(1),
+        }
+    }
+
+    #[test]
+    fn unjammed_duel_cell_agrees() {
+        let cell = DuelCell {
+            error_rate: 0.05,
+            start_epoch: 6,
+            adversary: AdversarySpec::NoJam,
+        };
+        let report = run_duel_cell(&cell, &small_cfg());
+        assert!(
+            !report.diverges(1e-3),
+            "engines diverge on an unjammed cell:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn jammed_duel_cell_agrees() {
+        let cell = DuelCell {
+            error_rate: 0.05,
+            start_epoch: 6,
+            adversary: AdversarySpec::Budgeted {
+                budget: 512,
+                fraction: 1.0,
+            },
+        };
+        let report = run_duel_cell(&cell, &small_cfg());
+        assert!(
+            !report.diverges(1e-3),
+            "engines diverge under jamming:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn differ_detects_a_planted_divergence() {
+        // Power check: exact runs jammed, fast runs unjammed. The jammed
+        // runs burn far more energy, so the cost metrics must reject hard.
+        // (Built by hand since the public API deliberately runs one spec on
+        // both engines.)
+        let cfg = small_cfg();
+        let profile = Fig1Profile::with_start_epoch(0.05, 6);
+        let jammed = AdversarySpec::Budgeted {
+            budget: 4096,
+            fraction: 1.0,
+        };
+        let exact: Vec<f64> = run_trials(cfg.trials, cfg.seed, cfg.parallelism, |_, rng| {
+            let mut alice = AliceProtocol::new(profile);
+            let mut bob = BobProtocol::new(profile);
+            let schedule = DuelSchedule::new(6);
+            let partition = Partition::pair();
+            let mut adv = RepAsSlotAdversary::duel(jammed.build());
+            let out = run_exact(
+                &mut [&mut alice, &mut bob],
+                &mut adv,
+                &schedule,
+                &partition,
+                rng,
+                ExactConfig::default(),
+                None,
+            );
+            out.ledger.max_node_cost() as f64
+        });
+        let fast: Vec<f64> = run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
+            let mut adv = AdversarySpec::NoJam.build();
+            run_duel(&profile, &mut adv, rng, DuelConfig::default()).max_cost() as f64
+        });
+        let verdict = MetricVerdict::compare("max_cost", &exact, &fast, false);
+        assert!(
+            verdict.diverges(1e-3),
+            "differ has no power against a 4096-budget mismatch: {verdict:#?}"
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let cell = DuelCell {
+            error_rate: 0.05,
+            start_epoch: 6,
+            adversary: AdversarySpec::Budgeted {
+                budget: 256,
+                fraction: 1.0,
+            },
+        };
+        let cfg = ConformanceConfig {
+            trials: 20,
+            ..small_cfg()
+        };
+        let a = run_duel_cell(&cell, &cfg);
+        let b = run_duel_cell(&cell, &cfg);
+        for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(ma.mw_p, mb.mw_p, "{}", ma.metric);
+            assert_eq!(ma.ks_d, mb.ks_d, "{}", ma.metric);
+        }
+    }
+
+    #[test]
+    fn degenerate_constant_metrics_do_not_reject() {
+        let v = MetricVerdict::compare("delivered", &[1.0; 30], &[1.0; 30], false);
+        assert_eq!(v.worst_p(), 1.0);
+        assert!(!v.diverges(0.05));
+    }
+
+    #[test]
+    fn render_mentions_every_cell() {
+        let report = GridReport {
+            alpha: 1e-3,
+            cells: vec![CellReport {
+                name: "duel test-cell".into(),
+                trials: 5,
+                metrics: vec![MetricVerdict::compare(
+                    "delivered",
+                    &[1.0, 1.0, 0.0],
+                    &[1.0, 0.0, 1.0],
+                    false,
+                )],
+            }],
+        };
+        let text = report.render();
+        assert!(text.contains("test-cell"));
+        assert!(text.contains("delivered"));
+        assert!(text.contains("PASSED"));
+    }
+}

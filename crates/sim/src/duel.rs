@@ -120,12 +120,12 @@ pub fn run_duel<P: DuelProfile>(
 
         let mut bob_noise = 0u64;
         let mut bob_outcome = None;
+        let mut bob_listened = 0u64;
         if !bob.is_done() {
             let bob_listens = sample_slots(rng, len, rate);
             let mut got_m_at = None;
-            let mut listened = 0u64;
             scan_listens(&bob_listens, &alice_sends, |t, alice_sent| {
-                listened += 1;
+                bob_listened += 1;
                 if plan.is_jammed(t, len) {
                     bob_noise += 1;
                     false
@@ -136,7 +136,7 @@ pub fn run_duel<P: DuelProfile>(
                     false
                 }
             });
-            bob_cost += listened;
+            bob_cost += bob_listened;
             if let Some(t) = got_m_at {
                 bob.receive_message();
                 delivery_slot = Some(slots + t);
@@ -144,13 +144,17 @@ pub fn run_duel<P: DuelProfile>(
                 bob_outcome = Some(bob.end_send_phase(false, bob_noise, thr));
             }
         }
+        // Summaries report *this phase's* action counts — adaptive
+        // adversaries key their spending on per-repetition observations, so
+        // feeding them cumulative totals would skew every budget-reactive
+        // strategy (and differently per engine).
         adversary.observe(
             &ctx,
             &RepetitionSummary {
                 message_slots: alice_sends.len() as u64,
                 busy_slots: alice_sends.len() as u64,
                 jammed_slots: plan.jam_count(len),
-                listen_actions: bob_cost,
+                listen_actions: bob_listened,
                 send_actions: alice_sends.len() as u64,
             },
         );
@@ -175,9 +179,11 @@ pub fn run_duel<P: DuelProfile>(
         };
         bob_cost += bob_nacks.len() as u64;
 
+        let mut alice_listened = 0u64;
         if !alice.is_done() {
             let alice_listens = sample_slots(rng, len, rate);
-            alice_cost += alice_listens.len() as u64;
+            alice_listened = alice_listens.len() as u64;
+            alice_cost += alice_listened;
             let mut heard_nack = false;
             let mut alice_noise = 0u64;
             scan_listens(&alice_listens, &bob_nacks, |t, bob_sent| {
@@ -199,17 +205,20 @@ pub fn run_duel<P: DuelProfile>(
                 message_slots: 0,
                 busy_slots: bob_nacks.len() as u64,
                 jammed_slots: plan2.jam_count(len),
-                listen_actions: alice_cost,
+                listen_actions: alice_listened,
                 send_actions: bob_nacks.len() as u64,
             },
         );
         slots += len;
         period += 1;
         epoch += 1;
-        assert!(
-            epoch < 62,
-            "epoch diverged; adversary budget must be finite"
-        );
+        if epoch >= 62 {
+            // An effectively-infinite adversary budget (or a degenerate
+            // profile) would push phase lengths past 2^62 slots; truncate
+            // like the `max_slots` cap instead of aborting the trial batch.
+            truncated = true;
+            break;
+        }
     }
 
     DuelOutcome {
@@ -343,6 +352,98 @@ mod tests {
         let mut adv = BudgetedRepBlocker::new(10_000, 1.0);
         let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig { max_slots: 100 });
         assert!(out.truncated);
+    }
+
+    /// Records every (context, summary) pair it observes; never jams.
+    struct RecordingRep {
+        observed: Vec<(RepetitionContext, RepetitionSummary)>,
+    }
+
+    impl RepetitionAdversary for RecordingRep {
+        fn plan(&mut self, _ctx: &RepetitionContext) -> rcb_adversary::traits::JamPlan {
+            rcb_adversary::traits::JamPlan::None
+        }
+
+        fn observe(&mut self, ctx: &RepetitionContext, summary: &RepetitionSummary) {
+            self.observed.push((*ctx, *summary));
+        }
+    }
+
+    #[test]
+    fn summaries_report_per_phase_counts() {
+        // Cross-check the per-phase action counts against the outcome's
+        // cumulative totals: Bob listens in send phases (even periods) and
+        // nacks in nack phases (odd); Alice is the mirror image. A summary
+        // that leaked cumulative totals would both break the totals below
+        // and exceed the phase length.
+        for seed in 0..20 {
+            let profile = Fig1Profile::with_start_epoch(0.05, 6);
+            let mut rng = RcbRng::new(seed);
+            let mut adv = RecordingRep {
+                observed: Vec::new(),
+            };
+            let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
+
+            let mut alice_total = 0u64;
+            let mut bob_total = 0u64;
+            for (ctx, summary) in &adv.observed {
+                assert!(
+                    summary.listen_actions <= ctx.slots,
+                    "seed {seed}: per-phase listens {} exceed phase length {}",
+                    summary.listen_actions,
+                    ctx.slots
+                );
+                assert!(summary.send_actions <= ctx.slots);
+                if ctx.repetition % 2 == 0 {
+                    alice_total += summary.send_actions;
+                    bob_total += summary.listen_actions;
+                } else {
+                    alice_total += summary.listen_actions;
+                    bob_total += summary.send_actions;
+                }
+            }
+            assert_eq!(alice_total, out.alice_cost, "seed {seed}: alice total");
+            assert_eq!(bob_total, out.bob_cost, "seed {seed}: bob total");
+        }
+    }
+
+    /// A degenerate profile that never lets either party halt (threshold 0
+    /// with zero activity), forcing the epoch counter to run away.
+    struct NeverHaltProfile;
+
+    impl DuelProfile for NeverHaltProfile {
+        fn start_epoch(&self) -> u32 {
+            1
+        }
+
+        fn rate(&self, _epoch: u32) -> f64 {
+            0.0
+        }
+
+        fn noise_threshold(&self, _epoch: u32) -> f64 {
+            0.0
+        }
+
+        fn phase_len(&self, _epoch: u32) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn runaway_epochs_truncate_instead_of_panicking() {
+        let mut rng = RcbRng::new(5);
+        let mut adv = NoJamRep;
+        let out = run_duel(
+            &NeverHaltProfile,
+            &mut adv,
+            &mut rng,
+            DuelConfig {
+                max_slots: u64::MAX,
+            },
+        );
+        assert!(out.truncated, "epoch cap must truncate, not abort");
+        assert!(!out.delivered);
+        assert_eq!(out.last_epoch, 61);
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //!   engines agree with [`exact`] in distribution; integration tests
 //!   cross-validate them.
 //!
-//! [`runner`] fans trials out over threads (crossbeam scoped threads, one
+//! [`runner`] fans trials out over threads (std scoped threads, one
 //! deterministic RNG stream per trial), and [`lowerbound`] packages the
 //! Theorem 2 / Theorem 5 measurement games.
 
+pub mod conformance;
 pub mod duel;
 pub mod exact;
 pub mod fast;
@@ -29,6 +30,9 @@ pub mod outcome;
 pub mod reduction;
 pub mod runner;
 
+pub use conformance::{
+    default_grid, run_grid, AdversarySpec, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
+};
 pub use duel::{run_duel, DuelConfig};
 pub use exact::{run_exact, ExactConfig, ExactOutcome};
 pub use fast::{

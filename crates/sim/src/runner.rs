@@ -1,13 +1,12 @@
 //! Parallel Monte-Carlo trial runner.
 //!
 //! Expected-cost estimates need hundreds of independent executions per
-//! parameter cell. [`run_trials`] fans trial indices out over crossbeam
-//! scoped threads; every trial gets its own deterministic RNG stream
+//! parameter cell. [`run_trials`] fans trial indices out over `std::thread`
+//! scoped workers; every trial gets its own deterministic RNG stream
 //! derived from `(master_seed, trial_index)` via
 //! [`SeedSequence`](rcb_mathkit::rng::SeedSequence), so results are
-//! reproducible regardless of thread count or scheduling.
+//! bit-identical regardless of thread count or scheduling.
 
-use parking_lot::Mutex;
 use rcb_mathkit::rng::{RcbRng, SeedSequence};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,7 +35,9 @@ impl Parallelism {
 ///
 /// Work is distributed dynamically (an atomic cursor), so heterogeneous
 /// trial durations — long jammed runs next to short clean ones — balance
-/// across workers.
+/// across workers. Each worker accumulates `(index, value)` pairs locally
+/// and the pairs are merged once at the end: no shared results lock, and
+/// the output is a pure function of `(trials, master_seed, f)`.
 pub fn run_trials<T, F>(trials: u64, master_seed: u64, parallelism: Parallelism, f: F) -> Vec<T>
 where
     T: Send,
@@ -54,28 +55,31 @@ where
             .collect();
     }
 
+    let cursor = AtomicU64::new(0);
+    let worker = |collected: &mut Vec<(u64, T)>| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= trials {
+            return;
+        }
+        let mut rng = seeds.rng(i);
+        collected.push((i, f(i, &mut rng)));
+    };
+
+    let mut per_worker: Vec<Vec<(u64, T)>> = Vec::with_capacity(threads);
+    per_worker.resize_with(threads, Vec::new);
+    std::thread::scope(|scope| {
+        for collected in &mut per_worker {
+            scope.spawn(|| worker(collected));
+        }
+    });
+
     let mut slots: Vec<Option<T>> = Vec::with_capacity(trials as usize);
     slots.resize_with(trials as usize, || None);
-    let results = Mutex::new(slots);
-    let cursor = AtomicU64::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    return;
-                }
-                let mut rng = seeds.rng(i);
-                let value = f(i, &mut rng);
-                results.lock()[i as usize] = Some(value);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_inner()
+    for (i, value) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i as usize].is_none(), "trial {i} claimed twice");
+        slots[i as usize] = Some(value);
+    }
+    slots
         .into_iter()
         .map(|v| v.expect("every trial index was claimed exactly once"))
         .collect()
@@ -106,6 +110,21 @@ mod tests {
     }
 
     #[test]
+    fn auto_equals_fixed_for_fixed_seed() {
+        let auto = run_trials(48, 2014, Parallelism::Auto, |i, rng| {
+            (i, rng.below(1 << 20))
+        });
+        let one = run_trials(48, 2014, Parallelism::Fixed(1), |i, rng| {
+            (i, rng.below(1 << 20))
+        });
+        let eight = run_trials(48, 2014, Parallelism::Fixed(8), |i, rng| {
+            (i, rng.below(1 << 20))
+        });
+        assert_eq!(auto, one);
+        assert_eq!(auto, eight);
+    }
+
+    #[test]
     fn different_trials_get_different_streams() {
         let out = run_trials(50, 1, Parallelism::Fixed(2), |_, rng| rng.below(u64::MAX));
         let mut dedup = out.clone();
@@ -124,5 +143,18 @@ mod tests {
     fn auto_parallelism_runs() {
         let out = run_trials(10, 3, Parallelism::Auto, |i, _| i + 1);
         assert_eq!(out.iter().sum::<u64>(), 55);
+    }
+
+    #[test]
+    fn uneven_workloads_still_order_results() {
+        // Long trials next to instant ones: dynamic distribution must not
+        // perturb output order.
+        let out = run_trials(32, 5, Parallelism::Fixed(4), |i, _| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
     }
 }

@@ -55,6 +55,7 @@ pub use rcb_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use rcb_adversary::adapter::{JamTarget, RepAsSlotAdversary};
     pub use rcb_adversary::rep_strategies::{
         BudgetedRepBlocker, HalfRepBlocker, NoJamRep, RandomRep, SuffixFractionRep,
     };
@@ -75,6 +76,10 @@ pub mod prelude {
     };
     pub use rcb_core::protocol::{Schedule, SlotProtocol};
     pub use rcb_mathkit::rng::{RcbRng, SeedSequence};
+    pub use rcb_sim::conformance::{
+        default_grid, replay_broadcast_trace, replay_duel_trace, run_broadcast_cell, run_duel_cell,
+        run_grid, AdversarySpec, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
+    };
     pub use rcb_sim::duel::{run_duel, DuelConfig};
     pub use rcb_sim::exact::{run_exact, ExactConfig};
     pub use rcb_sim::fast::{run_broadcast, FastConfig};

@@ -2,201 +2,129 @@
 //! slot-level engine *in distribution*.
 //!
 //! The engines consume randomness differently, so trajectories cannot be
-//! compared run-for-run; instead each test runs many trials on both
-//! engines and compares the means of the load-bearing statistics (costs,
-//! delivery rates, informed counts) within Monte-Carlo tolerances.
+//! compared run-for-run. These tests drive the reusable conformance
+//! harness (`rcb_sim::conformance`): paired trial batches on both engines
+//! with Mann–Whitney and Kolmogorov–Smirnov verdicts per metric, at a
+//! significance level where a rejection is a 1-in-1000 fluke under the
+//! null. Crucially both engines run the **same** adversary policy — the
+//! exact engine through `RepAsSlotAdversary` — which is what the ad-hoc
+//! predecessor of these tests got wrong (it compared a 2-units-per-slot
+//! slot blocker against a 1-unit-per-slot repetition blocker and papered
+//! over the gap with a 15% mean tolerance).
 
 use rcb::prelude::*;
-use rcb_core::one_to_n::OneToNSchedule;
-use rcb_core::one_to_one::schedule::DuelSchedule;
-use rcb_mathkit::hypothesis::mann_whitney_u;
-use rcb_mathkit::stats::RunningStats;
+use rcb_sim::conformance::{run_broadcast_cell, run_duel_cell, CellReport};
 
 const TRIALS: u64 = 60;
+const ALPHA: f64 = 1e-3;
 
-/// Exact-engine duel (Figure 1) under a blanket blocker.
-fn exact_duel_stats(budget: u64, seed_base: u64) -> (RunningStats, RunningStats, f64) {
-    let profile = Fig1Profile::with_start_epoch(0.05, 6);
-    let mut alice_costs = RunningStats::new();
-    let mut bob_costs = RunningStats::new();
-    let mut delivered = 0u64;
-    for s in 0..TRIALS {
-        let mut alice = AliceProtocol::new(profile);
-        let mut bob = BobProtocol::new(profile);
-        let schedule = DuelSchedule::new(6);
-        let partition = Partition::pair();
-        let mut rng = RcbRng::new(seed_base + s);
-        let mut adv = BudgetedPhaseBlocker::new(budget, 1.0);
-        let out = run_exact(
-            &mut [&mut alice, &mut bob],
-            &mut adv,
-            &schedule,
-            &partition,
-            &mut rng,
-            ExactConfig::default(),
-            None,
-        );
-        assert!(out.completed);
-        alice_costs.push(out.ledger.node_cost(0) as f64);
-        bob_costs.push(out.ledger.node_cost(1) as f64);
-        delivered += bob.received_message() as u64;
+fn cfg(seed: u64) -> ConformanceConfig {
+    ConformanceConfig {
+        trials: TRIALS,
+        seed,
+        alpha: ALPHA,
+        parallelism: Parallelism::Auto,
     }
-    (alice_costs, bob_costs, delivered as f64 / TRIALS as f64)
 }
 
-/// Fast-engine duel with the equivalent repetition-level blocker.
-fn fast_duel_stats(budget: u64, seed_base: u64) -> (RunningStats, RunningStats, f64) {
-    let profile = Fig1Profile::with_start_epoch(0.05, 6);
-    let mut alice_costs = RunningStats::new();
-    let mut bob_costs = RunningStats::new();
-    let mut delivered = 0u64;
-    for s in 0..TRIALS {
-        let mut rng = RcbRng::new(seed_base + s);
-        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
-        let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
-        alice_costs.push(out.alice_cost as f64);
-        bob_costs.push(out.bob_cost as f64);
-        delivered += out.delivered as u64;
-    }
-    (alice_costs, bob_costs, delivered as f64 / TRIALS as f64)
-}
-
-fn means_agree(a: &RunningStats, b: &RunningStats, label: &str) {
-    // Allow 4 joint standard errors plus a small absolute slack.
-    let tol = 4.0 * (a.sem().powi(2) + b.sem().powi(2)).sqrt() + 0.15 * a.mean().max(b.mean());
+fn assert_conformant(report: &CellReport) {
     assert!(
-        (a.mean() - b.mean()).abs() <= tol,
-        "{label}: exact {} vs fast {} (tol {tol})",
-        a.mean(),
-        b.mean()
+        !report.diverges(ALPHA),
+        "engine divergence in cell `{}` (worst p = {}):\n{:#?}",
+        report.name,
+        report.worst_p(),
+        report.metrics
     );
 }
 
 #[test]
 fn duel_engines_agree_without_jamming() {
-    let (ea, eb, ed) = exact_duel_stats(0, 10);
-    let (fa, fb, fd) = fast_duel_stats(0, 20);
-    means_agree(&ea, &fa, "alice cost, T = 0");
-    means_agree(&eb, &fb, "bob cost, T = 0");
-    assert!(
-        (ed - fd).abs() < 0.15,
-        "delivery rates: exact {ed} vs fast {fd}"
-    );
+    let cell = DuelCell {
+        error_rate: 0.05,
+        start_epoch: 6,
+        adversary: AdversarySpec::NoJam,
+    };
+    assert_conformant(&run_duel_cell(&cell, &cfg(10)));
 }
 
 #[test]
 fn duel_engines_agree_under_blanket_jamming() {
-    let budget = 512;
-    let (ea, eb, ed) = exact_duel_stats(budget, 30);
-    let (fa, fb, fd) = fast_duel_stats(budget, 40);
-    means_agree(&ea, &fa, "alice cost, jammed");
-    means_agree(&eb, &fb, "bob cost, jammed");
-    assert!(
-        (ed - fd).abs() < 0.15,
-        "delivery rates: exact {ed} vs fast {fd}"
-    );
+    let cell = DuelCell {
+        error_rate: 0.05,
+        start_epoch: 6,
+        adversary: AdversarySpec::Budgeted {
+            budget: 512,
+            fraction: 1.0,
+        },
+    };
+    assert_conformant(&run_duel_cell(&cell, &cfg(30)));
 }
 
-/// Beyond means: the full cost *distributions* of the two engines must be
-/// indistinguishable under a rank test.
+/// Larger budgets stress the multi-epoch escalation path: the adversary
+/// blocks several full epochs before running dry, so any drift in epoch
+/// bookkeeping (thresholds, phase lengths, budget spend) shows up here.
+#[test]
+fn duel_engines_agree_under_heavy_jamming() {
+    let cell = DuelCell {
+        error_rate: 0.05,
+        start_epoch: 6,
+        adversary: AdversarySpec::Budgeted {
+            budget: 2048,
+            fraction: 1.0,
+        },
+    };
+    assert_conformant(&run_duel_cell(&cell, &cfg(50)));
+}
+
+/// Distribution-shape check beyond the cost metrics: the KS verdict inside
+/// the harness compares full empirical CDFs, and the keep-alive adversary
+/// produces the most structured (bimodal) cost distributions.
 #[test]
 fn duel_engines_agree_in_distribution() {
-    let profile = Fig1Profile::with_start_epoch(0.05, 6);
-    let budget = 512u64;
-    let mut exact_costs = Vec::new();
-    for s in 0..TRIALS {
-        let mut alice = AliceProtocol::new(profile);
-        let mut bob = BobProtocol::new(profile);
-        let schedule = DuelSchedule::new(6);
-        let partition = Partition::pair();
-        let mut rng = RcbRng::new(7_000 + s);
-        let mut adv = BudgetedPhaseBlocker::new(budget, 1.0);
-        let out = run_exact(
-            &mut [&mut alice, &mut bob],
-            &mut adv,
-            &schedule,
-            &partition,
-            &mut rng,
-            ExactConfig::default(),
-            None,
-        );
-        exact_costs.push(out.ledger.max_node_cost() as f64);
-    }
-    let mut fast_costs = Vec::new();
-    for s in 0..TRIALS {
-        let mut rng = RcbRng::new(9_000 + s);
-        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
-        let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
-        fast_costs.push(out.max_cost() as f64);
-    }
-    let r = mann_whitney_u(&exact_costs, &fast_costs);
-    // With 60 + 60 samples from the same distribution, p < 0.001 would be
-    // a 1-in-1000 fluke — treat it as an engine divergence.
-    assert!(
-        r.p_two_sided > 0.001,
-        "rank test rejects engine agreement: p = {}, effect = {}",
-        r.p_two_sided,
-        r.effect_size
-    );
+    let cell = DuelCell {
+        error_rate: 0.05,
+        start_epoch: 6,
+        adversary: AdversarySpec::KeepAlive {
+            budget: 1024,
+            fraction: 1.0,
+        },
+    };
+    let report = run_duel_cell(&cell, &cfg(70));
+    assert_conformant(&report);
+    // The harness must actually have tested the cost distributions.
+    assert!(report.metrics.iter().any(|m| m.metric == "max_cost"));
 }
 
 /// 1-to-n: exact engine at slot level vs the fast repetition engine.
 #[test]
 fn broadcast_engines_agree_on_small_network() {
-    let mut params = OneToNParams::practical();
-    params.first_epoch = 4; // keep the exact engine's slot count tame
-    let n = 5;
-    let trials = 25u64;
+    let cell = BroadcastCell {
+        n: 5,
+        first_epoch: 4, // keep the exact engine's slot count tame
+        adversary: AdversarySpec::NoJam,
+    };
+    let c = ConformanceConfig {
+        trials: 25,
+        ..cfg(1000)
+    };
+    assert_conformant(&run_broadcast_cell(&cell, &c));
+}
 
-    // Exact engine.
-    let mut exact_mean_cost = RunningStats::new();
-    let mut exact_informed = 0usize;
-    for s in 0..trials {
-        let mut nodes: Vec<OneToNSlotNode> = (0..n)
-            .map(|u| OneToNSlotNode::new(params, u == 0))
-            .collect();
-        let mut refs: Vec<&mut dyn SlotProtocol> = Vec::new();
-        for node in nodes.iter_mut() {
-            refs.push(node);
-        }
-        let schedule = OneToNSchedule::new(params);
-        let partition = Partition::uniform(n);
-        let mut rng = RcbRng::new(1000 + s);
-        let mut adv = NoJam;
-        let out = run_exact(
-            &mut refs,
-            &mut adv,
-            &schedule,
-            &partition,
-            &mut rng,
-            ExactConfig {
-                max_slots: 40_000_000,
-            },
-            None,
-        );
-        assert!(out.completed, "exact 1-to-n run must terminate");
-        exact_mean_cost.push(out.ledger.mean_node_cost());
-        exact_informed += nodes.iter().all(|v| v.received_message()) as usize;
-    }
-
-    // Fast engine.
-    let mut fast_mean_cost = RunningStats::new();
-    let mut fast_informed = 0usize;
-    for s in 0..trials {
-        let mut rng = RcbRng::new(5000 + s);
-        let mut adv = NoJamRep;
-        let out = run_broadcast(&params, n, &mut adv, &mut rng, FastConfig::default());
-        fast_mean_cost.push(out.mean_cost());
-        fast_informed += out.all_informed as usize;
-    }
-
-    means_agree(&exact_mean_cost, &fast_mean_cost, "1-to-n mean node cost");
-    let (er, fr) = (
-        exact_informed as f64 / trials as f64,
-        fast_informed as f64 / trials as f64,
-    );
-    assert!(
-        (er - fr).abs() < 0.25,
-        "informed rates: exact {er} vs fast {fr}"
-    );
+/// Jammed 1-to-n: the adapter targets the single uniform group at one
+/// budget unit per slot, exactly the fast engine's accounting.
+#[test]
+fn broadcast_engines_agree_under_jamming() {
+    let cell = BroadcastCell {
+        n: 5,
+        first_epoch: 4,
+        adversary: AdversarySpec::Budgeted {
+            budget: 256,
+            fraction: 1.0,
+        },
+    };
+    let c = ConformanceConfig {
+        trials: 25,
+        ..cfg(2000)
+    };
+    assert_conformant(&run_broadcast_cell(&cell, &c));
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rcb::prelude::*;
-use rcb_adversary::traits::JamPlan;
+use rcb_adversary::traits::{JamPlan, RepetitionContext, SlotContext};
 use rcb_channel::ledger::EnergyLedger;
 use rcb_channel::slot::{resolve_slot, JamDecision};
 use rcb_core::one_to_n::OneToNNode;
@@ -159,6 +159,48 @@ proptest! {
             prop_assert!(r >= last_rank, "status is monotone");
             last_rank = r;
         }
+    }
+
+    /// Adapter: driving a repetition strategy through `RepAsSlotAdversary`
+    /// spends exactly what driving it directly would — per period, the
+    /// integrated per-slot jam decisions equal the plan's `jam_count`, and
+    /// only the listening party's group is ever hit (even periods jam Bob's
+    /// group 1, odd periods Alice's group 0) at one budget unit per slot.
+    #[test]
+    fn adapter_matches_direct_plans(
+        budget in 0u64..5_000,
+        q in 0.0f64..=1.0,
+        epoch in 1u32..10,
+        periods in 1u64..20,
+    ) {
+        let mut direct = BudgetedRepBlocker::new(budget, q);
+        let mut adapter = RepAsSlotAdversary::duel(BudgetedRepBlocker::new(budget, q));
+        let len = 1u64 << epoch;
+        for period in 0..periods {
+            let plan = direct.plan(&RepetitionContext {
+                epoch,
+                repetition: period,
+                slots: len,
+                active_nodes: 2,
+            });
+            let mut unrolled = 0u64;
+            for offset in 0..len {
+                let d = adapter.decide(&SlotContext {
+                    slot: period * len + offset,
+                    period,
+                    offset,
+                    period_len: len,
+                    groups: 2,
+                });
+                unrolled += d.jam_count();
+                if d.jam_mask != 0 {
+                    let expect = if period % 2 == 0 { 0b10 } else { 0b01 };
+                    prop_assert_eq!(d.jam_mask, expect, "period {} jams the listener only", period);
+                }
+            }
+            prop_assert_eq!(unrolled, plan.jam_count(len), "period {}", period);
+        }
+        prop_assert_eq!(adapter.remaining_budget(), direct.remaining_budget());
     }
 
     /// Duel schedule: locate is the inverse of cumulative phase lengths.

@@ -7,7 +7,9 @@
 
 use rcb::prelude::*;
 use rcb_adversary::slot_strategies::NackSpoofer;
+use rcb_channel::trace::{ReceptionKind, Trace};
 use rcb_core::one_to_one::schedule::DuelSchedule;
+use rcb_core::one_to_one::PhaseKind;
 
 fn run_with_spoofer(budget: u64, seed: u64) -> (u64, u64, bool, bool) {
     let profile = Fig1Profile::with_start_epoch(0.05, 6);
@@ -93,6 +95,64 @@ fn spoof_exchange_rate_is_a_stable_constant() {
         spread < 3.0,
         "exchange rate should be roughly budget-independent: {small:.1} vs {large:.1}"
     );
+}
+
+/// Slot-log evidence of the attack mechanism: the trace's per-node
+/// receptions show Alice decoding nacks in nack phases while Bob is long
+/// gone — injections, not jamming — and the conformance replayer agrees
+/// with the recorded outcome, because Figure 1 without authentication
+/// *cannot* tell spoofed nacks apart (that is the Theorem 5 boundary).
+#[test]
+fn trace_exposes_spoofed_nacks_and_replays_cleanly() {
+    let profile = Fig1Profile::with_start_epoch(0.05, 6);
+    let mut alice = AliceProtocol::new(profile);
+    let mut bob = BobProtocol::new(profile);
+    let schedule = DuelSchedule::new(6);
+    let partition = Partition::pair();
+    let mut rng = RcbRng::new(11);
+    let mut adv = NackSpoofer::new(40, 4, 0x5F00F);
+    let mut trace = Trace::with_capacity(1 << 22);
+    let out = run_exact(
+        &mut [&mut alice, &mut bob],
+        &mut adv,
+        &schedule,
+        &partition,
+        &mut rng,
+        ExactConfig {
+            max_slots: 10_000_000,
+        },
+        Some(&mut trace),
+    );
+    assert!(out.completed);
+    assert_eq!(trace.dropped(), 0);
+
+    // Find the slot where Bob's mirror leaves the game, then count nacks
+    // Alice decodes afterwards: genuine nacks are impossible once Bob has
+    // halted, so every one of them is a spoof kept alive by the adversary.
+    let replay = replay_duel_trace(&profile, &schedule, &trace);
+    assert_eq!(
+        replay.divergences,
+        Vec::new(),
+        "spoofed runs replay cleanly"
+    );
+    assert_eq!(replay.delivered, bob.received_message());
+    let bob_gone_at = replay
+        .delivery_slot
+        .expect("spoofing does not jam; m gets through");
+    let spoofed_nacks_heard = trace
+        .records()
+        .iter()
+        .filter(|r| r.slot > bob_gone_at)
+        .filter(|r| schedule.locate_duel(r.slot).phase == PhaseKind::Nack)
+        .flat_map(|r| r.receptions.iter())
+        .filter(|(node, kind)| *node == 0 && *kind == ReceptionKind::Nack)
+        .count();
+    assert!(
+        spoofed_nacks_heard > 0,
+        "the attack's whole point: Alice keeps decoding nacks after Bob halted"
+    );
+    // And spoofing is injection, not jamming: no slot is ever jam-masked.
+    assert!(trace.records().iter().all(|r| r.jam_mask == 0));
 }
 
 #[test]

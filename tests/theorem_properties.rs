@@ -3,6 +3,8 @@
 
 use rcb::prelude::*;
 use rcb_mathkit::fit::power_law_fit;
+use rcb_mathkit::gof::{chi_square_gof, ks_two_sample};
+use rcb_mathkit::sample::{bernoulli, binomial, sample_slots};
 use rcb_mathkit::PHI_MINUS_ONE;
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
 
@@ -161,6 +163,129 @@ fn ksy_baseline_has_golden_ratio_exponent() {
     );
     // And clearly above Figure 1's 0.5 — the gap the paper closes.
     assert!(fit.exponent > 0.55);
+}
+
+/// Exact Binomial(n, p) pmf, computed by the stable recurrence.
+fn binomial_pmf(n: u64, p: f64) -> Vec<f64> {
+    let mut pmf = vec![0.0; n as usize + 1];
+    pmf[0] = (1.0 - p).powi(n as i32);
+    for k in 0..n as usize {
+        pmf[k + 1] = pmf[k] * ((n - k as u64) as f64 / (k as f64 + 1.0)) * (p / (1.0 - p));
+    }
+    pmf
+}
+
+/// Histogram counts against scaled pmf expectations, pooling both tails so
+/// every chi-square bin has expectation ≥ 5.
+fn pooled_histogram(samples: &[u64], pmf: &[f64]) -> (Vec<u64>, Vec<f64>) {
+    let trials = samples.len() as f64;
+    let mut lo = 0usize;
+    let mut hi = pmf.len() - 1;
+    while lo < hi && trials * pmf[lo] < 5.0 {
+        lo += 1;
+    }
+    while hi > lo && trials * pmf[hi] < 5.0 {
+        hi -= 1;
+    }
+    // Bins: [0..=lo] pooled, lo+1..hi singletons, [hi..] pooled.
+    let mut observed = vec![0u64; hi - lo + 1];
+    let mut expected = vec![0.0f64; hi - lo + 1];
+    for (k, &q) in pmf.iter().enumerate() {
+        let bin = k.clamp(lo, hi) - lo;
+        expected[bin] += trials * q;
+    }
+    for &s in samples {
+        let bin = (s as usize).clamp(lo, hi) - lo;
+        observed[bin] += 1;
+    }
+    (observed, expected)
+}
+
+/// The fast binomial sampler IS a sum of per-slot coin flips, statistically:
+/// KS against a naive flip loop and chi-square against the exact pmf. The
+/// engines' equivalence (cross_engine_validation.rs) bottoms out here — the
+/// fast engines replace slot loops with these draws.
+#[test]
+fn sampler_binomial_matches_naive_coin_flips() {
+    let (n, p, reps) = (48u64, 0.35f64, 4000usize);
+    let mut rng_fast = RcbRng::new(0xB10);
+    let mut rng_naive = RcbRng::new(0xF11B);
+    let fast: Vec<u64> = (0..reps).map(|_| binomial(&mut rng_fast, n, p)).collect();
+    let naive: Vec<u64> = (0..reps)
+        .map(|_| (0..n).filter(|_| bernoulli(&mut rng_naive, p)).count() as u64)
+        .collect();
+
+    let fast_f: Vec<f64> = fast.iter().map(|&k| k as f64).collect();
+    let naive_f: Vec<f64> = naive.iter().map(|&k| k as f64).collect();
+    let ks = ks_two_sample(&fast_f, &naive_f);
+    assert!(ks.p > 1e-3, "KS fast-vs-naive: D = {}, p = {}", ks.d, ks.p);
+
+    let pmf = binomial_pmf(n, p);
+    for (name, samples) in [("fast", &fast), ("naive", &naive)] {
+        let (obs, exp) = pooled_histogram(samples, &pmf);
+        let chi = chi_square_gof(&obs, &exp);
+        assert!(
+            chi.p > 1e-3,
+            "{name} sampler off the exact pmf: χ² = {} (df {}), p = {}",
+            chi.stat,
+            chi.df,
+            chi.p
+        );
+    }
+}
+
+/// `sample_slots` must match the naive per-slot loop in BOTH marginals the
+/// engines rely on: how many slots fire (binomial count) and where they land
+/// (uniform positions).
+#[test]
+fn sampler_slots_match_naive_per_slot_flips() {
+    let (n, p, reps) = (96u64, 0.2f64, 2500usize);
+    let mut rng_fast = RcbRng::new(0x51075);
+    let mut rng_naive = RcbRng::new(0xC0111);
+    let mut fast_counts = Vec::with_capacity(reps);
+    let mut naive_counts = Vec::with_capacity(reps);
+    let mut fast_positions = Vec::new();
+    let mut naive_positions = Vec::new();
+    for _ in 0..reps {
+        let slots = sample_slots(&mut rng_fast, n, p);
+        fast_counts.push(slots.len() as u64);
+        fast_positions.extend(slots.iter().map(|&s| s as f64));
+        let mut c = 0u64;
+        for s in 0..n {
+            if bernoulli(&mut rng_naive, p) {
+                c += 1;
+                naive_positions.push(s as f64);
+            }
+        }
+        naive_counts.push(c);
+    }
+
+    let fast_f: Vec<f64> = fast_counts.iter().map(|&k| k as f64).collect();
+    let naive_f: Vec<f64> = naive_counts.iter().map(|&k| k as f64).collect();
+    let ks_counts = ks_two_sample(&fast_f, &naive_f);
+    assert!(
+        ks_counts.p > 1e-3,
+        "slot-count KS: D = {}, p = {}",
+        ks_counts.d,
+        ks_counts.p
+    );
+    let ks_pos = ks_two_sample(&fast_positions, &naive_positions);
+    assert!(
+        ks_pos.p > 1e-3,
+        "slot-position KS: D = {}, p = {}",
+        ks_pos.d,
+        ks_pos.p
+    );
+
+    let pmf = binomial_pmf(n, p);
+    let (obs, exp) = pooled_histogram(&fast_counts, &pmf);
+    let chi = chi_square_gof(&obs, &exp);
+    assert!(
+        chi.p > 1e-3,
+        "sample_slots count off Binomial({n}, {p}): χ² = {}, p = {}",
+        chi.stat,
+        chi.p
+    );
 }
 
 /// Latency optimality: both protocols finish in O(T) slots.

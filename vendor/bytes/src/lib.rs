@@ -1,0 +1,128 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the small `Bytes` surface the workspace uses: construction from
+//! slices/vectors, cheap reference-counted cloning, and slice deref.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable byte buffer (reference-count bump, no copy).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Option<Arc<[u8]>>,
+}
+
+impl Bytes {
+    /// An empty buffer; allocation-free.
+    pub const fn new() -> Self {
+        Self { data: None }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        if data.is_empty() {
+            return Self::new();
+        }
+        Self {
+            data: Some(Arc::from(data)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.data {
+            Some(arc) => arc,
+            None => &[],
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        if data.is_empty() {
+            return Self::new();
+        }
+        Self {
+            data: Some(Arc::from(data.into_boxed_slice())),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Self::copy_from_slice(data.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Self {
+        Self::from(data.into_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_slice_roundtrip() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from(&b"abc"[..]);
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn clone_is_equal_and_shares_storage() {
+        let a = Bytes::from(vec![7u8; 64]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let (pa, pb) = (a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        assert_eq!(pa, pb, "clone must share the allocation");
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from(&b"a\"b"[..]);
+        assert_eq!(format!("{b:?}"), "b\"a\\\"b\"");
+    }
+}

@@ -1,0 +1,90 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn generate_any(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::generate_any(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn generate_any(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate_any(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn generate_any(rng: &mut TestRng) -> f64 {
+        // Finite values only: full-domain floats (NaN, infinities) break
+        // ordinary numeric properties and upstream `any::<f64>()` is rarely
+        // what simulation tests want anyway.
+        (rng.f64() - 0.5) * 2e12
+    }
+}
+
+impl Arbitrary for f32 {
+    fn generate_any(rng: &mut TestRng) -> f32 {
+        ((rng.f64() - 0.5) * 2e6) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::new(1);
+        let trues = (0..200)
+            .filter(|_| any::<bool>().generate(&mut rng))
+            .count();
+        assert!(trues > 50 && trues < 150);
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::new(2);
+        let a = any::<u64>().generate(&mut rng);
+        let b = any::<u64>().generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+}

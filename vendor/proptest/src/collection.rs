@@ -1,0 +1,101 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A `Vec` whose length is uniform in `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` built from up to `size` element draws (duplicates collapse,
+/// so the set may come out smaller than the drawn target — same contract as
+/// upstream for narrow element domains).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut out = BTreeSet::new();
+        // Bounded extra draws so narrow domains cannot loop forever.
+        let mut budget = 4 * target + 16;
+        while out.len() < target && budget > 0 {
+            out.insert(self.element.generate(rng));
+            budget -= 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_elements() {
+        let strat = vec(0u64..10, 2..6);
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_bounded_and_in_domain() {
+        let strat = btree_set(0u64..512, 0..32);
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() < 32);
+            assert!(s.iter().all(|&x| x < 512));
+        }
+    }
+
+    #[test]
+    fn btree_set_narrow_domain_terminates() {
+        let strat = btree_set(0u64..2, 0..32);
+        let mut rng = TestRng::new(3);
+        let s = strat.generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! The `Strategy` trait and the primitive strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategies compose by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u64).wrapping_sub(*self.start() as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                self.start().wrapping_add(rng.below(span + 1) as $ty)
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategies {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $ty
+            }
+        }
+    )+};
+}
+
+signed_range_strategies!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.f64() as $ty;
+                let v = self.start + u * (self.end - self.start);
+                // Floating rounding may land exactly on `end`; clamp inside.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                // A uniform draw on [start, end]: include the endpoint by
+                // scaling a 53-bit integer over an inclusive lattice.
+                let u = (rng.next_u64() >> 11) as $ty / ((1u64 << 53) - 1) as $ty;
+                self.start() + u * (self.end() - self.start())
+            }
+        }
+    )+};
+}
+
+float_range_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!((A, B), (A, B, C), (A, B, C, D));
+
+/// One weighted arm of a [`Union`]; built by [`weighted_arm`].
+pub type UnionArm<V> = (u32, Box<dyn Strategy<Value = V>>);
+
+/// Boxes a strategy into a [`Union`] arm (the `prop_oneof!` building block).
+pub fn weighted_arm<S>(weight: u32, strategy: S) -> UnionArm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+/// Chooses among arms with probability proportional to their weights.
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        Self { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = *weight as u64;
+            if pick < weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights summed correctly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let g = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&g));
+            let i = (-10i32..10).generate(&mut rng);
+            assert!((-10..10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::new(2);
+        assert_eq!(Just(vec![1, 2]).generate(&mut rng), vec![1, 2]);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::new(3);
+        let (a, b, c) = (0u64..4, 0.0f64..1.0, Just(7u8)).generate(&mut rng);
+        assert!(a < 4);
+        assert!((0.0..1.0).contains(&b));
+        assert_eq!(c, 7);
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let u = Union::new(vec![weighted_arm(9, Just(0u8)), weighted_arm(1, Just(1u8))]);
+        let mut rng = TestRng::new(4);
+        let ones: usize = (0..2000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 100 && ones < 350, "≈10% expected, got {ones}/2000");
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! tiny trait surface it actually consumes — `RngCore` and `SeedableRng`,
+//! which `rcb_mathkit::rng::RcbRng` *implements* (it never consumes any
+//! rand-provided generator) — is vendored here with signatures compatible
+//! with rand 0.9.
+
+/// The core of a random number generator: uniform raw output.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Derives a full seed from a `u64` via SplitMix64, matching the
+    /// upstream default closely enough for deterministic testing.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let len = chunk.len();
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes()[..len]);
+            }
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Lcg::seed_from_u64(7);
+        let mut b = Lcg::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Lcg::seed_from_u64(1);
+        let mut b = Lcg::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_odd_lengths() {
+        let mut a = Lcg::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        a.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

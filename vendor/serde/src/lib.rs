@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` on plain
+//! data types as forward-looking annotations; nothing serializes at
+//! runtime. The traits are therefore blanket-implemented markers and the
+//! derive macros (re-exported from `serde_derive`) expand to nothing.
+
+/// Marker for serializable types. Blanket-implemented: any derive is a no-op.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented like [`Serialize`].
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_everything() {
+        fn assert_serialize<T: crate::Serialize>() {}
+        fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>() {}
+        assert_serialize::<u64>();
+        assert_serialize::<Vec<String>>();
+        assert_deserialize::<u64>();
+        assert_deserialize::<Vec<String>>();
+    }
+}

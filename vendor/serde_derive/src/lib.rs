@@ -1,0 +1,17 @@
+//! No-op derive macros backing the vendored `serde` marker traits.
+//!
+//! The vendored `serde` blanket-implements `Serialize`/`Deserialize` for
+//! every type, so these derives only need to exist for `#[derive(...)]`
+//! attributes to resolve; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
