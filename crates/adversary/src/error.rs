@@ -1,0 +1,47 @@
+//! Typed configuration errors for adversary constructors.
+//!
+//! Strategy constructors validate their parameters; `try_new` variants
+//! surface violations as values so a sweep harness can report a malformed
+//! parameter cell instead of panicking mid-batch. The plain `new`
+//! constructors remain as documented panicking wrappers for statically
+//! known-good configurations.
+
+use std::fmt;
+
+/// A strategy was configured with parameters outside its domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversaryConfigError {
+    /// A blocking fraction or rate outside `[0, 1]`. `what` names the
+    /// offending parameter (e.g. `"q"`, `"rate"`, `"arm"`).
+    FractionOutOfRange { what: &'static str, value: f64 },
+    /// A bandit with no arms to pull.
+    NoArms,
+}
+
+impl fmt::Display for AdversaryConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryConfigError::FractionOutOfRange { what, value } => {
+                write!(f, "{what} = {value} out of range: must lie in [0, 1]")
+            }
+            AdversaryConfigError::NoArms => write!(f, "bandit needs at least one arm"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parameter() {
+        let e = AdversaryConfigError::FractionOutOfRange {
+            what: "q",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("q = 1.5"));
+        assert!(AdversaryConfigError::NoArms.to_string().contains("arm"));
+    }
+}

@@ -20,6 +20,7 @@
 //! jam-or-impersonate choice.
 
 pub mod adapter;
+pub mod error;
 pub mod rep_strategies;
 pub mod slot_strategies;
 pub mod spoof;
@@ -27,6 +28,7 @@ pub mod threshold;
 pub mod traits;
 
 pub use adapter::{JamTarget, RepAsSlotAdversary};
+pub use error::AdversaryConfigError;
 pub use rep_strategies::{
     BanditBlocker, BudgetedRepBlocker, HalfRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep,
     SuffixFractionRep,

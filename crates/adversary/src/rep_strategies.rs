@@ -8,9 +8,18 @@
 //! that attacker: it q-blocks every repetition from the start until its
 //! budget runs out.
 
+use crate::error::AdversaryConfigError;
 use crate::traits::{JamPlan, RepetitionAdversary, RepetitionContext, RepetitionSummary};
 use rcb_mathkit::rng::RcbRng;
 use rcb_mathkit::sample::{bernoulli, sample_slots};
+
+fn check_fraction(what: &'static str, value: f64) -> Result<(), AdversaryConfigError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(AdversaryConfigError::FractionOutOfRange { what, value })
+    }
+}
 
 /// No jamming: the τ (efficiency-function) baseline.
 #[derive(Debug, Clone, Default)]
@@ -36,13 +45,22 @@ pub struct BudgetedRepBlocker {
 }
 
 impl BudgetedRepBlocker {
-    pub fn new(budget: u64, q: f64) -> Self {
-        assert!((0.0..=1.0).contains(&q), "q in [0,1]");
-        Self {
+    /// Checked constructor: rejects `q ∉ [0, 1]` as a typed error.
+    pub fn try_new(budget: u64, q: f64) -> Result<Self, AdversaryConfigError> {
+        check_fraction("q", q)?;
+        Ok(Self {
             budget,
             spent: 0,
             q,
-        }
+        })
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`; use [`BudgetedRepBlocker::try_new`] for
+    /// configurations built from user input.
+    pub fn new(budget: u64, q: f64) -> Self {
+        Self::try_new(budget, q).expect("valid blocking fraction")
     }
 
     pub fn spent(&self) -> u64 {
@@ -101,9 +119,18 @@ pub struct SuffixFractionRep {
 }
 
 impl SuffixFractionRep {
+    /// Checked constructor: rejects `q ∉ [0, 1]` as a typed error.
+    pub fn try_new(q: f64) -> Result<Self, AdversaryConfigError> {
+        check_fraction("q", q)?;
+        Ok(Self { q })
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`; use [`SuffixFractionRep::try_new`] for
+    /// configurations built from user input.
     pub fn new(q: f64) -> Self {
-        assert!((0.0..=1.0).contains(&q), "q in [0,1]");
-        Self { q }
+        Self::try_new(q).expect("valid blocking fraction")
     }
 }
 
@@ -137,14 +164,23 @@ pub struct KeepAliveBlocker {
 impl KeepAliveBlocker {
     /// `q` is the fraction of each nack phase to jam; it must exceed the
     /// protocol's noise-threshold fraction to bite (¼ is a safe default
-    /// for the Figure 1 profile, whose Θᵢ corresponds to ⅛).
-    pub fn new(budget: u64, q: f64) -> Self {
-        assert!((0.0..=1.0).contains(&q), "q in [0,1]");
-        Self {
+    /// for the Figure 1 profile, whose Θᵢ corresponds to ⅛). Rejects
+    /// `q ∉ [0, 1]` as a typed error.
+    pub fn try_new(budget: u64, q: f64) -> Result<Self, AdversaryConfigError> {
+        check_fraction("q", q)?;
+        Ok(Self {
             budget,
             spent: 0,
             q,
-        }
+        })
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`; use [`KeepAliveBlocker::try_new`] for
+    /// configurations built from user input.
+    pub fn new(budget: u64, q: f64) -> Self {
+        Self::try_new(budget, q).expect("valid blocking fraction")
     }
 }
 
@@ -198,14 +234,20 @@ pub struct BanditBlocker {
 
 impl BanditBlocker {
     /// `arms` are the candidate blocking fractions (each in `[0, 1]`).
-    pub fn new(arms: Vec<f64>, budget: u64, seed: u64) -> Self {
-        assert!(!arms.is_empty(), "need at least one arm");
-        assert!(
-            arms.iter().all(|q| (0.0..=1.0).contains(q)),
-            "fractions must be in [0,1]"
-        );
+    /// Rejects an empty arm set or an out-of-range fraction as a typed
+    /// error.
+    pub fn try_new(arms: Vec<f64>, budget: u64, seed: u64) -> Result<Self, AdversaryConfigError> {
+        if arms.is_empty() {
+            return Err(AdversaryConfigError::NoArms);
+        }
+        if let Some(&bad) = arms.iter().find(|q| !(0.0..=1.0).contains(*q)) {
+            return Err(AdversaryConfigError::FractionOutOfRange {
+                what: "arm",
+                value: bad,
+            });
+        }
         let k = arms.len();
-        Self {
+        Ok(Self {
             arms,
             reward_sum: vec![0.0; k],
             pulls: vec![0; k],
@@ -215,7 +257,15 @@ impl BanditBlocker {
             current_arm: None,
             run_activity: 0,
             runs: 0,
-        }
+        })
+    }
+
+    /// # Panics
+    ///
+    /// Panics on an empty arm set or an out-of-range fraction; use
+    /// [`BanditBlocker::try_new`] for configurations built from user input.
+    pub fn new(arms: Vec<f64>, budget: u64, seed: u64) -> Self {
+        Self::try_new(arms, budget, seed).expect("valid bandit arms")
     }
 
     fn pick_arm(&mut self) -> usize {
@@ -309,14 +359,23 @@ pub struct RandomRep {
 }
 
 impl RandomRep {
-    pub fn new(rate: f64, budget: u64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate in [0,1]");
-        Self {
+    /// Checked constructor: rejects `rate ∉ [0, 1]` as a typed error.
+    pub fn try_new(rate: f64, budget: u64, seed: u64) -> Result<Self, AdversaryConfigError> {
+        check_fraction("rate", rate)?;
+        Ok(Self {
             rate,
             budget,
             spent: 0,
             rng: RcbRng::new(seed),
-        }
+        })
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `rate ∉ [0, 1]`; use [`RandomRep::try_new`] for
+    /// configurations built from user input.
+    pub fn new(rate: f64, budget: u64, seed: u64) -> Self {
+        Self::try_new(rate, budget, seed).expect("valid jamming rate")
     }
 }
 
@@ -545,6 +604,46 @@ mod tests {
         // the budget must be the binding constraint.
         assert_eq!(total, 1000);
         assert_eq!(a.remaining_budget(), Some(0));
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_configs_with_typed_errors() {
+        assert!(matches!(
+            BudgetedRepBlocker::try_new(100, 1.5),
+            Err(AdversaryConfigError::FractionOutOfRange { what: "q", .. })
+        ));
+        assert!(matches!(
+            SuffixFractionRep::try_new(-0.1),
+            Err(AdversaryConfigError::FractionOutOfRange { what: "q", .. })
+        ));
+        assert!(matches!(
+            KeepAliveBlocker::try_new(100, f64::NAN),
+            Err(AdversaryConfigError::FractionOutOfRange { what: "q", .. })
+        ));
+        assert!(matches!(
+            RandomRep::try_new(2.0, 100, 1),
+            Err(AdversaryConfigError::FractionOutOfRange { what: "rate", .. })
+        ));
+        assert!(matches!(
+            BanditBlocker::try_new(vec![], 100, 1),
+            Err(AdversaryConfigError::NoArms)
+        ));
+        assert!(matches!(
+            BanditBlocker::try_new(vec![0.5, 1.2], 100, 1),
+            Err(AdversaryConfigError::FractionOutOfRange { what: "arm", .. })
+        ));
+        // The happy paths still construct.
+        assert!(BudgetedRepBlocker::try_new(100, 0.5).is_ok());
+        assert!(SuffixFractionRep::try_new(0.0).is_ok());
+        assert!(KeepAliveBlocker::try_new(100, 1.0).is_ok());
+        assert!(RandomRep::try_new(0.25, 100, 1).is_ok());
+        assert!(BanditBlocker::try_new(vec![0.25, 1.0], 100, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn panicking_wrapper_is_preserved() {
+        let _ = BudgetedRepBlocker::new(100, 1.5);
     }
 
     #[test]

@@ -27,8 +27,9 @@ use rcb_mathkit::rng::SeedSequence;
 use rcb_mathkit::stats::RunningStats;
 use rcb_mathkit::PHI_MINUS_ONE;
 use rcb_sim::conformance::{default_grid, run_grid, ConformanceConfig};
-use rcb_sim::duel::{run_duel, DuelConfig};
-use rcb_sim::fast::{run_broadcast, FastConfig};
+use rcb_sim::duel::{run_duel_faulted, DuelConfig};
+use rcb_sim::fast::{run_broadcast_faulted, FastConfig};
+use rcb_sim::faults::FaultPlan;
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
 use rcb_sim::runner::{run_trials, Parallelism};
 
@@ -90,6 +91,61 @@ impl Args {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     }
+
+    /// Typed optional lookup: `Ok(None)` when the flag is absent.
+    pub fn get_opt<T: FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+/// Builds a validated [`FaultPlan`] from the shared `--fault-*` flags
+/// (`duel` and `broadcast` accept all four):
+///
+/// * `--fault-loss F` — drop each decodable reception with probability `F`
+/// * `--fault-crash NODE:START:PERIODS[:lose]` — radio off for the window;
+///   `:lose` wipes volatile state on reboot
+/// * `--fault-skew NODE:SLOTS` — the first `SLOTS` slots of every period
+///   decode as noise for `NODE`
+/// * `--fault-battery N` — hard per-node energy cap of `N` slot-units
+fn fault_plan_from_args(args: &Args) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    if let Some(p) = args.get_opt::<f64>("fault-loss")? {
+        plan = plan.with_loss(p);
+    }
+    if let Some(spec) = args.options.get("fault-crash") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let usage = || format!("--fault-crash: expected NODE:START:PERIODS[:lose], got `{spec}`");
+        if !(3..=4).contains(&parts.len()) {
+            return Err(usage());
+        }
+        let node: usize = parts[0].parse().map_err(|_| usage())?;
+        let start: u64 = parts[1].parse().map_err(|_| usage())?;
+        let periods: u64 = parts[2].parse().map_err(|_| usage())?;
+        let lose_state = match parts.get(3) {
+            None => false,
+            Some(&"lose") => true,
+            Some(_) => return Err(usage()),
+        };
+        plan = plan.with_crash(node, start, periods, lose_state);
+    }
+    if let Some(spec) = args.options.get("fault-skew") {
+        let usage = || format!("--fault-skew: expected NODE:SLOTS, got `{spec}`");
+        let (node, slots) = spec.split_once(':').ok_or_else(usage)?;
+        let node: usize = node.parse().map_err(|_| usage())?;
+        let slots: u64 = slots.parse().map_err(|_| usage())?;
+        plan = plan.with_skew(node, slots);
+    }
+    if let Some(cap) = args.get_opt::<u64>("fault-battery")? {
+        plan = plan.with_battery(cap);
+    }
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(plan)
 }
 
 const HELP: &str = "\
@@ -112,6 +168,18 @@ COMMANDS:
              --trials N (default 200)   --seed N (default 2014)
              --alpha F (default 0.001)
   help       this text
+
+FAULT INJECTION (duel and broadcast):
+  --fault-loss F                       drop decodable receptions w.p. F
+  --fault-crash NODE:START:PERIODS[:lose]
+                                       radio off for the window; `:lose`
+                                       wipes volatile state on reboot
+  --fault-skew NODE:SLOTS              first SLOTS slots of each period
+                                       decode as noise for NODE
+  --fault-battery N                    hard per-node energy cap
+
+  e.g. rcbsim duel --budget 4096 --fault-loss 0.2
+       rcbsim broadcast --n 16 --adversary none --fault-crash 3:2:8:lose
 ";
 
 /// Executes a parsed command line, returning the report text.
@@ -133,10 +201,11 @@ fn duel_report<P: DuelProfile + Sync>(
     q: f64,
     trials: u64,
     seed: u64,
+    faults: FaultPlan,
 ) -> String {
     let outcomes = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
         let mut adv = BudgetedRepBlocker::new(budget, q);
-        run_duel(profile, &mut adv, rng, DuelConfig::default())
+        run_duel_faulted(profile, &mut adv, rng, DuelConfig::default(), &faults)
     });
     let mut alice = RunningStats::new();
     let mut bob = RunningStats::new();
@@ -196,17 +265,18 @@ fn cmd_duel(args: &Args) -> Result<String, String> {
     let q: f64 = args.get("q", 1.0)?;
     let trials: u64 = args.get("trials", 100)?;
     let seed: u64 = args.get("seed", 2014)?;
+    let faults = fault_plan_from_args(args)?;
     let profile_name = args.get_str("profile", "fig1");
     match profile_name.as_str() {
         "fig1" => {
             let epsilon: f64 = args.get("epsilon", 0.01)?;
             let start: u32 = args.get("start-epoch", 8)?;
             let profile = Fig1Profile::with_start_epoch(epsilon, start);
-            Ok(duel_report(&profile, budget, q, trials, seed))
+            Ok(duel_report(&profile, budget, q, trials, seed, faults))
         }
         "ksy" => {
             let profile = KsyProfile::new();
-            Ok(duel_report(&profile, budget, q, trials, seed))
+            Ok(duel_report(&profile, budget, q, trials, seed, faults))
         }
         other => Err(format!("--profile must be fig1 or ksy, got `{other}`")),
     }
@@ -224,6 +294,7 @@ fn cmd_broadcast(args: &Args) -> Result<String, String> {
             "--adversary must be suffix|random|keepalive|none, got `{kind}`"
         ));
     }
+    let faults = fault_plan_from_args(args)?;
     let params = OneToNParams::practical();
     let kind_owned = kind.clone();
     let outcomes = run_trials(trials, seed, Parallelism::Auto, move |i, rng| {
@@ -233,7 +304,16 @@ fn cmd_broadcast(args: &Args) -> Result<String, String> {
             "keepalive" => Box::new(KeepAliveBlocker::new(budget, q)),
             _ => Box::new(NoJamRep),
         };
-        run_broadcast(&params, n, adv.as_mut(), rng, FastConfig::default())
+        run_broadcast_faulted(
+            &params,
+            n,
+            &[0],
+            adv.as_mut(),
+            rng,
+            FastConfig::default(),
+            &mut (),
+            &faults,
+        )
     });
     let mut mean_cost = RunningStats::new();
     let mut max_cost = RunningStats::new();
@@ -466,6 +546,81 @@ mod tests {
         assert!(report.contains("grid PASSED"));
         assert!(report.contains("alice_cost"));
         assert!(report.contains("broadcast n=5"));
+    }
+
+    #[test]
+    fn fault_flags_parse_into_a_plan() {
+        let a = parse(&[
+            "duel",
+            "--fault-loss",
+            "0.25",
+            "--fault-crash",
+            "1:4:8:lose",
+            "--fault-skew",
+            "0:2",
+            "--fault-battery",
+            "500",
+        ])
+        .expect("parse");
+        let plan = fault_plan_from_args(&a).expect("valid plan");
+        assert_eq!(plan.loss_p(), 0.25);
+        assert!(plan.crashed(1, 4) && !plan.crashed(1, 12));
+        assert_eq!(plan.reboot_at(), Some((1, 12)));
+        assert_eq!(plan.skew_slots(0), 2);
+        assert_eq!(plan.battery_capacity(), Some(500));
+        // No flags → the empty plan.
+        let none = fault_plan_from_args(&parse(&["duel"]).expect("parse")).expect("plan");
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn fault_flags_reject_malformed_specs() {
+        let bad_crash = parse(&["duel", "--fault-crash", "1:4"]).expect("parse");
+        assert!(fault_plan_from_args(&bad_crash).is_err(), "too few fields");
+        let bad_tail = parse(&["duel", "--fault-crash", "1:4:8:explode"]).expect("parse");
+        assert!(fault_plan_from_args(&bad_tail).is_err(), "bad lose marker");
+        let bad_skew = parse(&["duel", "--fault-skew", "7"]).expect("parse");
+        assert!(fault_plan_from_args(&bad_skew).is_err(), "missing colon");
+        let bad_loss = parse(&["duel", "--fault-loss", "1.5"]).expect("parse");
+        assert!(fault_plan_from_args(&bad_loss).is_err(), "p out of range");
+        let bad_battery = parse(&["duel", "--fault-battery", "0"]).expect("parse");
+        assert!(fault_plan_from_args(&bad_battery).is_err(), "zero capacity");
+    }
+
+    #[test]
+    fn faulted_duel_command_smoke() {
+        let a = parse(&[
+            "duel",
+            "--budget",
+            "1024",
+            "--trials",
+            "5",
+            "--epsilon",
+            "0.1",
+            "--fault-loss",
+            "0.2",
+        ])
+        .expect("parse");
+        let report = run_cli(&a).expect("run");
+        assert!(report.contains("delivered"));
+    }
+
+    #[test]
+    fn faulted_broadcast_command_smoke() {
+        let a = parse(&[
+            "broadcast",
+            "--n",
+            "8",
+            "--adversary",
+            "none",
+            "--trials",
+            "2",
+            "--fault-crash",
+            "3:2:6:lose",
+        ])
+        .expect("parse");
+        let report = run_cli(&a).expect("run");
+        assert!(report.contains("all informed"));
     }
 
     #[test]

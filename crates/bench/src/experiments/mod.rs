@@ -7,6 +7,7 @@ pub mod e11_ablation;
 pub mod e12_multi_source;
 pub mod e13_learning_adversary;
 pub mod e14_partition_jamming;
+pub mod e15_fault_degradation;
 pub mod e1_one_to_one_cost;
 pub mod e2_epsilon;
 pub mod e3_latency;
@@ -86,6 +87,11 @@ pub fn all() -> Vec<(&'static str, &'static str, Runner)> {
             "E14",
             "Extension — 2-uniform (selective) jamming of 1-to-n",
             e14_partition_jamming::run,
+        ),
+        (
+            "E15",
+            "Robustness — graceful degradation under non-adversarial faults",
+            e15_fault_degradation::run,
         ),
     ]
 }

@@ -1,0 +1,151 @@
+//! Receiver-side reception degradation: the channel-facing half of the
+//! fault-injection layer.
+//!
+//! Non-adversarial failure processes (benign packet loss, symbol-clock
+//! skew) act at the *receiver*: the channel delivered energy or a payload,
+//! but this particular radio failed to decode it. This module owns the
+//! mechanism — what a degraded radio hears, given what was physically on
+//! the air — while the policy deciding *when* a receiver is degraded
+//! (fault windows, per-trial seeding, per-node plans) lives in
+//! `rcb_sim::faults`.
+//!
+//! Two invariants the simulation engines rely on:
+//!
+//! * degradation never **creates** receptions — [`ReceiverCondition::apply`]
+//!   returns either its input or [`Reception::Noise`], so a faulty radio
+//!   can lose information but never fabricate it;
+//! * a nominal condition draws **no** randomness, so a run with faults
+//!   disabled is bit-identical to one executed without the fault layer.
+
+use crate::slot::Reception;
+use rcb_mathkit::rng::RcbRng;
+use rcb_mathkit::sample::bernoulli;
+use serde::{Deserialize, Serialize};
+
+/// The condition of one receiver in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverCondition {
+    /// The receiver's symbol clock is misaligned in this slot: nothing can
+    /// be decoded and even a clear channel reads as energy (the correlator
+    /// integrates across the slot boundary).
+    pub skewed: bool,
+    /// Probability that a successfully delivered payload fails to decode
+    /// (benign loss: fading, interference outside the adversary's budget).
+    pub loss_p: f64,
+}
+
+impl ReceiverCondition {
+    /// A healthy radio: perfectly synchronized, lossless.
+    pub fn nominal() -> Self {
+        Self {
+            skewed: false,
+            loss_p: 0.0,
+        }
+    }
+
+    pub fn is_nominal(&self) -> bool {
+        !self.skewed && self.loss_p == 0.0
+    }
+
+    /// What this radio decodes from the channel truth `heard`.
+    ///
+    /// A skewed slot is unconditionally noise. Otherwise a delivered
+    /// payload is lost with probability `loss_p` (heard as noise — the
+    /// energy was real, the decode failed); `Clear` and `Noise` pass
+    /// through untouched. The loss coin is drawn **only** for
+    /// [`Reception::Received`] inputs with `loss_p > 0`, so nominal
+    /// conditions leave `rng` untouched.
+    pub fn apply(&self, heard: Reception, rng: &mut RcbRng) -> Reception {
+        if self.skewed {
+            return Reception::Noise;
+        }
+        match heard {
+            Reception::Received(p) => {
+                if self.loss_p > 0.0 && bernoulli(rng, self.loss_p) {
+                    Reception::Noise
+                } else {
+                    Reception::Received(p)
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl Default for ReceiverCondition {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+
+    #[test]
+    fn nominal_condition_is_identity_and_draws_nothing() {
+        let cond = ReceiverCondition::nominal();
+        let mut rng = RcbRng::new(7);
+        let snapshot = rng.clone();
+        for r in [
+            Reception::Clear,
+            Reception::Noise,
+            Reception::Received(Payload::message()),
+        ] {
+            assert_eq!(cond.apply(r.clone(), &mut rng), r);
+        }
+        assert_eq!(rng, snapshot, "no coins consumed");
+    }
+
+    #[test]
+    fn skew_turns_everything_into_noise() {
+        let cond = ReceiverCondition {
+            skewed: true,
+            loss_p: 0.0,
+        };
+        let mut rng = RcbRng::new(8);
+        let snapshot = rng.clone();
+        for r in [
+            Reception::Clear,
+            Reception::Noise,
+            Reception::Received(Payload::message()),
+        ] {
+            assert_eq!(cond.apply(r, &mut rng), Reception::Noise);
+        }
+        assert_eq!(rng, snapshot, "skew consumes no loss coin");
+    }
+
+    #[test]
+    fn certain_loss_drops_payloads_but_not_cca() {
+        let cond = ReceiverCondition {
+            skewed: false,
+            loss_p: 1.0,
+        };
+        let mut rng = RcbRng::new(9);
+        assert_eq!(
+            cond.apply(Reception::Received(Payload::message()), &mut rng),
+            Reception::Noise,
+            "the energy was real; only the decode failed"
+        );
+        assert_eq!(cond.apply(Reception::Clear, &mut rng), Reception::Clear);
+        assert_eq!(cond.apply(Reception::Noise, &mut rng), Reception::Noise);
+    }
+
+    #[test]
+    fn loss_never_creates_receptions() {
+        let cond = ReceiverCondition {
+            skewed: false,
+            loss_p: 0.5,
+        };
+        let mut rng = RcbRng::new(10);
+        for _ in 0..500 {
+            let out = cond.apply(Reception::Received(Payload::message()), &mut rng);
+            assert!(
+                matches!(out, Reception::Noise) || out.is_message(),
+                "output is the input or noise, never something new"
+            );
+            assert_eq!(cond.apply(Reception::Clear, &mut rng), Reception::Clear);
+        }
+    }
+}

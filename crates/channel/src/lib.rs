@@ -21,6 +21,7 @@
 //! and `rcb-adversary`.
 
 pub mod battery;
+pub mod fault;
 pub mod ledger;
 pub mod message;
 pub mod partition;
@@ -28,10 +29,13 @@ pub mod slot;
 pub mod trace;
 
 pub use battery::{BankruptcyReport, Battery};
+pub use fault::ReceiverCondition;
 pub use ledger::EnergyLedger;
 pub use message::{Payload, PayloadKind};
 pub use partition::Partition;
-pub use slot::{resolve_slot, Action, ChannelState, JamDecision, Reception, SlotResolution};
+pub use slot::{
+    resolve_slot, Action, ChannelState, GroupOutOfRange, JamDecision, Reception, SlotResolution,
+};
 pub use trace::{Group0State, ReceptionKind, SlotRecord, Trace};
 
 /// Index of a node in the system. The broadcast sender is conventionally

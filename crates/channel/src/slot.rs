@@ -36,6 +36,25 @@ impl Action {
     }
 }
 
+/// A group id that does not fit the 64-bit jam mask (ℓ-uniform adversaries
+/// in this workspace support ℓ ≤ 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupOutOfRange {
+    pub group: GroupId,
+}
+
+impl std::fmt::Display for GroupOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "jam group {} out of range: the jam mask supports groups 0..64",
+            self.group
+        )
+    }
+}
+
+impl std::error::Error for GroupOutOfRange {}
+
 /// The adversary's move for one slot: a bitmask of groups to jam plus an
 /// optional spoofed transmission. Constructed by `rcb-adversary` strategies.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -62,12 +81,30 @@ impl JamDecision {
         }
     }
 
-    /// Jam exactly one group.
-    pub fn jam_group(group: GroupId) -> Self {
-        assert!(group < 64);
-        Self {
+    /// Jam exactly one group, rejecting group ids the 64-bit mask cannot
+    /// represent. Experiment configs built from user input should use this
+    /// so a malformed partition fails with a message at construction time
+    /// rather than a panic deep in the slot loop.
+    pub fn try_jam_group(group: GroupId) -> Result<Self, GroupOutOfRange> {
+        if group >= 64 {
+            return Err(GroupOutOfRange { group });
+        }
+        Ok(Self {
             jam_mask: 1u64 << group,
             inject: None,
+        })
+    }
+
+    /// Jam exactly one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= 64`; use [`JamDecision::try_jam_group`] for
+    /// configurations that are not statically known to be in range.
+    pub fn jam_group(group: GroupId) -> Self {
+        match Self::try_jam_group(group) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -468,5 +505,19 @@ mod tests {
         assert!(!d.is_jammed(2));
         assert_eq!(d.jam_count(), 1);
         assert_eq!(JamDecision::none().jam_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_group_is_a_typed_error() {
+        assert!(JamDecision::try_jam_group(63).is_ok());
+        let err = JamDecision::try_jam_group(64).expect_err("64 groups max");
+        assert_eq!(err, GroupOutOfRange { group: 64 });
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn jam_group_wrapper_still_panics() {
+        let _ = JamDecision::jam_group(64);
     }
 }

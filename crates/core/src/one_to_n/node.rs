@@ -106,6 +106,23 @@ impl OneToNNode {
         self.s = params.s_init;
     }
 
+    /// Crash–restart epilogue (fault injection): the node lost its volatile
+    /// state — the rate variable `S_u` and the helper bookkeeping — while
+    /// durable state survives: the message `m` (stable storage) and the
+    /// epoch counter (re-synced from the public schedule, which §1.2 makes
+    /// common knowledge). A terminated node stays terminated — it already
+    /// left the protocol.
+    pub fn reboot(&mut self, params: &OneToNParams) {
+        if self.is_terminated() {
+            return;
+        }
+        self.s = params.s_init;
+        if self.status == Status::Helper {
+            self.status = Status::Informed;
+            self.n_est = None;
+        }
+    }
+
     /// Per-slot send probability in the current epoch.
     pub fn send_prob(&self, params: &OneToNParams) -> f64 {
         if self.is_terminated() {
@@ -341,6 +358,31 @@ mod tests {
         assert_eq!(node, snapshot, "terminated nodes never change");
         assert_eq!(node.send_prob(&p), 0.0);
         assert_eq!(node.listen_prob(&p), 0.0);
+    }
+
+    #[test]
+    fn reboot_loses_volatile_state_but_keeps_m_and_termination() {
+        let p = params();
+        // An informed node that grew S and reached helper status.
+        let mut node = OneToNNode::new(&p, true);
+        let flood = (p.helper_threshold(p.first_epoch) as u64) + 1;
+        node.end_repetition(&p, 0, flood);
+        assert_eq!(node.status(), Status::Helper);
+        node.reboot(&p);
+        assert_eq!(node.status(), Status::Informed, "helper bookkeeping is RAM");
+        assert_eq!(node.n_estimate(), None);
+        assert_eq!(node.s(), p.s_init, "S_u is RAM");
+        assert!(node.ever_informed(), "m is stable storage");
+
+        // A terminated node is past rebooting.
+        let mut dead = OneToNNode::new(&p, false);
+        while !dead.is_terminated() {
+            let clear = p.expected_listens(p.first_epoch, dead.s()).ceil() as u64;
+            dead.end_repetition(&p, clear, 0);
+        }
+        let snapshot = dead;
+        dead.reboot(&p);
+        assert_eq!(dead, snapshot);
     }
 
     #[test]

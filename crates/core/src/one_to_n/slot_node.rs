@@ -104,6 +104,15 @@ impl SlotProtocol for OneToNSlotNode {
     fn received_message(&self) -> bool {
         self.node.ever_informed()
     }
+
+    fn reboot(&mut self) {
+        self.node.reboot(&self.params);
+        // The per-repetition counters were RAM too. (Crash windows are
+        // period-aligned, so both are zero here anyway; clearing keeps the
+        // semantics honest for any caller.)
+        self.clear_heard = 0;
+        self.msgs_heard = 0;
+    }
 }
 
 #[cfg(test)]

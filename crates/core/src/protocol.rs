@@ -26,6 +26,13 @@ pub trait SlotProtocol {
     /// Whether this node has (ever) received the broadcast message `m`.
     /// For the designated sender this is `true` from the start.
     fn received_message(&self) -> bool;
+
+    /// Crash–restart epilogue (fault injection): volatile state is lost;
+    /// durable state — the message `m` and the slot clock, which is
+    /// re-synced from the public schedule — survives. The default is a
+    /// no-op, correct for protocols whose cross-period state lives entirely
+    /// in stable storage.
+    fn reboot(&mut self) {}
 }
 
 /// Location of a slot within a protocol's public, deterministic schedule.

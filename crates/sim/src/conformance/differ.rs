@@ -30,9 +30,10 @@ use rcb_core::protocol::SlotProtocol;
 use rcb_mathkit::gof::ks_two_sample;
 use rcb_mathkit::hypothesis::mann_whitney_u;
 
-use crate::duel::{run_duel, DuelConfig};
-use crate::exact::{run_exact, ExactConfig};
-use crate::fast::{run_broadcast, FastConfig};
+use crate::duel::{run_duel_faulted, DuelConfig};
+use crate::exact::{run_exact_faulted, ExactConfig};
+use crate::fast::{run_broadcast_faulted, FastConfig};
+use crate::faults::FaultPlan;
 use crate::runner::{run_trials, Parallelism};
 
 use std::fmt;
@@ -88,6 +89,10 @@ pub struct DuelCell {
     /// Start epoch (kept small so the exact engine stays fast).
     pub start_epoch: u32,
     pub adversary: AdversarySpec,
+    /// Non-adversarial fault plan, applied to both engines. Fault cells
+    /// are how the differ certifies that the two fault implementations
+    /// agree in distribution, not just the clean paths.
+    pub fault: FaultPlan,
 }
 
 /// One 1-to-n (Figure 2) grid cell.
@@ -97,6 +102,8 @@ pub struct BroadcastCell {
     /// `OneToNParams::practical()` with this `first_epoch`.
     pub first_epoch: u32,
     pub adversary: AdversarySpec,
+    /// Non-adversarial fault plan, applied to both engines.
+    pub fault: FaultPlan,
 }
 
 /// Harness parameters.
@@ -282,7 +289,7 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
         let schedule = DuelSchedule::new(cell.start_epoch);
         let partition = Partition::pair();
         let mut adv = RepAsSlotAdversary::duel(cell.adversary.build());
-        let out = run_exact(
+        let out = run_exact_faulted(
             &mut [&mut alice, &mut bob],
             &mut adv,
             &schedule,
@@ -290,6 +297,7 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
             rng,
             ExactConfig::default(),
             None,
+            &cell.fault,
         );
         DuelSample {
             alice: out.ledger.node_cost(0) as f64,
@@ -302,7 +310,7 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
     let fast: Vec<DuelSample> =
         run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
             let mut adv = cell.adversary.build();
-            let out = run_duel(&profile, &mut adv, rng, DuelConfig::default());
+            let out = run_duel_faulted(&profile, &mut adv, rng, DuelConfig::default(), &cell.fault);
             DuelSample {
                 alice: out.alice_cost as f64,
                 bob: out.bob_cost as f64,
@@ -347,11 +355,23 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
     ];
     CellReport {
         name: format!(
-            "duel ε={} i₀={} {}",
-            cell.error_rate, cell.start_epoch, cell.adversary
+            "duel ε={} i₀={} {}{}",
+            cell.error_rate,
+            cell.start_epoch,
+            cell.adversary,
+            fault_tag(&cell.fault)
         ),
         trials: cfg.trials,
         metrics,
+    }
+}
+
+/// ` faults[…]` suffix for cell names; empty for the clean plan.
+fn fault_tag(fault: &FaultPlan) -> String {
+    if fault.is_none() {
+        String::new()
+    } else {
+        format!(" faults[{fault}]")
     }
 }
 
@@ -380,7 +400,7 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
             let schedule = OneToNSchedule::new(params);
             let partition = Partition::uniform(n);
             let mut adv = RepAsSlotAdversary::broadcast(cell.adversary.build(), n);
-            let out = run_exact(
+            let out = run_exact_faulted(
                 &mut refs,
                 &mut adv,
                 &schedule,
@@ -390,6 +410,7 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
                     max_slots: 40_000_000,
                 },
                 None,
+                &cell.fault,
             );
             let informed = nodes.iter().filter(|v| v.received_message()).count();
             BroadcastSample {
@@ -402,7 +423,16 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
     let fast: Vec<BroadcastSample> =
         run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
             let mut adv = cell.adversary.build();
-            let out = run_broadcast(&params, n, &mut adv, rng, FastConfig::default());
+            let out = run_broadcast_faulted(
+                &params,
+                n,
+                &[0],
+                &mut adv,
+                rng,
+                FastConfig::default(),
+                &mut (),
+                &cell.fault,
+            );
             BroadcastSample {
                 mean: out.mean_cost(),
                 max: out.max_cost() as f64,
@@ -441,22 +471,28 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
     ];
     CellReport {
         name: format!(
-            "broadcast n={} i₀={} {}",
-            cell.n, cell.first_epoch, cell.adversary
+            "broadcast n={} i₀={} {}{}",
+            cell.n,
+            cell.first_epoch,
+            cell.adversary,
+            fault_tag(&cell.fault)
         ),
         trials: cfg.trials,
         metrics,
     }
 }
 
-/// The default (profile × adversary × budget) grid: unjammed baselines,
-/// blanket blockers at two budgets, a partial-fraction blocker, and a
-/// keep-alive schedule, for both protocol families.
+/// The default (profile × adversary × budget × fault) grid: unjammed
+/// baselines, blanket blockers at two budgets, a partial-fraction blocker,
+/// a keep-alive schedule, and fault-injection cells (loss under jamming,
+/// battery brownout, clock skew, crash–restart) for both protocol
+/// families.
 pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
     let duel = |adversary| DuelCell {
         error_rate: 0.05,
         start_epoch: 6,
         adversary,
+        fault: FaultPlan::none(),
     };
     let duels = vec![
         duel(AdversarySpec::NoJam),
@@ -476,11 +512,27 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
             budget: 1024,
             fraction: 1.0,
         }),
+        DuelCell {
+            fault: FaultPlan::none().with_loss(0.15),
+            ..duel(AdversarySpec::Budgeted {
+                budget: 512,
+                fraction: 1.0,
+            })
+        },
+        DuelCell {
+            fault: FaultPlan::none().with_battery(64),
+            ..duel(AdversarySpec::NoJam)
+        },
+        DuelCell {
+            fault: FaultPlan::none().with_skew(1, 1),
+            ..duel(AdversarySpec::NoJam)
+        },
     ];
     let broadcast = |adversary| BroadcastCell {
         n: 5,
         first_epoch: 4,
         adversary,
+        fault: FaultPlan::none(),
     };
     let broadcasts = vec![
         broadcast(AdversarySpec::NoJam),
@@ -488,6 +540,14 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
             budget: 256,
             fraction: 1.0,
         }),
+        BroadcastCell {
+            fault: FaultPlan::none().with_loss(0.15),
+            ..broadcast(AdversarySpec::NoJam)
+        },
+        BroadcastCell {
+            fault: FaultPlan::none().with_crash(1, 2, 6, true),
+            ..broadcast(AdversarySpec::NoJam)
+        },
     ];
     (duels, broadcasts)
 }
@@ -530,6 +590,7 @@ mod tests {
             error_rate: 0.05,
             start_epoch: 6,
             adversary: AdversarySpec::NoJam,
+            fault: FaultPlan::none(),
         };
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(
@@ -548,11 +609,55 @@ mod tests {
                 budget: 512,
                 fraction: 1.0,
             },
+            fault: FaultPlan::none(),
         };
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(
             !report.diverges(1e-3),
             "engines diverge under jamming:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn lossy_duel_cell_agrees() {
+        // The fault implementations are engine-specific (receiver
+        // condition vs. sampled-event coin); the differ must certify they
+        // sample the same distribution.
+        let cell = DuelCell {
+            error_rate: 0.05,
+            start_epoch: 6,
+            adversary: AdversarySpec::Budgeted {
+                budget: 512,
+                fraction: 1.0,
+            },
+            fault: FaultPlan::none().with_loss(0.15),
+        };
+        let report = run_duel_cell(&cell, &small_cfg());
+        assert!(report.name.contains("faults[loss=0.15]"), "{}", report.name);
+        assert!(
+            !report.diverges(1e-3),
+            "engines diverge on a lossy cell:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn crash_broadcast_cell_agrees() {
+        let cell = BroadcastCell {
+            n: 5,
+            first_epoch: 4,
+            adversary: AdversarySpec::NoJam,
+            fault: FaultPlan::none().with_crash(1, 2, 6, true),
+        };
+        let cfg = ConformanceConfig {
+            trials: 25,
+            ..small_cfg()
+        };
+        let report = run_broadcast_cell(&cell, &cfg);
+        assert!(
+            !report.diverges(1e-3),
+            "engines diverge on a crash–restart cell:\n{:#?}",
             report
         );
     }
@@ -575,7 +680,7 @@ mod tests {
             let schedule = DuelSchedule::new(6);
             let partition = Partition::pair();
             let mut adv = RepAsSlotAdversary::duel(jammed.build());
-            let out = run_exact(
+            let out = run_exact_faulted(
                 &mut [&mut alice, &mut bob],
                 &mut adv,
                 &schedule,
@@ -583,12 +688,20 @@ mod tests {
                 rng,
                 ExactConfig::default(),
                 None,
+                &FaultPlan::none(),
             );
             out.ledger.max_node_cost() as f64
         });
         let fast: Vec<f64> = run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
             let mut adv = AdversarySpec::NoJam.build();
-            run_duel(&profile, &mut adv, rng, DuelConfig::default()).max_cost() as f64
+            run_duel_faulted(
+                &profile,
+                &mut adv,
+                rng,
+                DuelConfig::default(),
+                &FaultPlan::none(),
+            )
+            .max_cost() as f64
         });
         let verdict = MetricVerdict::compare("max_cost", &exact, &fast, false);
         assert!(
@@ -606,6 +719,7 @@ mod tests {
                 budget: 256,
                 fraction: 1.0,
             },
+            fault: FaultPlan::none(),
         };
         let cfg = ConformanceConfig {
             trials: 20,

@@ -23,10 +23,16 @@ use rcb_adversary::traits::{RepetitionAdversary, RepetitionContext, RepetitionSu
 use rcb_core::one_to_one::profile::DuelProfile;
 use rcb_core::one_to_one::state::{AliceState, BobSendOutcome, BobState};
 use rcb_mathkit::rng::RcbRng;
-use rcb_mathkit::sample::sample_slots;
+use rcb_mathkit::sample::{bernoulli, sample_slots};
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
+use crate::faults::FaultPlan;
 use crate::outcome::DuelOutcome;
+
+/// The duel engine's epoch cap: phase lengths past 2^62 slots overflow the
+/// slot arithmetic, so runs are truncated here regardless of `max_slots`.
+const DUEL_EPOCH_CAP: u32 = 62;
 
 /// Limits for the fast duel engine.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -79,6 +85,51 @@ pub fn run_duel<P: DuelProfile>(
     rng: &mut RcbRng,
     config: DuelConfig,
 ) -> DuelOutcome {
+    run_duel_core(profile, adversary, rng, config, &FaultPlan::none()).0
+}
+
+/// [`run_duel`] with a fault-injection plan (see [`crate::faults`]).
+///
+/// Node convention: Alice is node 0, Bob node 1 (matching the exact
+/// engine's pair partition); periods are phases. A crashed or
+/// battery-dead party skips its sampling but still runs its phase
+/// epilogue with zero counts — exactly what the exact engine's slot
+/// clock does for a sleeping radio — so a quiet window can push it into
+/// premature halting, which is measured degradation, not a bug.
+pub fn run_duel_faulted<P: DuelProfile>(
+    profile: &P,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: DuelConfig,
+    faults: &FaultPlan,
+) -> DuelOutcome {
+    run_duel_core(profile, adversary, rng, config, faults).0
+}
+
+/// [`run_duel_faulted`] that reports budget exhaustion (the slot cap or
+/// the epoch-62 runaway guard) as a typed [`SimError`] instead of a
+/// silent `truncated` flag.
+pub fn run_duel_checked<P: DuelProfile>(
+    profile: &P,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: DuelConfig,
+    faults: &FaultPlan,
+) -> Result<DuelOutcome, SimError> {
+    match run_duel_core(profile, adversary, rng, config, faults) {
+        (outcome, None) => Ok(outcome),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+fn run_duel_core<P: DuelProfile>(
+    profile: &P,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: DuelConfig,
+    faults: &FaultPlan,
+) -> (DuelOutcome, Option<SimError>) {
+    debug_assert!(faults.validate().is_ok(), "invalid fault plan");
     let mut alice = AliceState::new(profile.start_epoch());
     let mut bob = BobState::new(profile.start_epoch());
 
@@ -90,16 +141,53 @@ pub fn run_duel<P: DuelProfile>(
     let mut period = 0u64;
     let mut epoch = profile.start_epoch();
     let mut truncated = false;
+    let mut error = None;
 
-    while !(alice.is_done() && bob.is_done()) {
+    // Fault state (Alice = node 0, Bob = node 1). The dedicated stream is
+    // derived only for non-empty plans so `FaultPlan::none()` is
+    // bit-identical to the unfaulted engine.
+    let mut fault_rng = if faults.is_none() {
+        None
+    } else {
+        Some(rng.split())
+    };
+    let loss_p = faults.loss_p();
+    let alice_skew = faults.skew_slots(0);
+    let bob_skew = faults.skew_slots(1);
+    let mut alice_dead = false;
+    let mut bob_dead = false;
+    // A lost reception: the payload was on the air but this radio failed
+    // to decode it — the listener hears noise instead.
+    let lost = |frng: &mut Option<RcbRng>| match frng {
+        Some(r) if loss_p > 0.0 => bernoulli(r, loss_p),
+        _ => false,
+    };
+
+    while !((alice.is_done() || alice_dead) && (bob.is_done() || bob_dead)) {
         if slots >= config.max_slots {
             truncated = true;
+            error = Some(SimError::SlotBudgetExhausted {
+                max_slots: config.max_slots,
+                slots,
+            });
             break;
         }
         let len = profile.phase_len(epoch);
         let rate = profile.rate(epoch);
         let thr = profile.noise_threshold(epoch);
         let active = (!alice.is_done() as usize) + (!bob.is_done() as usize);
+
+        // Battery gauge, sampled at phase boundaries (overshoot ≤ one
+        // phase, same rule as the exact engine).
+        if let Some(cap) = faults.battery_capacity() {
+            alice_dead = alice_dead || alice_cost >= cap;
+            bob_dead = bob_dead || bob_cost >= cap;
+            if (alice.is_done() || alice_dead) && (bob.is_done() || bob_dead) {
+                break;
+            }
+        }
+        let alice_off = alice_dead || faults.crashed(0, period);
+        let bob_off = bob_dead || faults.crashed(1, period);
 
         // ---- Send phase: Alice transmits, Bob listens. ----
         let ctx = RepetitionContext {
@@ -111,7 +199,7 @@ pub fn run_duel<P: DuelProfile>(
         let plan = adversary.plan(&ctx);
         adversary_cost += plan.jam_count(len);
 
-        let alice_sends = if alice.is_done() {
+        let alice_sends = if alice.is_done() || alice_off {
             Vec::new()
         } else {
             sample_slots(rng, len, rate)
@@ -122,26 +210,41 @@ pub fn run_duel<P: DuelProfile>(
         let mut bob_outcome = None;
         let mut bob_listened = 0u64;
         if !bob.is_done() {
-            let bob_listens = sample_slots(rng, len, rate);
-            let mut got_m_at = None;
-            scan_listens(&bob_listens, &alice_sends, |t, alice_sent| {
-                bob_listened += 1;
-                if plan.is_jammed(t, len) {
-                    bob_noise += 1;
-                    false
-                } else if alice_sent {
-                    got_m_at = Some(t);
-                    true // Bob halts immediately on m; stop listening.
-                } else {
-                    false
-                }
-            });
-            bob_cost += bob_listened;
-            if let Some(t) = got_m_at {
-                bob.receive_message();
-                delivery_slot = Some(slots + t);
+            if bob_off {
+                // Radio off; the phase epilogue still runs with zero
+                // counts (the phase clock is driven by Bob's own crystal).
+                bob_outcome = Some(bob.end_send_phase(false, 0, thr));
             } else {
-                bob_outcome = Some(bob.end_send_phase(false, bob_noise, thr));
+                let bob_listens = sample_slots(rng, len, rate);
+                let mut got_m_at = None;
+                scan_listens(&bob_listens, &alice_sends, |t, alice_sent| {
+                    bob_listened += 1;
+                    if t < bob_skew {
+                        // Misaligned boundary slot: undecodable energy.
+                        bob_noise += 1;
+                        false
+                    } else if plan.is_jammed(t, len) {
+                        bob_noise += 1;
+                        false
+                    } else if alice_sent {
+                        if lost(&mut fault_rng) {
+                            bob_noise += 1;
+                            false
+                        } else {
+                            got_m_at = Some(t);
+                            true // Bob halts immediately on m; stop listening.
+                        }
+                    } else {
+                        false
+                    }
+                });
+                bob_cost += bob_listened;
+                if let Some(t) = got_m_at {
+                    bob.receive_message();
+                    delivery_slot = Some(slots + t);
+                } else {
+                    bob_outcome = Some(bob.end_send_phase(false, bob_noise, thr));
+                }
             }
         }
         // Summaries report *this phase's* action counts — adaptive
@@ -161,6 +264,13 @@ pub fn run_duel<P: DuelProfile>(
         slots += len;
         period += 1;
 
+        // The nack phase is a new period: re-sample the battery gauge (the
+        // exact engine checks at every period boundary).
+        if let Some(cap) = faults.battery_capacity() {
+            alice_dead = alice_dead || alice_cost >= cap;
+            bob_dead = bob_dead || bob_cost >= cap;
+        }
+
         // ---- Nack phase: Bob (if still fighting) transmits, Alice listens.
         let ctx2 = RepetitionContext {
             epoch,
@@ -171,8 +281,12 @@ pub fn run_duel<P: DuelProfile>(
         let plan2 = adversary.plan(&ctx2);
         adversary_cost += plan2.jam_count(len);
 
+        // Crash windows are period-granular: re-evaluate for this phase.
+        let alice_off2 = alice_dead || faults.crashed(0, period);
+        let bob_off2 = bob_dead || faults.crashed(1, period);
+
         let bob_nacking = matches!(bob_outcome, Some(BobSendOutcome::ContinueToNack));
-        let bob_nacks = if bob_nacking {
+        let bob_nacks = if bob_nacking && !bob_off2 {
             sample_slots(rng, len, rate)
         } else {
             Vec::new()
@@ -181,20 +295,31 @@ pub fn run_duel<P: DuelProfile>(
 
         let mut alice_listened = 0u64;
         if !alice.is_done() {
-            let alice_listens = sample_slots(rng, len, rate);
-            alice_listened = alice_listens.len() as u64;
-            alice_cost += alice_listened;
-            let mut heard_nack = false;
-            let mut alice_noise = 0u64;
-            scan_listens(&alice_listens, &bob_nacks, |t, bob_sent| {
-                if plan2.is_jammed(t, len) {
-                    alice_noise += 1;
-                } else if bob_sent {
-                    heard_nack = true;
-                }
-                false
-            });
-            alice.end_epoch(heard_nack, alice_noise, thr);
+            if alice_off2 {
+                // Radio off: a quiet epoch from Alice's point of view.
+                alice.end_epoch(false, 0, thr);
+            } else {
+                let alice_listens = sample_slots(rng, len, rate);
+                alice_listened = alice_listens.len() as u64;
+                alice_cost += alice_listened;
+                let mut heard_nack = false;
+                let mut alice_noise = 0u64;
+                scan_listens(&alice_listens, &bob_nacks, |t, bob_sent| {
+                    // Skew is checked before jamming; both decode as noise
+                    // and neither draws the loss coin.
+                    if t < alice_skew || plan2.is_jammed(t, len) {
+                        alice_noise += 1;
+                    } else if bob_sent {
+                        if lost(&mut fault_rng) {
+                            alice_noise += 1;
+                        } else {
+                            heard_nack = true;
+                        }
+                    }
+                    false
+                });
+                alice.end_epoch(heard_nack, alice_noise, thr);
+            }
         }
         if bob_nacking {
             bob.end_nack_phase();
@@ -212,16 +337,20 @@ pub fn run_duel<P: DuelProfile>(
         slots += len;
         period += 1;
         epoch += 1;
-        if epoch >= 62 {
+        if epoch >= DUEL_EPOCH_CAP {
             // An effectively-infinite adversary budget (or a degenerate
             // profile) would push phase lengths past 2^62 slots; truncate
             // like the `max_slots` cap instead of aborting the trial batch.
             truncated = true;
+            error = Some(SimError::EpochBudgetExhausted {
+                max_epoch: DUEL_EPOCH_CAP,
+                slots,
+            });
             break;
         }
     }
 
-    DuelOutcome {
+    let outcome = DuelOutcome {
         delivered: bob.got_message(),
         bob_premature: bob.is_done() && !bob.got_message(),
         alice_cost,
@@ -231,7 +360,8 @@ pub fn run_duel<P: DuelProfile>(
         delivery_slot,
         last_epoch: epoch.saturating_sub(1).max(profile.start_epoch()),
         truncated,
-    }
+    };
+    (outcome, error)
 }
 
 #[cfg(test)]
@@ -444,6 +574,209 @@ mod tests {
         assert!(out.truncated, "epoch cap must truncate, not abort");
         assert!(!out.delivered);
         assert_eq!(out.last_epoch, 61);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        for seed in 0..20 {
+            let mut rng_a = RcbRng::new(seed);
+            let mut adv_a = BudgetedRepBlocker::new(4096, 1.0);
+            let plain = run_duel(&profile, &mut adv_a, &mut rng_a, DuelConfig::default());
+            let mut rng_b = RcbRng::new(seed);
+            let mut adv_b = BudgetedRepBlocker::new(4096, 1.0);
+            let faulted = run_duel_faulted(
+                &profile,
+                &mut adv_b,
+                &mut rng_b,
+                DuelConfig::default(),
+                &FaultPlan::none(),
+            );
+            assert_eq!(plain, faulted, "seed {seed}");
+            assert_eq!(rng_a, rng_b, "no extra randomness was drawn");
+        }
+    }
+
+    #[test]
+    fn checked_run_reports_epoch_cap_as_typed_error() {
+        let mut rng = RcbRng::new(5);
+        let mut adv = NoJamRep;
+        let err = run_duel_checked(
+            &NeverHaltProfile,
+            &mut adv,
+            &mut rng,
+            DuelConfig {
+                max_slots: u64::MAX,
+            },
+            &FaultPlan::none(),
+        )
+        .expect_err("runaway profile must exhaust the epoch budget");
+        assert!(matches!(
+            err,
+            SimError::EpochBudgetExhausted { max_epoch: 62, .. }
+        ));
+    }
+
+    #[test]
+    fn checked_run_reports_slot_cap_as_typed_error() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let mut rng = RcbRng::new(3);
+        let mut adv = BudgetedRepBlocker::new(10_000, 1.0);
+        let err = run_duel_checked(
+            &profile,
+            &mut adv,
+            &mut rng,
+            DuelConfig { max_slots: 100 },
+            &FaultPlan::none(),
+        )
+        .expect_err("100 slots cannot finish a jammed duel");
+        assert!(matches!(
+            err,
+            SimError::SlotBudgetExhausted { max_slots: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn certain_loss_blocks_delivery() {
+        // p_loss = 1: every decode fails, so m can never be delivered; Bob
+        // must eventually halt prematurely via the noise threshold path.
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        for seed in 0..10 {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = NoJamRep;
+            let out = run_duel_faulted(
+                &profile,
+                &mut adv,
+                &mut rng,
+                DuelConfig::default(),
+                &FaultPlan::none().with_loss(1.0),
+            );
+            assert!(!out.delivered, "seed {seed}: lossy radio cannot decode m");
+            assert!(!out.truncated, "seed {seed}: the duel still halts");
+        }
+    }
+
+    #[test]
+    fn moderate_loss_still_delivers_mostly() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let mut delivered = 0;
+        let trials = 50;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = NoJamRep;
+            let out = run_duel_faulted(
+                &profile,
+                &mut adv,
+                &mut rng,
+                DuelConfig::default(),
+                &FaultPlan::none().with_loss(0.2),
+            );
+            if out.delivered {
+                delivered += 1;
+            }
+        }
+        assert!(
+            delivered >= trials * 6 / 10,
+            "graceful degradation: {delivered}/{trials} delivered at p_loss = 0.2"
+        );
+    }
+
+    #[test]
+    fn crashed_bob_pays_nothing_during_the_window() {
+        // Bob offline from the start, forever: he never listens, so his
+        // cost is zero and delivery is impossible.
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let mut rng = RcbRng::new(9);
+        let mut adv = NoJamRep;
+        let out = run_duel_faulted(
+            &profile,
+            &mut adv,
+            &mut rng,
+            DuelConfig::default(),
+            &FaultPlan::none().with_crash(1, 0, u64::MAX, false),
+        );
+        assert_eq!(out.bob_cost, 0);
+        assert!(!out.delivered);
+        assert!(out.bob_premature, "quiet phases push Bob out");
+    }
+
+    #[test]
+    fn battery_brownout_caps_spend_near_capacity() {
+        // Heavy blanket jamming would normally cost each party hundreds;
+        // a small battery caps the spend at capacity plus one phase.
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        let cap = 16u64;
+        for seed in 0..10 {
+            let mut rng = RcbRng::new(seed);
+            let mut adv = BudgetedRepBlocker::new(1 << 20, 1.0);
+            let out = run_duel_faulted(
+                &profile,
+                &mut adv,
+                &mut rng,
+                DuelConfig::default(),
+                &FaultPlan::none().with_battery(cap),
+            );
+            assert!(!out.truncated, "seed {seed}: dead parties end the run");
+            // Overshoot is bounded by one phase of sampled activity: at
+            // start epoch 8 that is ≈ rate·len ≈ 47 expected actions, so
+            // allow a generous 128 on top of the capacity — still far
+            // below the unfaulted spend under this attack (hundreds).
+            assert!(
+                out.alice_cost < cap + 128 && out.bob_cost < cap + 128,
+                "seed {seed}: costs {}/{} vs cap {cap}",
+                out.alice_cost,
+                out.bob_cost
+            );
+        }
+    }
+
+    /// Deterministic fixture: 4-slot phases, rate 1 (every slot active),
+    /// and a noise threshold no phase can reach — both parties halt the
+    /// moment a phase is quiet, and Bob decodes m in the first unskewed
+    /// send slot.
+    struct AlwaysOnProfile;
+
+    impl DuelProfile for AlwaysOnProfile {
+        fn start_epoch(&self) -> u32 {
+            1
+        }
+
+        fn rate(&self, _epoch: u32) -> f64 {
+            1.0
+        }
+
+        fn noise_threshold(&self, _epoch: u32) -> f64 {
+            100.0
+        }
+
+        fn phase_len(&self, _epoch: u32) -> u64 {
+            4
+        }
+    }
+
+    #[test]
+    fn skewed_bob_hears_boundary_slots_as_noise() {
+        let run = |skew_slots: u64| {
+            let mut rng = RcbRng::new(4);
+            let mut adv = NoJamRep;
+            run_duel_faulted(
+                &AlwaysOnProfile,
+                &mut adv,
+                &mut rng,
+                DuelConfig::default(),
+                &FaultPlan::none().with_skew(1, skew_slots),
+            )
+        };
+        // No skew: Alice sends every slot, Bob decodes at offset 0.
+        assert_eq!(run(0).delivery_slot, Some(0));
+        // Two skewed boundary slots: the first decodable slot is offset 2.
+        assert_eq!(run(2).delivery_slot, Some(2));
+        // A fully skewed phase decodes nothing; 4 noise slots stay below
+        // the threshold, so Bob quits prematurely — graceful, not stuck.
+        let out = run(4);
+        assert!(!out.delivered);
+        assert!(out.bob_premature);
+        assert!(!out.truncated);
     }
 
     #[test]

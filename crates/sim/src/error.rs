@@ -1,0 +1,94 @@
+//! Typed harness failures: budget exhaustion and poisoned trials.
+//!
+//! The engines historically reported hitting a hard cap only through a
+//! `truncated`/`completed` flag that downstream aggregation could (and in
+//! early experiment code, did) silently average over. The `*_checked` entry
+//! points surface the same condition as a [`SimError`] so sweeps can route
+//! a runaway cell to an error column instead of folding a truncated run
+//! into a cost mean.
+
+use std::fmt;
+
+/// An engine hit a hard resource cap before every node halted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The slot cap was reached with at least one node still running.
+    SlotBudgetExhausted {
+        /// The configured cap.
+        max_slots: u64,
+        /// Slots actually executed (= `max_slots` for the exact engine;
+        /// the fast engines stop at the end of the period that crossed it).
+        slots: u64,
+    },
+    /// The epoch cap was reached with at least one node still running. The
+    /// fast engines bound epochs rather than raw slots (a single epoch-62
+    /// phase already exceeds 2^62 slots).
+    EpochBudgetExhausted {
+        /// The configured cap (the fixed 62 for the duel engine).
+        max_epoch: u32,
+        /// Slots executed before giving up.
+        slots: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SlotBudgetExhausted { max_slots, slots } => write!(
+                f,
+                "slot budget exhausted: {slots} slots executed against a cap of {max_slots} \
+                 with nodes still running"
+            ),
+            SimError::EpochBudgetExhausted { max_epoch, slots } => write!(
+                f,
+                "epoch budget exhausted: reached epoch cap {max_epoch} after {slots} slots \
+                 with nodes still running"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A trial that panicked inside
+/// [`run_trials_isolated`](crate::runner::run_trials_isolated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// The trial index whose closure panicked.
+    pub trial: u64,
+    /// The stringified panic payload.
+    pub payload: String,
+}
+
+impl fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trial {} panicked: {}", self.trial, self.payload)
+    }
+}
+
+impl std::error::Error for TrialFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_the_caps() {
+        let e = SimError::SlotBudgetExhausted {
+            max_slots: 10,
+            slots: 10,
+        };
+        assert!(e.to_string().contains("cap of 10"));
+        let e = SimError::EpochBudgetExhausted {
+            max_epoch: 62,
+            slots: 99,
+        };
+        assert!(e.to_string().contains("62"));
+        let t = TrialFailure {
+            trial: 3,
+            payload: "boom".into(),
+        };
+        assert!(t.to_string().contains("trial 3"));
+        assert!(t.to_string().contains("boom"));
+    }
+}

@@ -15,6 +15,9 @@ use rcb_core::protocol::{Schedule, SlotProtocol};
 use rcb_mathkit::rng::RcbRng;
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
+use crate::faults::FaultPlan;
+
 /// Engine limits.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ExactConfig {
@@ -51,13 +54,84 @@ pub fn run_exact(
     partition: &Partition,
     rng: &mut RcbRng,
     config: ExactConfig,
-    mut trace: Option<&mut Trace>,
+    trace: Option<&mut Trace>,
 ) -> ExactOutcome {
+    run_exact_core(
+        protocols,
+        adversary,
+        schedule,
+        partition,
+        rng,
+        config,
+        trace,
+        &FaultPlan::none(),
+    )
+    .0
+}
+
+/// [`run_exact`] with a fault-injection plan (see [`crate::faults`])
+/// layered between the channel and the receivers.
+///
+/// Battery-dead and crashed nodes are forced to [`Action::Sleep`];
+/// battery-dead nodes additionally count as halted for the completion
+/// check (they can never act again). The trace and the adversary's
+/// observations record the **raw** channel resolution — receiver-side
+/// degradation is invisible on the air.
+#[allow(clippy::too_many_arguments)]
+pub fn run_exact_faulted(
+    protocols: &mut [&mut dyn SlotProtocol],
+    adversary: &mut dyn SlotAdversary,
+    schedule: &dyn Schedule,
+    partition: &Partition,
+    rng: &mut RcbRng,
+    config: ExactConfig,
+    trace: Option<&mut Trace>,
+    faults: &FaultPlan,
+) -> ExactOutcome {
+    run_exact_core(
+        protocols, adversary, schedule, partition, rng, config, trace, faults,
+    )
+    .0
+}
+
+/// [`run_exact_faulted`] that reports budget exhaustion as a typed
+/// [`SimError`] instead of a silent `completed = false`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_exact_checked(
+    protocols: &mut [&mut dyn SlotProtocol],
+    adversary: &mut dyn SlotAdversary,
+    schedule: &dyn Schedule,
+    partition: &Partition,
+    rng: &mut RcbRng,
+    config: ExactConfig,
+    trace: Option<&mut Trace>,
+    faults: &FaultPlan,
+) -> Result<ExactOutcome, SimError> {
+    match run_exact_core(
+        protocols, adversary, schedule, partition, rng, config, trace, faults,
+    ) {
+        (outcome, None) => Ok(outcome),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_exact_core(
+    protocols: &mut [&mut dyn SlotProtocol],
+    adversary: &mut dyn SlotAdversary,
+    schedule: &dyn Schedule,
+    partition: &Partition,
+    rng: &mut RcbRng,
+    config: ExactConfig,
+    mut trace: Option<&mut Trace>,
+    faults: &FaultPlan,
+) -> (ExactOutcome, Option<SimError>) {
     assert_eq!(
         protocols.len(),
         partition.nodes(),
         "one protocol per partition slot"
     );
+    debug_assert!(faults.validate().is_ok(), "invalid fault plan");
     let mut ledger = EnergyLedger::new(protocols.len());
     let mut actions: Vec<Action> = Vec::with_capacity(protocols.len());
     let mut receptions: Vec<Option<Reception>> = vec![None; protocols.len()];
@@ -66,17 +140,47 @@ pub fn run_exact(
         receptions: Vec::new(),
         senders: 0,
     };
+    // Fault state. The dedicated RNG stream is derived only for non-empty
+    // plans, so `FaultPlan::none()` leaves the caller's stream — and hence
+    // every coin flip below — bit-identical to the unfaulted engine.
+    let mut fault_rng = if faults.is_none() {
+        None
+    } else {
+        Some(rng.split())
+    };
+    let mut dead = vec![false; protocols.len()];
+    let mut pending_reboot = faults.reboot_at();
 
     let mut slot = 0u64;
     while slot < config.max_slots {
-        if protocols.iter().all(|p| p.is_done()) {
-            return ExactOutcome {
-                ledger,
-                slots: slot,
-                completed: true,
-            };
-        }
         let loc = schedule.locate(slot);
+        if loc.offset == 0 {
+            // Period-boundary bookkeeping: the battery gauge is sampled
+            // here (overshoot ≤ one period, matching the fast engines) and
+            // a state-losing reboot fires on the first period after the
+            // crash window.
+            if let Some(cap) = faults.battery_capacity() {
+                for (i, d) in dead.iter_mut().enumerate() {
+                    *d = *d || ledger.node_cost(i) >= cap;
+                }
+            }
+            if let Some((node, at)) = pending_reboot {
+                if loc.period >= at {
+                    protocols[node].reboot();
+                    pending_reboot = None;
+                }
+            }
+        }
+        if protocols.iter().zip(&dead).all(|(p, &d)| p.is_done() || d) {
+            return (
+                ExactOutcome {
+                    ledger,
+                    slots: slot,
+                    completed: true,
+                },
+                None,
+            );
+        }
         let ctx = SlotContext {
             slot,
             period: loc.period,
@@ -88,8 +192,15 @@ pub fn run_exact(
         let jam = adversary.decide(&ctx);
 
         actions.clear();
-        for p in protocols.iter_mut() {
-            actions.push(p.act(rng));
+        for (i, p) in protocols.iter_mut().enumerate() {
+            // Radio off: no acting, no coin flips — the protocol's RNG
+            // stream pauses with its radio (and resumes in sync, because
+            // the fast engines skip whole-period sampling the same way).
+            if dead[i] || faults.crashed(i, loc.period) {
+                actions.push(Action::Sleep);
+            } else {
+                actions.push(p.act(rng));
+            }
         }
 
         resolve_slot_into(&actions, &jam, partition, &mut ledger, &mut resolution);
@@ -101,7 +212,13 @@ pub fn run_exact(
             *r = None;
         }
         for (node, reception) in &resolution.receptions {
-            receptions[*node] = Some(reception.clone());
+            let heard = match &mut fault_rng {
+                None => reception.clone(),
+                Some(frng) => faults
+                    .receiver_condition(*node, loc.offset)
+                    .apply(reception.clone(), frng),
+            };
+            receptions[*node] = Some(heard);
         }
         for (i, p) in protocols.iter_mut().enumerate() {
             p.end_slot(receptions[i].as_ref());
@@ -114,12 +231,19 @@ pub fn run_exact(
         });
         slot += 1;
     }
-    let completed = protocols.iter().all(|p| p.is_done());
-    ExactOutcome {
-        ledger,
+    let completed = protocols.iter().zip(&dead).all(|(p, &d)| p.is_done() || d);
+    let err = (!completed).then_some(SimError::SlotBudgetExhausted {
+        max_slots: config.max_slots,
         slots: slot,
-        completed,
-    }
+    });
+    (
+        ExactOutcome {
+            ledger,
+            slots: slot,
+            completed,
+        },
+        err,
+    )
 }
 
 #[cfg(test)]
@@ -239,6 +363,131 @@ mod tests {
         );
         assert_eq!(out.slots, 10);
         assert!(!out.completed);
+    }
+
+    #[test]
+    fn checked_run_reports_slot_budget_exhaustion() {
+        let (mut alice, mut bob, schedule) = fig1_pair(8);
+        let mut rng = RcbRng::new(9);
+        let mut adv = NoJam;
+        let partition = Partition::pair();
+        let err = run_exact_checked(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig { max_slots: 10 },
+            None,
+            &FaultPlan::none(),
+        )
+        .expect_err("10 slots cannot finish a duel");
+        assert_eq!(
+            err,
+            SimError::SlotBudgetExhausted {
+                max_slots: 10,
+                slots: 10
+            }
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let partition = Partition::pair();
+        let run = |faulted: bool| {
+            let (mut alice, mut bob, schedule) = fig1_pair(6);
+            let mut rng = RcbRng::new(77);
+            let mut adv = BudgetedPhaseBlocker::new(500, 1.0);
+            let protocols: &mut [&mut dyn SlotProtocol] = &mut [&mut alice, &mut bob];
+            if faulted {
+                run_exact_faulted(
+                    protocols,
+                    &mut adv,
+                    &schedule,
+                    &partition,
+                    &mut rng,
+                    ExactConfig::default(),
+                    None,
+                    &FaultPlan::none(),
+                )
+            } else {
+                run_exact(
+                    protocols,
+                    &mut adv,
+                    &schedule,
+                    &partition,
+                    &mut rng,
+                    ExactConfig::default(),
+                    None,
+                )
+            }
+        };
+        let plain = run(false);
+        let faulted = run(true);
+        assert_eq!(plain.slots, faulted.slots);
+        assert_eq!(plain.completed, faulted.completed);
+        for i in 0..2 {
+            assert_eq!(plain.ledger.node_cost(i), faulted.ledger.node_cost(i));
+        }
+        assert_eq!(
+            plain.ledger.adversary_cost(),
+            faulted.ledger.adversary_cost()
+        );
+    }
+
+    #[test]
+    fn battery_brownout_halts_the_run() {
+        // A 1-unit battery dies at the first period boundary after any
+        // activity; the run then completes with both nodes offline.
+        let (mut alice, mut bob, schedule) = fig1_pair(6);
+        let mut rng = RcbRng::new(11);
+        let mut adv = NoJam;
+        let partition = Partition::pair();
+        let out = run_exact_faulted(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig::default(),
+            None,
+            &FaultPlan::none().with_battery(1),
+        );
+        assert!(out.completed, "dead nodes count as halted");
+        assert!(
+            out.slots < 4096,
+            "both batteries die within a few phases, got {}",
+            out.slots
+        );
+        for i in 0..2 {
+            let cost = out.ledger.node_cost(i);
+            assert!(
+                cost < 256,
+                "node {i}: cap 1 + at most one period of overshoot, got {cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_node_sleeps_through_its_window() {
+        // Crash Bob for the entire run: he never acts, so his ledger stays
+        // empty and Alice eventually gives up on her own.
+        let (mut alice, mut bob, schedule) = fig1_pair(6);
+        let mut rng = RcbRng::new(12);
+        let mut adv = NoJam;
+        let partition = Partition::pair();
+        let out = run_exact_faulted(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig::default(),
+            None,
+            &FaultPlan::none().with_crash(1, 0, u64::MAX, false),
+        );
+        assert_eq!(out.ledger.node_cost(1), 0, "radio off costs nothing");
+        assert!(out.ledger.node_cost(0) > 0, "Alice still runs");
     }
 
     #[test]

@@ -22,9 +22,11 @@ use rcb_adversary::traits::{RepetitionAdversary, RepetitionContext, RepetitionSu
 use rcb_core::one_to_n::node::OneToNNode;
 use rcb_core::one_to_n::params::OneToNParams;
 use rcb_mathkit::rng::RcbRng;
-use rcb_mathkit::sample::sample_slots;
+use rcb_mathkit::sample::{bernoulli, sample_slots};
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
+use crate::faults::FaultPlan;
 use crate::outcome::BroadcastOutcome;
 
 /// Limits for the fast broadcast engine.
@@ -115,6 +117,73 @@ pub fn run_broadcast_from(
     config: FastConfig,
     observer: &mut dyn BroadcastObserver,
 ) -> BroadcastOutcome {
+    run_broadcast_core(
+        params,
+        n,
+        sources,
+        adversary,
+        rng,
+        config,
+        observer,
+        &FaultPlan::none(),
+    )
+    .0
+}
+
+/// [`run_broadcast_from`] with a fault-injection plan (see
+/// [`crate::faults`]) layered between the channel and the receivers.
+///
+/// Semantics match the exact engine: crashed and battery-dead nodes are
+/// radio-off (no sampling, no coin flips) while their protocol clock keeps
+/// ticking through zero-count repetition epilogues; the loss coin is drawn
+/// only on decodable `m` receptions; skewed boundary slots decode as noise;
+/// the battery gauge is sampled at repetition boundaries, so overshoot is
+/// at most one repetition of activity. Battery-dead nodes count as halted
+/// for the completion check.
+#[allow(clippy::too_many_arguments)]
+pub fn run_broadcast_faulted(
+    params: &OneToNParams,
+    n: usize,
+    sources: &[usize],
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+    observer: &mut dyn BroadcastObserver,
+    faults: &FaultPlan,
+) -> BroadcastOutcome {
+    run_broadcast_core(params, n, sources, adversary, rng, config, observer, faults).0
+}
+
+/// [`run_broadcast_faulted`] that reports budget exhaustion as a typed
+/// [`SimError`] instead of a silent `truncated = true`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_broadcast_checked(
+    params: &OneToNParams,
+    n: usize,
+    sources: &[usize],
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+    observer: &mut dyn BroadcastObserver,
+    faults: &FaultPlan,
+) -> Result<BroadcastOutcome, SimError> {
+    match run_broadcast_core(params, n, sources, adversary, rng, config, observer, faults) {
+        (outcome, None) => Ok(outcome),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_broadcast_core(
+    params: &OneToNParams,
+    n: usize,
+    sources: &[usize],
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+    observer: &mut dyn BroadcastObserver,
+    faults: &FaultPlan,
+) -> (BroadcastOutcome, Option<SimError>) {
     assert!(n >= 1, "need at least one node");
     assert!(!sources.is_empty(), "need at least one source");
     assert!(sources.iter().all(|&s| s < n), "source ids must be < n");
@@ -127,6 +196,21 @@ pub fn run_broadcast_from(
     let mut period = 0u64;
     let mut truncated = true;
 
+    // Fault state. The dedicated RNG stream is derived only for non-empty
+    // plans, so `FaultPlan::none()` leaves the caller's stream — and hence
+    // every sample below — bit-identical to the unfaulted engine.
+    debug_assert!(faults.validate().is_ok(), "invalid fault plan");
+    let has_faults = !faults.is_none();
+    let mut fault_rng = if has_faults { Some(rng.split()) } else { None };
+    let loss_p = faults.loss_p();
+    let lost = |frng: &mut Option<RcbRng>| match frng {
+        Some(r) if loss_p > 0.0 => bernoulli(r, loss_p),
+        _ => false,
+    };
+    let mut dead = vec![false; n];
+    let mut offline = vec![false; n];
+    let mut pending_reboot = faults.reboot_at();
+
     // Reusable buffers.
     let mut send_events: Vec<(u64, u32)> = Vec::new();
     let mut slot_contents: Vec<(u64, SlotContent)> = Vec::new();
@@ -138,11 +222,39 @@ pub fn run_broadcast_from(
         let len = params.slots(epoch);
         let reps = params.reps(epoch);
         for _ in 0..reps {
-            let active = nodes.iter().filter(|v| !v.is_terminated()).count();
-            if active == 0 {
+            if has_faults {
+                // Repetition-boundary bookkeeping, mirroring the exact
+                // engine's period boundary: sample the battery gauge, fire
+                // a pending state-losing reboot, and refresh which radios
+                // are off this period.
+                if let Some(cap) = faults.battery_capacity() {
+                    for (u, d) in dead.iter_mut().enumerate() {
+                        *d = *d || costs[u] >= cap;
+                    }
+                }
+                if let Some((node, at)) = pending_reboot {
+                    if period >= at {
+                        nodes[node].reboot(params);
+                        pending_reboot = None;
+                    }
+                }
+                for (u, off) in offline.iter_mut().enumerate() {
+                    *off = dead[u] || faults.crashed(u, period);
+                }
+            }
+            if nodes
+                .iter()
+                .zip(&dead)
+                .all(|(v, &d)| v.is_terminated() || d)
+            {
                 truncated = false;
                 break 'epochs;
             }
+            let active = nodes
+                .iter()
+                .zip(&offline)
+                .filter(|(v, &off)| !v.is_terminated() && !off)
+                .count();
             let ctx = RepetitionContext {
                 epoch,
                 repetition: period,
@@ -152,10 +264,11 @@ pub fn run_broadcast_from(
             let plan = adversary.plan(&ctx);
             adversary_cost += plan.jam_count(len);
 
-            // 1. Send events.
+            // 1. Send events. Radio-off nodes sample nothing: no coin
+            // flips, so their RNG consumption pauses with the radio.
             send_events.clear();
             for (u, node) in nodes.iter().enumerate() {
-                if node.is_terminated() {
+                if node.is_terminated() || offline[u] {
                     continue;
                 }
                 let sends = sample_slots(rng, len, node.send_prob(params));
@@ -189,9 +302,10 @@ pub fn run_broadcast_from(
             // 3. Listen events.
             let mut total_listens = 0u64;
             for (u, node) in nodes.iter().enumerate() {
-                if node.is_terminated() {
+                if node.is_terminated() || offline[u] {
                     continue;
                 }
+                let skew = faults.skew_slots(u);
                 let listens = sample_slots(rng, len, node.listen_prob(params));
                 // Drop listen slots where this node itself transmits.
                 // Own sends for node u are a sorted subsequence of
@@ -203,6 +317,9 @@ pub fn run_broadcast_from(
                     }
                     costs[u] += 1;
                     total_listens += 1;
+                    if t < skew {
+                        continue; // clock skew: boundary slots decode as noise
+                    }
                     if plan.is_jammed(t, len) {
                         continue; // noise
                     }
@@ -211,7 +328,12 @@ pub fn run_broadcast_from(
                         Ok(idx) => match slot_contents[idx].1 {
                             SlotContent::Message(sender) => {
                                 debug_assert_ne!(sender, u as u32);
-                                msg_counts[u] += 1;
+                                // The loss coin is drawn only on decodable
+                                // payload receptions, same as the exact
+                                // engine's receiver condition.
+                                if !lost(&mut fault_rng) {
+                                    msg_counts[u] += 1;
+                                }
                             }
                             SlotContent::SingleNoise | SlotContent::Collision => {}
                         },
@@ -263,18 +385,25 @@ pub fn run_broadcast_from(
         .iter()
         .filter(|v| v.term_reason() == Some(rcb_core::one_to_n::TermReason::Safety))
         .count();
-    BroadcastOutcome {
-        n,
-        informed,
-        all_informed: informed == n,
-        all_terminated: nodes.iter().all(|v| v.is_terminated()),
-        safety_terminations: safety,
-        node_costs: costs,
-        adversary_cost,
+    let err = truncated.then_some(SimError::EpochBudgetExhausted {
+        max_epoch: config.max_epoch,
         slots: slots_total,
-        last_epoch: epoch.min(config.max_epoch),
-        truncated,
-    }
+    });
+    (
+        BroadcastOutcome {
+            n,
+            informed,
+            all_informed: informed == n,
+            all_terminated: nodes.iter().all(|v| v.is_terminated()),
+            safety_terminations: safety,
+            node_costs: costs,
+            adversary_cost,
+            slots: slots_total,
+            last_epoch: epoch.min(config.max_epoch),
+            truncated,
+        },
+        err,
+    )
 }
 
 /// Whether `(t, u)` occurs in the sorted `send_events`.
@@ -488,5 +617,149 @@ mod tests {
         assert!(out.truncated);
         assert!(!out.all_terminated);
         assert_eq!(out.last_epoch, p.first_epoch + 2);
+    }
+
+    #[test]
+    fn checked_run_reports_epoch_cap_as_typed_error() {
+        let p = params();
+        let mut rng = RcbRng::new(5);
+        let mut adv = rcb_adversary::rep_strategies::SuffixFractionRep::new(1.0);
+        let err = run_broadcast_checked(
+            &p,
+            4,
+            &[0],
+            &mut adv,
+            &mut rng,
+            FastConfig {
+                max_epoch: p.first_epoch + 2,
+            },
+            &mut (),
+            &FaultPlan::none(),
+        )
+        .expect_err("fully blocked nodes never terminate");
+        assert!(matches!(
+            err,
+            SimError::EpochBudgetExhausted { max_epoch, .. } if max_epoch == p.first_epoch + 2
+        ));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let p = params();
+        for seed in 0..10u64 {
+            let mut rng_a = RcbRng::new(seed);
+            let mut adv = BudgetedRepBlocker::new(50_000, 1.0);
+            let plain = run_broadcast(&p, 12, &mut adv, &mut rng_a, FastConfig::default());
+
+            let mut rng_b = RcbRng::new(seed);
+            let mut adv = BudgetedRepBlocker::new(50_000, 1.0);
+            let faulted = run_broadcast_faulted(
+                &p,
+                12,
+                &[0],
+                &mut adv,
+                &mut rng_b,
+                FastConfig::default(),
+                &mut (),
+                &FaultPlan::none(),
+            );
+            assert_eq!(plain.node_costs, faulted.node_costs, "seed {seed}");
+            assert_eq!(plain.slots, faulted.slots, "seed {seed}");
+            assert_eq!(plain.informed, faulted.informed, "seed {seed}");
+            assert_eq!(plain.adversary_cost, faulted.adversary_cost);
+            assert_eq!(rng_a, rng_b, "seed {seed}: RNG streams must not diverge");
+        }
+    }
+
+    #[test]
+    fn crash_restart_reconverges() {
+        // Node 3 goes dark for six early periods and reboots with its
+        // volatile state wiped. The informed helpers keep transmitting m,
+        // so the rebooted node relearns it: dissemination degrades
+        // gracefully instead of wedging.
+        let p = params();
+        let mut informed_runs = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(900 + seed);
+            let mut adv = NoJamRep;
+            let out = run_broadcast_faulted(
+                &p,
+                8,
+                &[0],
+                &mut adv,
+                &mut rng,
+                FastConfig::default(),
+                &mut (),
+                &FaultPlan::none().with_crash(3, 2, 6, true),
+            );
+            assert!(!out.truncated, "seed {seed}");
+            if out.all_informed {
+                informed_runs += 1;
+            }
+        }
+        assert!(
+            informed_runs >= 8,
+            "re-converged in {informed_runs}/{trials} runs"
+        );
+    }
+
+    #[test]
+    fn lossy_reception_degrades_gracefully() {
+        // 20% receiver-side loss slows dissemination but must not produce
+        // a cliff: most runs still inform everyone.
+        let p = params();
+        let mut informed_runs = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            let mut rng = RcbRng::new(300 + seed);
+            let mut adv = NoJamRep;
+            let out = run_broadcast_faulted(
+                &p,
+                16,
+                &[0],
+                &mut adv,
+                &mut rng,
+                FastConfig::default(),
+                &mut (),
+                &FaultPlan::none().with_loss(0.2),
+            );
+            assert!(!out.truncated, "seed {seed}");
+            if out.all_informed {
+                informed_runs += 1;
+            }
+        }
+        assert!(
+            informed_runs >= 8,
+            "informed in {informed_runs}/{trials} lossy runs"
+        );
+    }
+
+    #[test]
+    fn battery_brownout_caps_node_cost() {
+        let p = params();
+        let mut rng = RcbRng::new(9);
+        let mut adv = NoJamRep;
+        let plain = run_broadcast(&p, 8, &mut adv, &mut rng, FastConfig::default());
+
+        let mut rng = RcbRng::new(9);
+        let mut adv = NoJamRep;
+        let capped = run_broadcast_faulted(
+            &p,
+            8,
+            &[0],
+            &mut adv,
+            &mut rng,
+            FastConfig::default(),
+            &mut (),
+            &FaultPlan::none().with_battery(20),
+        );
+        assert!(!capped.truncated, "dead nodes count as halted");
+        assert!(
+            capped.max_cost() < plain.max_cost(),
+            "capped {} vs plain {}",
+            capped.max_cost(),
+            plain.max_cost()
+        );
     }
 }

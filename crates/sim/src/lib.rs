@@ -20,11 +20,19 @@
 //! [`runner`] fans trials out over threads (std scoped threads, one
 //! deterministic RNG stream per trial), and [`lowerbound`] packages the
 //! Theorem 2 / Theorem 5 measurement games.
+//!
+//! [`faults`] layers deterministic, seeded *non-adversarial* failures —
+//! lossy reception, crash–restart, clock skew, battery brownout — under
+//! every engine via the `*_faulted` entry points; [`error`] carries the
+//! typed harness failures ([`SimError`], [`TrialFailure`]) surfaced by the
+//! `*_checked` entry points and [`runner::run_trials_isolated`].
 
 pub mod conformance;
 pub mod duel;
+pub mod error;
 pub mod exact;
 pub mod fast;
+pub mod faults;
 pub mod lowerbound;
 pub mod outcome;
 pub mod reduction;
@@ -33,11 +41,14 @@ pub mod runner;
 pub use conformance::{
     default_grid, run_grid, AdversarySpec, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
 };
-pub use duel::{run_duel, DuelConfig};
-pub use exact::{run_exact, ExactConfig, ExactOutcome};
+pub use duel::{run_duel, run_duel_checked, run_duel_faulted, DuelConfig};
+pub use error::{SimError, TrialFailure};
+pub use exact::{run_exact, run_exact_checked, run_exact_faulted, ExactConfig, ExactOutcome};
 pub use fast::{
-    run_broadcast, run_broadcast_from, run_broadcast_observed, BroadcastObserver, FastConfig,
+    run_broadcast, run_broadcast_checked, run_broadcast_faulted, run_broadcast_from,
+    run_broadcast_observed, BroadcastObserver, FastConfig,
 };
+pub use faults::{BatteryFault, CrashFault, FaultConfigError, FaultPlan, LossFault, SkewFault};
 pub use outcome::{BroadcastOutcome, DuelOutcome};
 pub use reduction::{simulate_reduction, ReductionOutcome};
-pub use runner::{run_trials, Parallelism};
+pub use runner::{run_trials, run_trials_isolated, Parallelism};

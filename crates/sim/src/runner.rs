@@ -8,7 +8,10 @@
 //! bit-identical regardless of thread count or scheduling.
 
 use rcb_mathkit::rng::{RcbRng, SeedSequence};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::TrialFailure;
 
 /// Thread-count policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,29 +46,57 @@ where
     T: Send,
     F: Fn(u64, &mut RcbRng) -> T + Sync,
 {
+    run_trials_isolated(trials, master_seed, parallelism, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(failure) => panic!("{failure}"),
+        })
+        .collect()
+}
+
+/// [`run_trials`] with per-trial panic isolation: a trial whose closure
+/// panics yields an `Err(`[`TrialFailure`]`)` carrying the trial index and
+/// the stringified panic payload, while every other trial completes
+/// normally (and bit-identically to a clean run — each trial's RNG stream
+/// is independent, so a poisoned trial cannot perturb its neighbours).
+///
+/// One poisoned parameter cell in a long sweep then costs one row, not the
+/// whole run. Use [`run_trials`] when a panic should abort the sweep.
+pub fn run_trials_isolated<T, F>(
+    trials: u64,
+    master_seed: u64,
+    parallelism: Parallelism,
+    f: F,
+) -> Vec<Result<T, TrialFailure>>
+where
+    T: Send,
+    F: Fn(u64, &mut RcbRng) -> T + Sync,
+{
     let threads = parallelism.threads().min(trials.max(1) as usize);
     let seeds = SeedSequence::new(master_seed);
+    let run_one = |i: u64| -> Result<T, TrialFailure> {
+        let mut rng = seeds.rng(i);
+        catch_unwind(AssertUnwindSafe(|| f(i, &mut rng))).map_err(|payload| TrialFailure {
+            trial: i,
+            payload: panic_payload(payload),
+        })
+    };
 
     if threads <= 1 {
-        return (0..trials)
-            .map(|i| {
-                let mut rng = seeds.rng(i);
-                f(i, &mut rng)
-            })
-            .collect();
+        return (0..trials).map(run_one).collect();
     }
 
     let cursor = AtomicU64::new(0);
-    let worker = |collected: &mut Vec<(u64, T)>| loop {
+    let worker = |collected: &mut Vec<(u64, Result<T, TrialFailure>)>| loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= trials {
             return;
         }
-        let mut rng = seeds.rng(i);
-        collected.push((i, f(i, &mut rng)));
+        collected.push((i, run_one(i)));
     };
 
-    let mut per_worker: Vec<Vec<(u64, T)>> = Vec::with_capacity(threads);
+    let mut per_worker: Vec<Vec<(u64, Result<T, TrialFailure>)>> = Vec::with_capacity(threads);
     per_worker.resize_with(threads, Vec::new);
     std::thread::scope(|scope| {
         for collected in &mut per_worker {
@@ -73,7 +104,7 @@ where
         }
     });
 
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(trials as usize);
+    let mut slots: Vec<Option<Result<T, TrialFailure>>> = Vec::with_capacity(trials as usize);
     slots.resize_with(trials as usize, || None);
     for (i, value) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i as usize].is_none(), "trial {i} claimed twice");
@@ -83,6 +114,18 @@ where
         .into_iter()
         .map(|v| v.expect("every trial index was claimed exactly once"))
         .collect()
+}
+
+/// Renders a panic payload the way the default hook does: `&str` and
+/// `String` payloads verbatim, anything else opaquely.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +186,45 @@ mod tests {
     fn auto_parallelism_runs() {
         let out = run_trials(10, 3, Parallelism::Auto, |i, _| i + 1);
         assert_eq!(out.iter().sum::<u64>(), 55);
+    }
+
+    #[test]
+    fn panicking_trial_is_isolated() {
+        // Trial 5 panics; the other trials must complete with values
+        // bit-identical to a run where nothing panicked.
+        let clean = run_trials(16, 42, Parallelism::Fixed(4), |i, rng| (i, rng.f64()));
+        let isolated = run_trials_isolated(16, 42, Parallelism::Fixed(4), |i, rng| {
+            if i == 5 {
+                panic!("injected failure in trial {i}");
+            }
+            (i, rng.f64())
+        });
+        assert_eq!(isolated.len(), 16);
+        for (i, r) in isolated.iter().enumerate() {
+            if i == 5 {
+                let failure = r.as_ref().expect_err("trial 5 panicked");
+                assert_eq!(failure.trial, 5);
+                assert!(failure.payload.contains("injected failure"));
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &clean[i], "trial {i} perturbed");
+            }
+        }
+    }
+
+    #[test]
+    fn run_trials_propagates_trial_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            run_trials(4, 1, Parallelism::Fixed(1), |i, _rng| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("the panic must propagate");
+        let msg = super::panic_payload(payload);
+        assert!(msg.contains("trial 2"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
     }
 
     #[test]

@@ -80,11 +80,15 @@ pub mod prelude {
         default_grid, replay_broadcast_trace, replay_duel_trace, run_broadcast_cell, run_duel_cell,
         run_grid, AdversarySpec, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
     };
-    pub use rcb_sim::duel::{run_duel, DuelConfig};
-    pub use rcb_sim::exact::{run_exact, ExactConfig};
-    pub use rcb_sim::fast::{run_broadcast, FastConfig};
+    pub use rcb_sim::duel::{run_duel, run_duel_checked, run_duel_faulted, DuelConfig};
+    pub use rcb_sim::error::{SimError, TrialFailure};
+    pub use rcb_sim::exact::{run_exact, run_exact_checked, run_exact_faulted, ExactConfig};
+    pub use rcb_sim::fast::{
+        run_broadcast, run_broadcast_checked, run_broadcast_faulted, FastConfig,
+    };
+    pub use rcb_sim::faults::{FaultConfigError, FaultPlan};
     pub use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
-    pub use rcb_sim::runner::{run_trials, Parallelism};
+    pub use rcb_sim::runner::{run_trials, run_trials_isolated, Parallelism};
 }
 
 /// Compiles the README's code blocks as doctests so the front-page example

@@ -43,6 +43,7 @@ fn duel_engines_agree_without_jamming() {
         error_rate: 0.05,
         start_epoch: 6,
         adversary: AdversarySpec::NoJam,
+        fault: FaultPlan::none(),
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(10)));
 }
@@ -56,6 +57,7 @@ fn duel_engines_agree_under_blanket_jamming() {
             budget: 512,
             fraction: 1.0,
         },
+        fault: FaultPlan::none(),
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(30)));
 }
@@ -72,6 +74,7 @@ fn duel_engines_agree_under_heavy_jamming() {
             budget: 2048,
             fraction: 1.0,
         },
+        fault: FaultPlan::none(),
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(50)));
 }
@@ -88,6 +91,7 @@ fn duel_engines_agree_in_distribution() {
             budget: 1024,
             fraction: 1.0,
         },
+        fault: FaultPlan::none(),
     };
     let report = run_duel_cell(&cell, &cfg(70));
     assert_conformant(&report);
@@ -102,6 +106,7 @@ fn broadcast_engines_agree_on_small_network() {
         n: 5,
         first_epoch: 4, // keep the exact engine's slot count tame
         adversary: AdversarySpec::NoJam,
+        fault: FaultPlan::none(),
     };
     let c = ConformanceConfig {
         trials: 25,
@@ -121,10 +126,47 @@ fn broadcast_engines_agree_under_jamming() {
             budget: 256,
             fraction: 1.0,
         },
+        fault: FaultPlan::none(),
     };
     let c = ConformanceConfig {
         trials: 25,
         ..cfg(2000)
+    };
+    assert_conformant(&run_broadcast_cell(&cell, &c));
+}
+
+/// Fault injection under jamming: the loss coin lives in different places
+/// in the two engines (a per-reception receiver condition vs. a coin on
+/// each sampled message event), so a lossy cell guards the equivalence of
+/// both implementations.
+#[test]
+fn duel_engines_agree_under_loss_and_jamming() {
+    let cell = DuelCell {
+        error_rate: 0.05,
+        start_epoch: 6,
+        adversary: AdversarySpec::Budgeted {
+            budget: 512,
+            fraction: 1.0,
+        },
+        fault: FaultPlan::none().with_loss(0.15),
+    };
+    assert_conformant(&run_duel_cell(&cell, &cfg(90)));
+}
+
+/// Crash–restart in 1-to-n: the window is period-aligned in both engines
+/// and the reboot wipes volatile state; any off-by-one in period
+/// accounting between the engines diverges here.
+#[test]
+fn broadcast_engines_agree_under_crash_restart() {
+    let cell = BroadcastCell {
+        n: 5,
+        first_epoch: 4,
+        adversary: AdversarySpec::NoJam,
+        fault: FaultPlan::none().with_crash(1, 2, 6, true),
+    };
+    let c = ConformanceConfig {
+        trials: 25,
+        ..cfg(3000)
     };
     assert_conformant(&run_broadcast_cell(&cell, &c));
 }
