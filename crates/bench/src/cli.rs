@@ -17,6 +17,8 @@
 use std::collections::HashMap;
 use std::str::FromStr;
 
+use crate::experiments::common::split_truncated;
+use crate::perf::{self, PerfScale};
 use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep};
 use rcb_adversary::traits::RepetitionAdversary;
 use rcb_analysis::table::{num, TableBuilder};
@@ -27,8 +29,8 @@ use rcb_mathkit::rng::SeedSequence;
 use rcb_mathkit::stats::RunningStats;
 use rcb_mathkit::PHI_MINUS_ONE;
 use rcb_sim::conformance::{default_grid, run_grid, ConformanceConfig};
-use rcb_sim::duel::{run_duel_faulted, DuelConfig};
-use rcb_sim::fast::{run_broadcast_faulted, FastConfig};
+use rcb_sim::duel::{run_duel_checked, DuelConfig};
+use rcb_sim::fast::{run_broadcast_checked, FastConfig};
 use rcb_sim::faults::FaultPlan;
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
 use rcb_sim::runner::{run_trials, Parallelism};
@@ -167,6 +169,13 @@ COMMANDS:
   conformance  cross-engine agreement grid (exact vs fast engines)
              --trials N (default 200)   --seed N (default 2014)
              --alpha F (default 0.001)
+  perf       pinned perf grid → BENCH_<git-sha>.json (slots/sec,
+             trials/sec, peak RSS, determinism checksums per engine)
+             --scale standard|smoke (default standard)
+             --out PATH (default BENCH_<sha>.json; `-` skips the write)
+             --against FILE (compare to a recorded baseline)
+             --threshold F (default 0.35)   --report-only true
+             --notes TEXT   --seed N (default 2014)
   help       this text
 
 FAULT INJECTION (duel and broadcast):
@@ -191,6 +200,7 @@ pub fn run_cli(args: &Args) -> Result<String, String> {
         Some("product") => cmd_product(args),
         Some("golden") => cmd_golden(args),
         Some("conformance") => cmd_conformance(args),
+        Some("perf") => cmd_perf(args),
         Some(other) => Err(format!("unknown command `{other}`; try `rcbsim help`")),
     }
 }
@@ -203,10 +213,14 @@ fn duel_report<P: DuelProfile + Sync>(
     seed: u64,
     faults: FaultPlan,
 ) -> String {
-    let outcomes = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
+    let results = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
         let mut adv = BudgetedRepBlocker::new(budget, q);
-        run_duel_faulted(profile, &mut adv, rng, DuelConfig::default(), &faults)
+        run_duel_checked(profile, &mut adv, rng, DuelConfig::default(), &faults)
     });
+    let (outcomes, truncated) = split_truncated(results);
+    if outcomes.is_empty() {
+        return format!("every one of the {trials} trials truncated at an engine cap\n");
+    }
     let mut alice = RunningStats::new();
     let mut bob = RunningStats::new();
     let mut slots = RunningStats::new();
@@ -249,11 +263,13 @@ fn duel_report<P: DuelProfile + Sync>(
         hist.record(o.max_cost() as f64);
     }
     format!(
-        "{}\ndelivered: {}/{} ({:.1}%)\n\nmax-cost distribution (p50 ≈ {:.0}, p95 ≈ {:.0}):\n{}",
+        "{}\ndelivered: {}/{} ({:.1}%)\ntruncated trials: {}\n\n\
+         max-cost distribution (p50 ≈ {:.0}, p95 ≈ {:.0}):\n{}",
         t.markdown(),
         delivered,
-        trials,
-        100.0 * delivered as f64 / trials as f64,
+        outcomes.len(),
+        100.0 * delivered as f64 / outcomes.len() as f64,
+        truncated,
         hist.quantile(0.5),
         hist.quantile(0.95),
         hist.render(32)
@@ -297,14 +313,14 @@ fn cmd_broadcast(args: &Args) -> Result<String, String> {
     let faults = fault_plan_from_args(args)?;
     let params = OneToNParams::practical();
     let kind_owned = kind.clone();
-    let outcomes = run_trials(trials, seed, Parallelism::Auto, move |i, rng| {
+    let results = run_trials(trials, seed, Parallelism::Auto, move |i, rng| {
         let mut adv: Box<dyn RepetitionAdversary> = match kind_owned.as_str() {
             "suffix" => Box::new(BudgetedRepBlocker::new(budget, q)),
             "random" => Box::new(RandomRep::new(q.min(0.999), budget, seed ^ i)),
             "keepalive" => Box::new(KeepAliveBlocker::new(budget, q)),
             _ => Box::new(NoJamRep),
         };
-        run_broadcast_faulted(
+        run_broadcast_checked(
             &params,
             n,
             &[0],
@@ -315,6 +331,12 @@ fn cmd_broadcast(args: &Args) -> Result<String, String> {
             &faults,
         )
     });
+    let (outcomes, truncated) = split_truncated(results);
+    if outcomes.is_empty() {
+        return Ok(format!(
+            "every one of the {trials} trials truncated at the epoch cap\n"
+        ));
+    }
     let mut mean_cost = RunningStats::new();
     let mut max_cost = RunningStats::new();
     let mut slots = RunningStats::new();
@@ -353,10 +375,11 @@ fn cmd_broadcast(args: &Args) -> Result<String, String> {
         num(spend.max()),
     ]);
     Ok(format!(
-        "{}\nall informed: {}/{} runs\n",
+        "{}\nall informed: {}/{} runs\ntruncated trials: {}\n",
         t.markdown(),
         informed,
-        trials
+        outcomes.len(),
+        truncated
     ))
 }
 
@@ -428,6 +451,42 @@ fn cmd_conformance(args: &Args) -> Result<String, String> {
         // reflect it so CI can gate on `rcbsim conformance`.
         Err(text)
     }
+}
+
+fn cmd_perf(args: &Args) -> Result<String, String> {
+    let seed: u64 = args.get("seed", 2014)?;
+    let scale = PerfScale::parse(&args.get_str("scale", "standard"))?;
+    let threshold: f64 = args.get("threshold", perf::DEFAULT_THRESHOLD)?;
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err("--threshold must be a positive number".into());
+    }
+    let report_only: bool = args.get("report-only", false)?;
+    let notes = args.get_str("notes", "");
+    let sha = perf::git_short_sha();
+    let out_path = args.get_str("out", &format!("BENCH_{sha}.json"));
+
+    let report = perf::run_perf(seed, scale, &sha, &notes);
+    let mut text = report.render();
+    if out_path != "-" {
+        std::fs::write(&out_path, report.to_json().render())
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        text.push_str(&format!("\nwrote {out_path}\n"));
+    }
+
+    if let Some(baseline_path) = args.get_opt::<String>("against")? {
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+        let baseline = perf::BenchReport::parse(&baseline_text)
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        let cmp = perf::compare(&baseline, &report, threshold);
+        text.push('\n');
+        text.push_str(&cmp.text);
+        if !cmp.passed() && !report_only {
+            // Nonzero exit so CI can gate on `rcbsim perf --against`.
+            return Err(text);
+        }
+    }
+    Ok(text)
 }
 
 #[cfg(test)]

@@ -4,8 +4,10 @@ use rcb_adversary::rep_strategies::BudgetedRepBlocker;
 use rcb_analysis::report::{Cell, SweepSeries};
 use rcb_core::one_to_n::OneToNParams;
 use rcb_core::one_to_one::profile::DuelProfile;
-use rcb_sim::duel::{run_duel, DuelConfig};
-use rcb_sim::fast::{run_broadcast, FastConfig};
+use rcb_sim::duel::{run_duel_checked, DuelConfig};
+use rcb_sim::error::SimError;
+use rcb_sim::fast::{run_broadcast_checked, FastConfig};
+use rcb_sim::faults::FaultPlan;
 use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
 use rcb_sim::runner::{run_trials, Parallelism};
 
@@ -26,7 +28,24 @@ pub struct DuelSweepPoint {
     pub cost: Cell,
     pub latency: Cell,
     pub success_rate: f64,
+    /// Trials the engine cut off at a budget cap; they are excluded from
+    /// every statistic above and must be surfaced in the report.
+    pub truncated: u64,
     pub outcomes: Vec<DuelOutcome>,
+}
+
+/// Splits checked-trial results into completed outcomes and the number of
+/// trials the engine truncated at a budget cap.
+pub fn split_truncated<T>(results: Vec<Result<T, SimError>>) -> (Vec<T>, u64) {
+    let mut out = Vec::with_capacity(results.len());
+    let mut truncated = 0u64;
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(_) => truncated += 1,
+        }
+    }
+    (out, truncated)
 }
 
 /// Sweeps a duel profile over adversary budgets with the canonical
@@ -42,17 +61,29 @@ pub fn duel_budget_sweep<P: DuelProfile + Sync>(
     budgets
         .iter()
         .map(|&budget| {
-            let outcomes = run_trials(trials, seed ^ budget, Parallelism::Auto, |_, rng| {
+            let results = run_trials(trials, seed ^ budget, Parallelism::Auto, |_, rng| {
                 let mut adv = BudgetedRepBlocker::new(budget, q);
-                run_duel(profile, &mut adv, rng, DuelConfig::default())
+                run_duel_checked(
+                    profile,
+                    &mut adv,
+                    rng,
+                    DuelConfig::default(),
+                    &FaultPlan::none(),
+                )
             });
-            summarize_duels(budget, outcomes)
+            let (outcomes, truncated) = split_truncated(results);
+            summarize_duels(budget, outcomes, truncated)
         })
         .collect()
 }
 
-/// Aggregates duel outcomes into a sweep point.
-pub fn summarize_duels(budget: u64, outcomes: Vec<DuelOutcome>) -> DuelSweepPoint {
+/// Aggregates duel outcomes into a sweep point. Panics when *every* trial
+/// truncated: a cell with no completed trials has no statistics to report.
+pub fn summarize_duels(budget: u64, outcomes: Vec<DuelOutcome>, truncated: u64) -> DuelSweepPoint {
+    assert!(
+        !outcomes.is_empty(),
+        "budget {budget}: all {truncated} trials truncated at an engine cap"
+    );
     let mean_t = outcomes
         .iter()
         .map(|o| o.adversary_cost as f64)
@@ -67,6 +98,7 @@ pub fn summarize_duels(budget: u64, outcomes: Vec<DuelOutcome>) -> DuelSweepPoin
         cost: Cell::from_samples(mean_t.max(1.0), &costs),
         latency: Cell::from_samples(mean_t.max(1.0), &slots),
         success_rate: successes as f64 / outcomes.len() as f64,
+        truncated,
         outcomes,
     }
 }
@@ -83,6 +115,9 @@ pub struct BroadcastSweepPoint {
     pub max_cost: Cell,
     pub latency: Cell,
     pub all_informed_rate: f64,
+    /// Trials the engine cut off at its epoch cap; excluded from the
+    /// statistics above and surfaced in the report.
+    pub truncated: u64,
     pub outcomes: Vec<BroadcastOutcome>,
 }
 
@@ -98,16 +133,26 @@ pub fn broadcast_budget_sweep(
     budgets
         .iter()
         .map(|&budget| {
-            let outcomes = run_trials(
+            let results = run_trials(
                 trials,
                 seed ^ budget ^ (n as u64) << 32,
                 Parallelism::Auto,
                 |_, rng| {
                     let mut adv = BudgetedRepBlocker::new(budget, q);
-                    run_broadcast(params, n, &mut adv, rng, FastConfig::default())
+                    run_broadcast_checked(
+                        params,
+                        n,
+                        &[0],
+                        &mut adv,
+                        rng,
+                        FastConfig::default(),
+                        &mut (),
+                        &FaultPlan::none(),
+                    )
                 },
             );
-            summarize_broadcasts(budget, n, outcomes)
+            let (outcomes, truncated) = split_truncated(results);
+            summarize_broadcasts(budget, n, outcomes, truncated)
         })
         .collect()
 }
@@ -119,7 +164,12 @@ pub fn summarize_broadcasts(
     budget: u64,
     n: usize,
     outcomes: Vec<BroadcastOutcome>,
+    truncated: u64,
 ) -> BroadcastSweepPoint {
+    assert!(
+        !outcomes.is_empty(),
+        "n {n}, budget {budget}: all {truncated} trials truncated at the epoch cap"
+    );
     let mean_t = outcomes
         .iter()
         .map(|o| o.adversary_cost as f64)
@@ -138,8 +188,62 @@ pub fn summarize_broadcasts(
         max_cost: Cell::from_samples(x, &max_costs),
         latency: Cell::from_samples(x, &slots),
         all_informed_rate: informed as f64 / outcomes.len() as f64,
+        truncated,
         outcomes,
     }
+}
+
+/// Report-annotation view of a sweep cell: how many trials completed and
+/// how many the engine truncated at a cap.
+pub trait TruncationCount {
+    fn cell_label(&self) -> String;
+    fn completed(&self) -> u64;
+    fn truncated(&self) -> u64;
+}
+
+impl TruncationCount for DuelSweepPoint {
+    fn cell_label(&self) -> String {
+        format!("budget {}", self.budget)
+    }
+    fn completed(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+    fn truncated(&self) -> u64 {
+        self.truncated
+    }
+}
+
+impl TruncationCount for BroadcastSweepPoint {
+    fn cell_label(&self) -> String {
+        format!("n {}, budget {}", self.n, self.budget)
+    }
+    fn completed(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+    fn truncated(&self) -> u64 {
+        self.truncated
+    }
+}
+
+/// Standard report line for engine-cap truncations. Experiments always
+/// append it, so "0" is an explicit claim rather than silence; nonzero
+/// counts list the affected cells so a clipped distribution can never
+/// masquerade as a converged one.
+pub fn truncation_note<C: TruncationCount>(points: &[C]) -> String {
+    let total: u64 = points.iter().map(TruncationCount::truncated).sum();
+    if total == 0 {
+        return "\ntruncated trials: 0\n".to_string();
+    }
+    let mut s = format!("\nWARNING: {total} truncated trial(s) excluded from the statistics:\n");
+    for p in points.iter().filter(|p| p.truncated() > 0) {
+        s.push_str(&format!(
+            "  {}: {}/{} truncated\n",
+            p.cell_label(),
+            p.truncated(),
+            p.truncated() + p.completed()
+        ));
+    }
+    s
 }
 
 /// Builds a series from `(x, cell)` pairs with a fresh `x`.
@@ -181,6 +285,50 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!(pts[0].mean_cost.mean > 0.0);
         assert!(pts[0].mean_t > 0.0);
+    }
+
+    #[test]
+    fn split_truncated_partitions_and_counts() {
+        let results: Vec<Result<u32, SimError>> = vec![
+            Ok(1),
+            Err(SimError::EpochBudgetExhausted {
+                max_epoch: 3,
+                slots: 99,
+            }),
+            Ok(2),
+            Err(SimError::EpochBudgetExhausted {
+                max_epoch: 3,
+                slots: 7,
+            }),
+        ];
+        let (ok, truncated) = split_truncated(results);
+        assert_eq!(ok, vec![1, 2]);
+        assert_eq!(truncated, 2);
+    }
+
+    #[test]
+    fn truncation_note_zero_is_explicit() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 7);
+        let pts = duel_budget_sweep(&profile, &[1024], 1.0, 4, 1);
+        let note = truncation_note(&pts);
+        assert!(note.contains("truncated trials: 0"), "{note}");
+    }
+
+    #[test]
+    fn truncation_note_lists_affected_cells() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 7);
+        let mut pts = duel_budget_sweep(&profile, &[1024, 2048], 1.0, 4, 1);
+        pts[1].truncated = 3;
+        let note = truncation_note(&pts);
+        assert!(note.contains("WARNING"), "{note}");
+        assert!(note.contains("budget 2048: 3/7 truncated"), "{note}");
+        assert!(!note.contains("budget 1024"), "{note}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all 5 trials truncated")]
+    fn summarize_panics_when_every_trial_truncated() {
+        summarize_duels(64, Vec::new(), 5);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use rcb_analysis::table::{num, TableBuilder};
 use rcb_core::one_to_n::node::Status;
 use rcb_core::one_to_n::{OneToNNode, OneToNParams};
 use rcb_mathkit::rng::RcbRng;
-use rcb_sim::fast::{run_broadcast_observed, BroadcastObserver, FastConfig};
+use rcb_sim::fast::{run_broadcast_checked, BroadcastObserver, FastConfig};
+use rcb_sim::faults::FaultPlan;
 
 /// (epoch, rep, S_min, S_max, uninformed, informed, helpers, terminated).
 type DynamicsRow = (u32, u64, f64, f64, usize, usize, usize, usize);
@@ -75,14 +76,17 @@ pub fn run(scale: &Scale) -> String {
     let mut probe = DynamicsProbe::default();
     let mut rng = RcbRng::new(scale.seed ^ 0xE10);
     let mut adv = NoJamRep;
-    let outcome = run_broadcast_observed(
+    let outcome = run_broadcast_checked(
         &params,
         n,
+        &[0],
         &mut adv,
         &mut rng,
         FastConfig::default(),
         &mut probe,
-    );
+        &FaultPlan::none(),
+    )
+    .expect("unjammed instrumented run must terminate before the epoch cap");
 
     let mut table = TableBuilder::new(vec![
         "epoch", "rep", "S min", "S max", "uninf", "inf", "helper", "term",
@@ -123,16 +127,22 @@ pub fn run(scale: &Scale) -> String {
     let mut rng2 = RcbRng::new(scale.seed ^ 0x1E10);
     let mut adv2 = SuffixFractionRep::new(0.55);
     let first_epoch_reps = params.reps(params.first_epoch) as usize;
-    let _ = run_broadcast_observed(
+    // This run is *expected* to hit the epoch cap — the probe only needs
+    // the first epoch — so the typed truncation error is acknowledged
+    // explicitly instead of being swallowed.
+    let capped = run_broadcast_checked(
         &params,
         n,
+        &[0],
         &mut adv2,
         &mut rng2,
         FastConfig {
             max_epoch: params.first_epoch + 1,
         },
         &mut probe2,
-    );
+        &FaultPlan::none(),
+    )
+    .is_err();
     let start_sv = probe2.s_v_by_rep.first().copied().unwrap_or(0.0);
     let end_first_epoch = probe2
         .s_v_by_rep
@@ -145,6 +155,10 @@ pub fn run(scale: &Scale) -> String {
         num(start_sv),
         num(end_first_epoch),
         end_first_epoch / start_sv.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "(blocked run deliberately capped at epoch {}; truncated = {capped})\n",
+        params.first_epoch + 1
     ));
     out
 }

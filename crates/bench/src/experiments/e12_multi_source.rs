@@ -8,6 +8,7 @@
 //! the advantage disappears entirely: the adversary's budget, not the
 //! seeding, dictates the timeline.
 
+use crate::experiments::common::split_truncated;
 use crate::scale::Scale;
 use rcb_adversary::rep_strategies::{BudgetedRepBlocker, NoJamRep};
 use rcb_adversary::traits::RepetitionAdversary;
@@ -15,7 +16,8 @@ use rcb_analysis::table::{num, TableBuilder};
 use rcb_core::one_to_n::OneToNNode;
 use rcb_core::one_to_n::OneToNParams;
 use rcb_mathkit::stats::RunningStats;
-use rcb_sim::fast::{run_broadcast_from, BroadcastObserver, FastConfig};
+use rcb_sim::fast::{run_broadcast_checked, BroadcastObserver, FastConfig};
+use rcb_sim::faults::FaultPlan;
 use rcb_sim::runner::{run_trials, Parallelism};
 
 /// Records the global repetition index at which dissemination completed.
@@ -39,16 +41,16 @@ fn sweep(
     budget: u64,
     trials: u64,
     seed: u64,
-) -> (f64, f64, f64, f64) {
+) -> (f64, f64, f64, f64, u64) {
     let source_ids: Vec<usize> = (0..sources).map(|k| k * n / sources).collect();
-    let outcomes = run_trials(trials, seed, Parallelism::Auto, move |_, rng| {
+    let results = run_trials(trials, seed, Parallelism::Auto, move |_, rng| {
         let mut adv: Box<dyn RepetitionAdversary> = if budget == 0 {
             Box::new(NoJamRep)
         } else {
             Box::new(BudgetedRepBlocker::new(budget, 1.0))
         };
         let mut probe = DisseminationProbe::default();
-        let o = run_broadcast_from(
+        run_broadcast_checked(
             params,
             n,
             &source_ids,
@@ -56,9 +58,15 @@ fn sweep(
             rng,
             FastConfig::default(),
             &mut probe,
-        );
-        (o, probe.complete_at)
+            &FaultPlan::none(),
+        )
+        .map(|o| (o, probe.complete_at))
     });
+    let (outcomes, truncated) = split_truncated(results);
+    assert!(
+        !outcomes.is_empty(),
+        "sources {sources}, budget {budget}: every trial truncated"
+    );
     let mut cost = RunningStats::new();
     let mut complete = RunningStats::new();
     let mut informed = 0u64;
@@ -73,7 +81,8 @@ fn sweep(
         cost.mean(),
         complete.mean(),
         complete.max(),
-        informed as f64 / trials as f64,
+        informed as f64 / outcomes.len() as f64,
+        truncated,
     )
 }
 
@@ -91,10 +100,12 @@ pub fn run(scale: &Scale) -> String {
         "informed",
         "T=2^20: informed-by rep",
     ]);
+    let mut truncated_total = 0u64;
     for sources in [1usize, 2, 4, 8, 16] {
-        let (c0, rep0, repmax0, i0) = sweep(&params, n, sources, 0, trials, scale.seed ^ 0xE12);
-        let (_c1, rep1, _m1, _i1) =
+        let (c0, rep0, repmax0, i0, t0) = sweep(&params, n, sources, 0, trials, scale.seed ^ 0xE12);
+        let (_c1, rep1, _m1, _i1, t1) =
             sweep(&params, n, sources, 1 << 20, trials, scale.seed ^ 0x1E12);
+        truncated_total += t0 + t1;
         table.row(vec![
             sources.to_string(),
             num(c0),
@@ -115,5 +126,6 @@ pub fn run(scale: &Scale) -> String {
          whenever the budget runs out, shifting every row by the same \
          adversary-dictated amount.\n",
     );
+    out.push_str(&format!("\ntruncated trials: {truncated_total}\n"));
     out
 }

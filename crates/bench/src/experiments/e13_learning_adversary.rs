@@ -9,13 +9,15 @@
 //! static arms it is choosing between; its arm statistics show where it
 //! converged.
 
+use crate::experiments::common::split_truncated;
 use crate::scale::Scale;
 use rcb_adversary::rep_strategies::{BanditBlocker, BudgetedRepBlocker};
 use rcb_analysis::table::{num, TableBuilder};
 use rcb_core::one_to_one::profile::Fig1Profile;
 use rcb_mathkit::rng::SeedSequence;
 use rcb_mathkit::stats::RunningStats;
-use rcb_sim::duel::{run_duel, DuelConfig};
+use rcb_sim::duel::{run_duel_checked, DuelConfig};
+use rcb_sim::faults::FaultPlan;
 use rcb_sim::runner::{run_trials, Parallelism};
 
 const ARMS: [f64; 4] = [0.0625, 0.25, 0.55, 1.0];
@@ -29,16 +31,26 @@ pub fn run(scale: &Scale) -> String {
     let mut table = TableBuilder::new(vec!["adversary", "E[max cost]", "E[T spent]", "success"]);
 
     // Static arms for reference.
+    let mut truncated_total = 0u64;
     for q in ARMS {
-        let outcomes = run_trials(
+        let results = run_trials(
             trials,
             scale.seed ^ 0xE13,
             Parallelism::Auto,
             move |_, rng| {
                 let mut adv = BudgetedRepBlocker::new(budget, q);
-                run_duel(&profile, &mut adv, rng, DuelConfig::default())
+                run_duel_checked(
+                    &profile,
+                    &mut adv,
+                    rng,
+                    DuelConfig::default(),
+                    &FaultPlan::none(),
+                )
             },
         );
+        let (outcomes, trunc) = split_truncated(results);
+        assert!(!outcomes.is_empty(), "q={q}: every trial truncated");
+        truncated_total += trunc;
         let mut cost = RunningStats::new();
         let mut spend = RunningStats::new();
         let mut ok = 0u64;
@@ -51,7 +63,7 @@ pub fn run(scale: &Scale) -> String {
             format!("static q={q}"),
             num(cost.mean()),
             num(spend.mean()),
-            format!("{:.2}", ok as f64 / trials as f64),
+            format!("{:.2}", ok as f64 / outcomes.len() as f64),
         ]);
     }
 
@@ -66,11 +78,28 @@ pub fn run(scale: &Scale) -> String {
     let mut spend = RunningStats::new();
     let mut ok = 0u64;
     let mut adv = BanditBlocker::new(ARMS.to_vec(), budget, 0xBAD17);
+    let mut bandit_runs = 0u64;
     for t in 0..trials {
         let mut rng = seeds.rng(t);
         adv.refill(budget);
-        let o = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
+        let result = run_duel_checked(
+            &profile,
+            &mut adv,
+            &mut rng,
+            DuelConfig::default(),
+            &FaultPlan::none(),
+        );
         adv.settle_now();
+        let o = match result {
+            Ok(o) => o,
+            // A truncated run still taught the bandit; only the victim
+            // statistics are unusable.
+            Err(_) => {
+                truncated_total += 1;
+                continue;
+            }
+        };
+        bandit_runs += 1;
         cost.push(o.max_cost() as f64);
         if t >= trials / 2 {
             late_cost.push(o.max_cost() as f64);
@@ -78,12 +107,13 @@ pub fn run(scale: &Scale) -> String {
         spend.push(o.adversary_cost as f64);
         ok += o.delivered as u64;
     }
+    assert!(bandit_runs > 0, "every bandit run truncated");
     let pulls_by_arm: Vec<u64> = adv.arm_means().iter().map(|&(_, _, p)| p).collect();
     table.row(vec![
         "bandit (all runs)".to_string(),
         num(cost.mean()),
         num(spend.mean()),
-        format!("{:.2}", ok as f64 / trials as f64),
+        format!("{:.2}", ok as f64 / bandit_runs as f64),
     ]);
     table.row(vec![
         "bandit (2nd half)".to_string(),
@@ -109,5 +139,6 @@ pub fn run(scale: &Scale) -> String {
          budget-optimal — the attacker does not need the sweep, the victim's \
          observable activity is enough to find the protocol's soft spot.\n",
     );
+    out.push_str(&format!("\ntruncated trials: {truncated_total}\n"));
     out
 }

@@ -16,6 +16,7 @@
 //!    that end with whatever dissemination was achieved — informed
 //!    fraction grows with capacity, and no cap wedges the run.
 
+use crate::experiments::common::split_truncated;
 use crate::scale::Scale;
 use rcb_adversary::rep_strategies::{BudgetedRepBlocker, NoJamRep};
 use rcb_adversary::traits::RepetitionAdversary;
@@ -23,8 +24,8 @@ use rcb_analysis::table::{num, TableBuilder};
 use rcb_core::one_to_n::OneToNParams;
 use rcb_core::one_to_one::profile::Fig1Profile;
 use rcb_mathkit::stats::RunningStats;
-use rcb_sim::duel::{run_duel_faulted, DuelConfig};
-use rcb_sim::fast::{run_broadcast_faulted, FastConfig};
+use rcb_sim::duel::{run_duel_checked, DuelConfig};
+use rcb_sim::fast::{run_broadcast_checked, FastConfig};
 use rcb_sim::faults::FaultPlan;
 use rcb_sim::runner::{run_trials, Parallelism};
 
@@ -32,6 +33,7 @@ struct DuelCellResult {
     delivered_rate: f64,
     mean_max_cost: f64,
     mean_slots: f64,
+    truncated: u64,
 }
 
 fn duel_cell(budget: u64, loss: f64, trials: u64, seed: u64) -> DuelCellResult {
@@ -41,14 +43,19 @@ fn duel_cell(budget: u64, loss: f64, trials: u64, seed: u64) -> DuelCellResult {
     } else {
         FaultPlan::none()
     };
-    let outcomes = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
+    let results = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
         let mut adv: Box<dyn RepetitionAdversary> = if budget == 0 {
             Box::new(NoJamRep)
         } else {
             Box::new(BudgetedRepBlocker::new(budget, 1.0))
         };
-        run_duel_faulted(&profile, adv.as_mut(), rng, DuelConfig::default(), &plan)
+        run_duel_checked(&profile, adv.as_mut(), rng, DuelConfig::default(), &plan)
     });
+    let (outcomes, truncated) = split_truncated(results);
+    assert!(
+        !outcomes.is_empty(),
+        "budget {budget}, loss {loss}: every trial truncated"
+    );
     let mut max_cost = RunningStats::new();
     let mut slots = RunningStats::new();
     let mut delivered = 0u64;
@@ -58,9 +65,10 @@ fn duel_cell(budget: u64, loss: f64, trials: u64, seed: u64) -> DuelCellResult {
         delivered += o.delivered as u64;
     }
     DuelCellResult {
-        delivered_rate: delivered as f64 / trials as f64,
+        delivered_rate: delivered as f64 / outcomes.len() as f64,
         mean_max_cost: max_cost.mean(),
         mean_slots: slots.mean(),
+        truncated,
     }
 }
 
@@ -69,13 +77,14 @@ struct BroadcastCellResult {
     all_informed_rate: f64,
     mean_max_cost: f64,
     mean_slots: f64,
+    truncated: u64,
 }
 
 fn broadcast_cell(n: usize, plan: FaultPlan, trials: u64, seed: u64) -> BroadcastCellResult {
     let params = OneToNParams::practical();
-    let outcomes = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
+    let results = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
         let mut adv = NoJamRep;
-        run_broadcast_faulted(
+        run_broadcast_checked(
             &params,
             n,
             &[0],
@@ -86,6 +95,8 @@ fn broadcast_cell(n: usize, plan: FaultPlan, trials: u64, seed: u64) -> Broadcas
             &plan,
         )
     });
+    let (outcomes, truncated) = split_truncated(results);
+    assert!(!outcomes.is_empty(), "n {n}: every trial truncated");
     let mut informed = RunningStats::new();
     let mut max_cost = RunningStats::new();
     let mut slots = RunningStats::new();
@@ -98,9 +109,10 @@ fn broadcast_cell(n: usize, plan: FaultPlan, trials: u64, seed: u64) -> Broadcas
     }
     BroadcastCellResult {
         informed_fraction: informed.mean(),
-        all_informed_rate: all_informed as f64 / trials as f64,
+        all_informed_rate: all_informed as f64 / outcomes.len() as f64,
         mean_max_cost: max_cost.mean(),
         mean_slots: slots.mean(),
+        truncated,
     }
 }
 
@@ -119,11 +131,13 @@ pub fn run(scale: &Scale) -> String {
         "E[max cost]",
         "E[slots]",
     ]);
+    let mut truncated_total = 0u64;
     let mut cliff = false;
     for &budget in &budgets {
         let mut prev_rate = f64::INFINITY;
         for (k, &loss) in losses.iter().enumerate() {
             let r = duel_cell(budget, loss, trials, seed ^ (budget << 8) ^ k as u64);
+            truncated_total += r.truncated;
             // A "cliff" is a fault step that erases delivery outright:
             // adjacent cells dropping from mostly-delivering to
             // essentially-never. Sampling noise stays well above this.
@@ -175,6 +189,7 @@ pub fn run(scale: &Scale) -> String {
     ];
     for (i, (label, plan)) in crash_cells.iter().enumerate() {
         let r = broadcast_cell(n, *plan, trials, seed ^ 0xC0 ^ i as u64);
+        truncated_total += r.truncated;
         table.row(vec![
             label.to_string(),
             format!("{:.3}", r.informed_fraction),
@@ -208,6 +223,7 @@ pub fn run(scale: &Scale) -> String {
             None => FaultPlan::none(),
         };
         let r = broadcast_cell(n, plan, trials, seed ^ 0xBA00 ^ i as u64);
+        truncated_total += r.truncated;
         table.row(vec![
             cap.map_or("∞".into(), |c| c.to_string()),
             format!("{:.3}", r.informed_fraction),
@@ -225,5 +241,6 @@ pub fn run(scale: &Scale) -> String {
          nodes count as halted) — brownout fails soft instead of wedging \
          the harness.\n",
     );
+    out.push_str(&format!("\ntruncated trials: {truncated_total}\n"));
     out
 }

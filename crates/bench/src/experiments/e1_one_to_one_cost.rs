@@ -6,7 +6,7 @@
 //! `T` must sit near 0.5 (and far from the naive baseline's 1.0), and the
 //! success rate must stay ≥ 1 − ε.
 
-use crate::experiments::common::{budget_axis, duel_budget_sweep, series_from};
+use crate::experiments::common::{budget_axis, duel_budget_sweep, series_from, truncation_note};
 use crate::scale::Scale;
 use rcb_analysis::plot::ascii_loglog;
 use rcb_analysis::scaling::{fit_scaling, fit_scaling_above_baseline};
@@ -71,9 +71,11 @@ pub fn run(scale: &Scale) -> String {
             .map(|p| p.success_rate)
             .fold(f64::INFINITY, f64::min);
         out.push_str(&format!(
-            "minimum success rate over the sweep: {min_success:.3} (must be ≳ {:.3})\n\n",
+            "minimum success rate over the sweep: {min_success:.3} (must be ≳ {:.3})\n",
             1.0 - epsilon
         ));
+        out.push_str(&truncation_note(&points));
+        out.push('\n');
     }
     out
 }

@@ -5,7 +5,7 @@
 //! ≈ 0.5. The success-rate column simultaneously checks the Monte-Carlo
 //! guarantee `Pr[delivery] ≥ 1 − ε`.
 
-use crate::experiments::common::{duel_budget_sweep, series_from};
+use crate::experiments::common::{duel_budget_sweep, series_from, truncation_note};
 use crate::scale::Scale;
 use rcb_analysis::scaling::fit_scaling;
 use rcb_analysis::table::{num, TableBuilder};
@@ -26,6 +26,7 @@ pub fn run(scale: &Scale) -> String {
         "1 − ε",
     ]);
     let mut points = Vec::new();
+    let mut cells = Vec::new();
     for &epsilon in &epsilons {
         let profile = Fig1Profile::with_start_epoch(epsilon, 8);
         let sweep = duel_budget_sweep(&profile, &[budget], 1.0, trials, scale.seed ^ 0xE2);
@@ -42,6 +43,7 @@ pub fn run(scale: &Scale) -> String {
             format!("{:.3}", 1.0 - epsilon),
         ]);
         points.push((x, p.cost));
+        cells.extend(sweep);
     }
     out.push_str(&format!("budget = {budget}, trials/cell = {trials}\n\n"));
     out.push_str(&table.markdown());
@@ -50,5 +52,6 @@ pub fn run(scale: &Scale) -> String {
     if let Some(v) = fit_scaling(&series, 0.5, 0.2) {
         out.push_str(&format!("\n{}\n", v.summary()));
     }
+    out.push_str(&truncation_note(&cells));
     out
 }

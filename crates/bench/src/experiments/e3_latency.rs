@@ -5,7 +5,7 @@
 //! (asymptotically optimal — the adversary can always force `T` latency by
 //! jamming everything).
 
-use crate::experiments::common::{budget_axis, duel_budget_sweep, series_from};
+use crate::experiments::common::{budget_axis, duel_budget_sweep, series_from, truncation_note};
 use crate::scale::Scale;
 use rcb_analysis::scaling::fit_scaling;
 use rcb_analysis::table::{num, TableBuilder};
@@ -37,5 +37,6 @@ pub fn run(scale: &Scale) -> String {
     if let Some(v) = fit_scaling(&series, 1.0, 0.15) {
         out.push_str(&format!("\n{}\n", v.summary()));
     }
+    out.push_str(&truncation_note(&points));
     out
 }

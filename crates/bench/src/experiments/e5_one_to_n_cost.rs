@@ -7,7 +7,9 @@
 //! * `n` sweep at fixed budget — fitted exponent ≈ −0.5: **bigger systems
 //!   pay less per node**, the headline of the paper.
 
-use crate::experiments::common::{broadcast_budget_sweep, budget_axis, series_from};
+use crate::experiments::common::{
+    broadcast_budget_sweep, budget_axis, series_from, truncation_note,
+};
 use crate::scale::Scale;
 use rcb_analysis::plot::ascii_loglog;
 use rcb_analysis::scaling::{fit_scaling, fit_scaling_with_offset};
@@ -69,6 +71,7 @@ pub fn run(scale: &Scale) -> String {
     out.push_str("\n```\n");
     out.push_str(&ascii_loglog(&series, 56, 12, Some(0.5)));
     out.push_str("```\n");
+    out.push_str(&truncation_note(&points));
 
     // (b) Cost vs n at fixed budget.
     let budget = 1u64 << 21;
@@ -82,6 +85,7 @@ pub fn run(scale: &Scale) -> String {
         "informed",
     ]);
     let mut cells = Vec::new();
+    let mut sweep_cells = Vec::new();
     for &n in &ns {
         let pts = broadcast_budget_sweep(&params, n, &[budget], 1.0, trials_b, scale.seed ^ 0x5E5);
         let p = &pts[0];
@@ -93,6 +97,7 @@ pub fn run(scale: &Scale) -> String {
             format!("{:.2}", p.all_informed_rate),
         ]);
         cells.push((n as f64, p.mean_cost));
+        sweep_cells.extend(pts);
     }
     out.push_str(&format!(
         "\n(b) budget = {budget}, trials/cell = {trials_b}\n\n"
@@ -126,5 +131,6 @@ pub fn run(scale: &Scale) -> String {
             if bracketed { "OK" } else { "MISMATCH" }
         ));
     }
+    out.push_str(&truncation_note(&sweep_cells));
     out
 }

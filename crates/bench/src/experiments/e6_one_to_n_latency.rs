@@ -4,7 +4,9 @@
 //! * unjammed `n` sweep: slots grow near-linearly in `n` (the `n·log² n`
 //!   term — fitted exponent ≈ 1 with polylog drift).
 
-use crate::experiments::common::{broadcast_budget_sweep, budget_axis, series_from};
+use crate::experiments::common::{
+    broadcast_budget_sweep, budget_axis, series_from, truncation_note,
+};
 use crate::scale::Scale;
 use rcb_analysis::scaling::fit_scaling;
 use rcb_analysis::table::{num, TableBuilder};
@@ -40,12 +42,14 @@ pub fn run(scale: &Scale) -> String {
     if let Some(v) = fit_scaling(&series, 1.0, 0.2) {
         out.push_str(&format!("\n{}\n", v.summary()));
     }
+    out.push_str(&truncation_note(&points));
 
     // (b) Unjammed latency vs n.
     let ns = [4usize, 8, 16, 32, 64, 128];
     let trials_b = scale.trials(10);
     let mut table_b = TableBuilder::new(vec!["n", "E[slots]", "slots/(n·lg²n)", "informed"]);
     let mut cells = Vec::new();
+    let mut sweep_cells = Vec::new();
     for &n in &ns {
         let pts = broadcast_budget_sweep(&params, n, &[0], 1.0, trials_b, scale.seed ^ 0x6E6);
         let p = &pts[0];
@@ -57,6 +61,7 @@ pub fn run(scale: &Scale) -> String {
             format!("{:.2}", p.all_informed_rate),
         ]);
         cells.push((n as f64, p.latency));
+        sweep_cells.extend(pts);
     }
     out.push_str(&format!("\n(b) T = 0, trials/cell = {trials_b}\n\n"));
     out.push_str(&table_b.markdown());
@@ -64,5 +69,6 @@ pub fn run(scale: &Scale) -> String {
     if let Some(v) = fit_scaling(&series_n, 1.0, 0.35) {
         out.push_str(&format!("\n{}\n", v.summary()));
     }
+    out.push_str(&truncation_note(&sweep_cells));
     out
 }

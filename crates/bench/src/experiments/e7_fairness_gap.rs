@@ -6,7 +6,7 @@
 //! must be bounded below by a constant (the lower bound) and vary only
 //! polylogarithmically across the grid (the upper bound).
 
-use crate::experiments::common::broadcast_budget_sweep;
+use crate::experiments::common::{broadcast_budget_sweep, truncation_note};
 use crate::scale::Scale;
 use rcb_analysis::table::{num, TableBuilder};
 use rcb_core::one_to_n::OneToNParams;
@@ -21,6 +21,7 @@ pub fn run(scale: &Scale) -> String {
     let mut table = TableBuilder::new(vec!["", "n=8", "n=32", "n=128"]);
     let mut min_ratio = f64::INFINITY;
     let mut max_ratio: f64 = 0.0;
+    let mut sweep_cells = Vec::new();
     for &budget in &budgets {
         let mut row = vec![format!("T≈{budget}")];
         for &n in &ns {
@@ -31,6 +32,7 @@ pub fn run(scale: &Scale) -> String {
             min_ratio = min_ratio.min(ratio);
             max_ratio = max_ratio.max(ratio);
             row.push(num(ratio));
+            sweep_cells.extend(pts);
         }
         table.row(row);
     }
@@ -45,6 +47,7 @@ pub fn run(scale: &Scale) -> String {
         num(max_ratio),
         max_ratio / min_ratio.max(1e-9)
     ));
+    out.push_str(&truncation_note(&sweep_cells));
 
     // The proof's actual construction: fold the n receivers into one
     // simulated "Bob" (paired slots) and check that the Theorem 2 product

@@ -20,24 +20,26 @@ use rcb_core::one_to_one::profile::Fig1Profile;
 use rcb_core::one_to_one::schedule::DuelSchedule;
 use rcb_core::protocol::SlotProtocol;
 use rcb_mathkit::stats::RunningStats;
-use rcb_sim::exact::{run_exact, ExactConfig};
+use rcb_sim::exact::{run_exact_checked, ExactConfig};
+use rcb_sim::faults::FaultPlan;
 use rcb_sim::runner::{run_trials, Parallelism};
 
-use crate::experiments::common::duel_budget_sweep;
+use crate::experiments::common::{duel_budget_sweep, split_truncated, truncation_note};
 
 const EPSILON: f64 = 0.01;
 
-/// Mean max-cost of the combined device pair via the exact engine.
-fn combined_cost(budget: u64, trials: u64, seed: u64) -> (f64, f64) {
+/// Mean max-cost of the combined device pair via the exact engine, plus
+/// the number of trials the slot cap truncated (excluded from the mean).
+fn combined_cost(budget: u64, trials: u64, seed: u64) -> (f64, f64, u64) {
     let fig1 = Fig1Profile::with_start_epoch(EPSILON, 8);
     let ksy = KsyProfile::new();
-    let outcomes = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
+    let results = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
         let mut alice = combined_alice(fig1, ksy);
         let mut bob = combined_bob(fig1, ksy);
         let mut adv = BudgetedPhaseBlocker::new(budget, 1.0);
         let schedule = DuelSchedule::new(8);
         let partition = Partition::pair();
-        let out = run_exact(
+        let out = run_exact_checked(
             &mut [&mut alice, &mut bob],
             &mut adv,
             &schedule,
@@ -47,17 +49,22 @@ fn combined_cost(budget: u64, trials: u64, seed: u64) -> (f64, f64) {
                 max_slots: (budget * 64).max(1 << 22),
             },
             None,
+            &FaultPlan::none(),
         );
-        let max_cost = out.ledger.max_node_cost() as f64;
-        (max_cost, bob.received_message())
+        out.map(|o| (o.ledger.max_node_cost() as f64, bob.received_message()))
     });
+    let (outcomes, truncated) = split_truncated(results);
+    assert!(
+        !outcomes.is_empty(),
+        "budget {budget}: all {truncated} combined-device trials hit the slot cap"
+    );
     let mut stats = RunningStats::new();
     let mut ok = 0usize;
     for (c, delivered) in &outcomes {
         stats.push(*c);
         ok += *delivered as usize;
     }
-    (stats.mean(), ok as f64 / outcomes.len() as f64)
+    (stats.mean(), ok as f64 / outcomes.len() as f64, truncated)
 }
 
 pub fn run(scale: &Scale) -> String {
@@ -76,21 +83,18 @@ pub fn run(scale: &Scale) -> String {
         "Combined",
         "Naive (T+1)",
     ]);
+    let mut sweep_cells = Vec::new();
+    let mut exact_truncated = 0u64;
     for &budget in &budgets {
-        let fig1_cost = if budget == 0 {
-            duel_budget_sweep(&fig1, &[0], 1.0, trials, scale.seed ^ 0xE9)[0]
-                .cost
-                .mean
-        } else {
-            duel_budget_sweep(&fig1, &[budget], 1.0, trials, scale.seed ^ 0xE9)[0]
-                .cost
-                .mean
-        };
-        let ksy_cost = duel_budget_sweep(&ksy, &[budget.max(1)], 1.0, trials, scale.seed ^ 0x9E9)
-            [0]
-        .cost
-        .mean;
-        let (combined, _success) = combined_cost(budget, trials_exact, scale.seed ^ 0xC0);
+        let fig1_pts = duel_budget_sweep(&fig1, &[budget], 1.0, trials, scale.seed ^ 0xE9);
+        let fig1_cost = fig1_pts[0].cost.mean;
+        let ksy_pts = duel_budget_sweep(&ksy, &[budget.max(1)], 1.0, trials, scale.seed ^ 0x9E9);
+        let ksy_cost = ksy_pts[0].cost.mean;
+        sweep_cells.extend(fig1_pts);
+        sweep_cells.extend(ksy_pts);
+        let (combined, _success, combined_trunc) =
+            combined_cost(budget, trials_exact, scale.seed ^ 0xC0);
+        exact_truncated += combined_trunc;
         table.row(vec![
             budget.to_string(),
             num(fig1_cost),
@@ -109,5 +113,9 @@ pub fn run(scale: &Scale) -> String {
          combined column tracks the column-wise minimum up to a constant; \
          naive is linear in T.\n",
     );
+    out.push_str(&truncation_note(&sweep_cells));
+    out.push_str(&format!(
+        "truncated combined-device (exact engine) trials: {exact_truncated}\n"
+    ));
     out
 }

@@ -12,6 +12,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod perf;
 pub mod scale;
 
 pub use scale::Scale;

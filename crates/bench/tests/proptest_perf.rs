@@ -1,0 +1,90 @@
+//! Property tests for the perf telemetry schema and comparator.
+
+use proptest::prelude::*;
+use rcb_bench::perf::{compare, BenchReport, ScenarioResult, DEFAULT_THRESHOLD, SCHEMA_VERSION};
+
+/// Builds a valid Unicode string from arbitrary code points, exercising
+/// escapes and multi-byte characters.
+fn string_from(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .map(|&c| char::from_u32(c % 0x11_0000).unwrap_or('\u{fffd}'))
+        .collect()
+}
+
+fn report_from(
+    sha_codes: &[u32],
+    notes_codes: &[u32],
+    seed: u64,
+    cells: &[(u64, f64, u64)],
+) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_sha: string_from(sha_codes),
+        seed,
+        scale: "standard".into(),
+        repeats: 3,
+        cpus: 4,
+        notes: string_from(notes_codes),
+        scenarios: cells
+            .iter()
+            .enumerate()
+            .map(|(i, &(trials, rate, rss))| {
+                let trials = trials % (1 << 20);
+                let rate = rate.abs().max(1e-6);
+                ScenarioResult {
+                    id: format!("cell_{i}"),
+                    engine: "duel-fast".into(),
+                    trials,
+                    slots: trials * 17,
+                    wall_secs: (trials * 17) as f64 / rate,
+                    slots_per_sec: rate,
+                    trials_per_sec: trials as f64 / ((trials * 17) as f64 / rate),
+                    peak_rss_kib: rss % (1 << 30),
+                    checksum: format!("{:016x}", trials ^ rss),
+                }
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Every serialisable report survives write → parse unchanged,
+    /// whatever the strings and magnitudes involved.
+    #[test]
+    fn schema_round_trips_for_arbitrary_reports(
+        sha in prop::collection::vec(any::<u32>(), 0..12),
+        notes in prop::collection::vec(any::<u32>(), 0..40),
+        seed in any::<u64>(),
+        cells in prop::collection::vec((any::<u64>(), any::<f64>(), any::<u64>()), 0..6),
+    ) {
+        let report = report_from(&sha, &notes, seed, &cells);
+        let text = report.to_json().render();
+        let back = BenchReport::parse(&text);
+        prop_assert!(back.is_ok(), "reparse failed: {:?}", back.err());
+        prop_assert_eq!(report, back.unwrap());
+    }
+
+    /// Throughput wiggle inside the noise threshold never regresses; a
+    /// uniform slowdown past the threshold always regresses every cell.
+    #[test]
+    fn comparator_gate_is_monotone_in_the_slowdown(
+        rates in prop::collection::vec(1.0f64..1e9, 1..5),
+        wiggle in -0.25f64..0.25,
+    ) {
+        let baseline = report_from(&[], &[], 1, &rates.iter().map(|&r| (10, r, 0)).collect::<Vec<_>>());
+        let mut current = baseline.clone();
+        for s in &mut current.scenarios {
+            s.slots_per_sec *= 1.0 + wiggle;
+        }
+        let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        prop_assert!(cmp.passed(), "wiggle {wiggle} tripped the gate:\n{}", cmp.text);
+
+        let mut halved = baseline.clone();
+        for s in &mut halved.scenarios {
+            s.slots_per_sec /= 2.0;
+        }
+        let cmp = compare(&baseline, &halved, DEFAULT_THRESHOLD);
+        prop_assert_eq!(cmp.regressions.len(), baseline.scenarios.len());
+    }
+}

@@ -34,9 +34,20 @@ pub fn geometric_failures(rng: &mut RcbRng, p: f64) -> u64 {
     if p >= 1.0 {
         return 0;
     }
+    geometric_failures_with_denom(rng, (-p).ln_1p())
+}
+
+/// [`geometric_failures`] with the denominator `ln(1-p)` precomputed.
+///
+/// `ln_1p` is an opaque libm call the optimiser cannot hoist, yet inside
+/// [`sample_slots_into`] and [`binomial`] it is loop-invariant — one of the
+/// two transcendental ops per sampled event. Callers must pass exactly
+/// `(-p).ln_1p()`; the division then produces bit-identical skips.
+#[inline]
+fn geometric_failures_with_denom(rng: &mut RcbRng, ln_one_minus_p: f64) -> u64 {
     // U in (0,1]: use 1 - f64() so ln() is finite.
     let u = 1.0 - rng.f64();
-    let skip = (u.ln() / (-p).ln_1p()).floor();
+    let skip = (u.ln() / ln_one_minus_p).floor();
     if skip >= u64::MAX as f64 {
         u64::MAX
     } else {
@@ -54,10 +65,11 @@ pub fn binomial(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
     if p >= 1.0 {
         return n;
     }
+    let denom = (-p).ln_1p();
     let mut successes = 0u64;
     let mut pos = 0u64;
     loop {
-        let skip = geometric_failures(rng, p);
+        let skip = geometric_failures_with_denom(rng, denom);
         pos = match pos.checked_add(skip) {
             Some(v) => v,
             None => return successes,
@@ -70,28 +82,57 @@ pub fn binomial(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
     }
 }
 
+/// Initial reservation for a block sample: 1.5× the expected count `np`
+/// plus slack, clamped to the block length and to a fixed upper bound.
+///
+/// The unclamped heuristic misallocates at the extremes: `n·p` near `2^64`
+/// saturates the `f64 → usize` cast and asks for a multi-exabyte buffer,
+/// and even realistic large blocks would pre-commit memory the tail of the
+/// distribution rarely needs. `Vec` doubling amortises the rare overflow
+/// past the clamp.
+fn slot_capacity_hint(n: u64, p: f64) -> usize {
+    const MAX_INITIAL: usize = 1 << 16;
+    let expected = ((n as f64 * p) * 1.5) as usize; // saturating cast
+    expected
+        .saturating_add(4)
+        .min(usize::try_from(n).unwrap_or(usize::MAX))
+        .min(MAX_INITIAL)
+}
+
 /// The success *positions* of `n` independent `p`-coins, sorted ascending.
 ///
 /// Equivalent in distribution to flipping a coin per slot, but costs
 /// `O(np + 1)` expected time. This is the workhorse of the fast engine:
 /// "the slots in which node `u` sends during this repetition".
 pub fn sample_slots(rng: &mut RcbRng, n: u64, p: f64) -> Vec<u64> {
+    let mut out = Vec::new();
+    sample_slots_into(rng, n, p, &mut out);
+    out
+}
+
+/// [`sample_slots`] writing into a caller-owned buffer (cleared first), so
+/// hot loops reuse one allocation across repetitions. Consumes the RNG
+/// stream identically to [`sample_slots`] for every `(n, p)`.
+pub fn sample_slots_into(rng: &mut RcbRng, n: u64, p: f64, out: &mut Vec<u64>) {
+    out.clear();
     if n == 0 || p <= 0.0 {
-        return Vec::new();
+        return;
     }
     if p >= 1.0 {
-        return (0..n).collect();
+        out.extend(0..n);
+        return;
     }
-    let mut out = Vec::with_capacity(((n as f64 * p) * 1.5) as usize + 4);
+    out.reserve(slot_capacity_hint(n, p));
+    let denom = (-p).ln_1p();
     let mut pos = 0u64;
     loop {
-        let skip = geometric_failures(rng, p);
+        let skip = geometric_failures_with_denom(rng, denom);
         pos = match pos.checked_add(skip) {
             Some(v) => v,
-            None => return out,
+            None => return,
         };
         if pos >= n {
-            return out;
+            return;
         }
         out.push(pos);
         pos += 1;
@@ -156,6 +197,10 @@ impl Sampler {
 
     pub fn slots(&mut self, n: u64, p: f64) -> Vec<u64> {
         sample_slots(&mut self.rng, n, p)
+    }
+
+    pub fn slots_into(&mut self, n: u64, p: f64, out: &mut Vec<u64>) {
+        sample_slots_into(&mut self.rng, n, p, out)
     }
 
     pub fn distinct(&mut self, n: u64, k: u64) -> Vec<u64> {
@@ -291,6 +336,55 @@ mod tests {
         let last: u64 = counts[90..].iter().sum();
         let ratio = first as f64 / last as f64;
         assert!((0.93..1.07).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_slots_into_matches_sample_slots() {
+        // Same seed ⇒ identical positions AND identical post-call RNG
+        // state, including the edge probabilities that skip the RNG.
+        for seed in 0..50u64 {
+            for &(n, p) in &[
+                (0u64, 0.5),
+                (1, 0.5),
+                (1000, 0.0),
+                (1000, -1.0),
+                (7, 1.0),
+                (7, 2.0),
+                (1000, 0.05),
+                (100_000, 0.001),
+                (64, 0.9),
+            ] {
+                let mut rng_a = RcbRng::new(seed);
+                let owned = sample_slots(&mut rng_a, n, p);
+                let mut rng_b = RcbRng::new(seed);
+                let mut reused = vec![u64::MAX; 3]; // stale contents must be cleared
+                sample_slots_into(&mut rng_b, n, p, &mut reused);
+                assert_eq!(owned, reused, "seed {seed}, n {n}, p {p}");
+                assert_eq!(rng_a, rng_b, "seed {seed}, n {n}, p {p}: RNG drift");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_slots_into_reuses_capacity() {
+        let mut rng = RcbRng::new(21);
+        let mut buf = Vec::new();
+        sample_slots_into(&mut rng, 10_000, 0.1, &mut buf);
+        let cap = buf.capacity();
+        for _ in 0..20 {
+            sample_slots_into(&mut rng, 10_000, 0.1, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "repeat draws must not reallocate");
+    }
+
+    #[test]
+    fn slot_capacity_hint_is_clamped() {
+        // Saturating n·p must not request an exabyte-scale reservation.
+        assert!(slot_capacity_hint(u64::MAX, 1.0 - 1e-9) <= 1 << 16);
+        assert!(slot_capacity_hint(1 << 40, 0.9) <= 1 << 16);
+        // And the hint never exceeds the block length.
+        assert!(slot_capacity_hint(3, 0.9) <= 3);
+        assert_eq!(slot_capacity_hint(0, 0.5), 0);
     }
 
     #[test]

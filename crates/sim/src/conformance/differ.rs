@@ -17,6 +17,23 @@
 //! [`AdversarySpec`] builds the *same* repetition strategy for both
 //! engines; the exact engine drives it through
 //! [`RepAsSlotAdversary`].
+//!
+//! ## Reading the worst p-value
+//!
+//! A full default-grid run computes on the order of 100 p-values (12 cells
+//! × 4–5 verdict metrics × 2 tests), so under the null the *minimum* of
+//! them is routinely in the 0.01–0.05 range — that is what the order
+//! statistic of ~100 uniforms looks like, not evidence of drift. The gate
+//! only fires below `alpha = 1e-3` per test (grid-wide false-positive rate
+//! ≈ 10%, driven to ~0 on a re-run at a different seed). A concrete worked
+//! example: the `faults[skew=n1+1]` duel cell once showed `bob_cost`
+//! MW-p = 0.0198 — suspicious-looking until checked against both engines'
+//! skew semantics, which are byte-for-byte the same strict comparison
+//! (`offset < skew_slots`, certified deterministically by
+//! `skew_boundary_is_strict_in_both_engines`). Cells known to sit near the
+//! verdict threshold can raise their own sample size via
+//! [`DuelCell::trial_multiplier`] instead of loosening the gate for the
+//! whole grid.
 
 use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep};
 use rcb_adversary::traits::RepetitionAdversary;
@@ -93,6 +110,11 @@ pub struct DuelCell {
     /// are how the differ certifies that the two fault implementations
     /// agree in distribution, not just the clean paths.
     pub fault: FaultPlan,
+    /// Multiplies `ConformanceConfig::trials` for this cell only. Use > 1
+    /// for cells whose p-values historically land near the verdict
+    /// threshold: more samples sharpen the test where it matters without
+    /// inflating the whole grid's runtime. `0` is treated as `1`.
+    pub trial_multiplier: u64,
 }
 
 /// One 1-to-n (Figure 2) grid cell.
@@ -104,6 +126,9 @@ pub struct BroadcastCell {
     pub adversary: AdversarySpec,
     /// Non-adversarial fault plan, applied to both engines.
     pub fault: FaultPlan,
+    /// Per-cell multiplier on `ConformanceConfig::trials`; see
+    /// [`DuelCell::trial_multiplier`].
+    pub trial_multiplier: u64,
 }
 
 /// Harness parameters.
@@ -283,7 +308,8 @@ struct DuelSample {
 /// Runs one duel cell on both engines and compares the metrics.
 pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
     let profile = Fig1Profile::with_start_epoch(cell.error_rate, cell.start_epoch);
-    let exact: Vec<DuelSample> = run_trials(cfg.trials, cfg.seed, cfg.parallelism, |_, rng| {
+    let trials = cfg.trials.saturating_mul(cell.trial_multiplier.max(1));
+    let exact: Vec<DuelSample> = run_trials(trials, cfg.seed, cfg.parallelism, |_, rng| {
         let mut alice = AliceProtocol::new(profile);
         let mut bob = BobProtocol::new(profile);
         let schedule = DuelSchedule::new(cell.start_epoch);
@@ -307,18 +333,17 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
             slots: out.slots as f64,
         }
     });
-    let fast: Vec<DuelSample> =
-        run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
-            let mut adv = cell.adversary.build();
-            let out = run_duel_faulted(&profile, &mut adv, rng, DuelConfig::default(), &cell.fault);
-            DuelSample {
-                alice: out.alice_cost as f64,
-                bob: out.bob_cost as f64,
-                max: out.max_cost() as f64,
-                delivered: out.delivered as u64 as f64,
-                slots: out.slots as f64,
-            }
-        });
+    let fast: Vec<DuelSample> = run_trials(trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
+        let mut adv = cell.adversary.build();
+        let out = run_duel_faulted(&profile, &mut adv, rng, DuelConfig::default(), &cell.fault);
+        DuelSample {
+            alice: out.alice_cost as f64,
+            bob: out.bob_cost as f64,
+            max: out.max_cost() as f64,
+            delivered: out.delivered as u64 as f64,
+            slots: out.slots as f64,
+        }
+    });
 
     let col = |f: fn(&DuelSample) -> f64, v: &[DuelSample]| v.iter().map(f).collect::<Vec<_>>();
     let metrics = vec![
@@ -361,7 +386,7 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
             cell.adversary,
             fault_tag(&cell.fault)
         ),
-        trials: cfg.trials,
+        trials,
         metrics,
     }
 }
@@ -387,41 +412,41 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
     let mut params = OneToNParams::practical();
     params.first_epoch = cell.first_epoch;
     let n = cell.n;
+    let trials = cfg.trials.saturating_mul(cell.trial_multiplier.max(1));
 
-    let exact: Vec<BroadcastSample> =
-        run_trials(cfg.trials, cfg.seed, cfg.parallelism, |_, rng| {
-            let mut nodes: Vec<OneToNSlotNode> = (0..n)
-                .map(|u| OneToNSlotNode::new(params, u == 0))
-                .collect();
-            let mut refs: Vec<&mut dyn SlotProtocol> = Vec::new();
-            for node in nodes.iter_mut() {
-                refs.push(node);
-            }
-            let schedule = OneToNSchedule::new(params);
-            let partition = Partition::uniform(n);
-            let mut adv = RepAsSlotAdversary::broadcast(cell.adversary.build(), n);
-            let out = run_exact_faulted(
-                &mut refs,
-                &mut adv,
-                &schedule,
-                &partition,
-                rng,
-                ExactConfig {
-                    max_slots: 40_000_000,
-                },
-                None,
-                &cell.fault,
-            );
-            let informed = nodes.iter().filter(|v| v.received_message()).count();
-            BroadcastSample {
-                mean: out.ledger.mean_node_cost(),
-                max: out.ledger.max_node_cost() as f64,
-                informed: informed as f64 / n as f64,
-                slots: out.slots as f64,
-            }
-        });
+    let exact: Vec<BroadcastSample> = run_trials(trials, cfg.seed, cfg.parallelism, |_, rng| {
+        let mut nodes: Vec<OneToNSlotNode> = (0..n)
+            .map(|u| OneToNSlotNode::new(params, u == 0))
+            .collect();
+        let mut refs: Vec<&mut dyn SlotProtocol> = Vec::new();
+        for node in nodes.iter_mut() {
+            refs.push(node);
+        }
+        let schedule = OneToNSchedule::new(params);
+        let partition = Partition::uniform(n);
+        let mut adv = RepAsSlotAdversary::broadcast(cell.adversary.build(), n);
+        let out = run_exact_faulted(
+            &mut refs,
+            &mut adv,
+            &schedule,
+            &partition,
+            rng,
+            ExactConfig {
+                max_slots: 40_000_000,
+            },
+            None,
+            &cell.fault,
+        );
+        let informed = nodes.iter().filter(|v| v.received_message()).count();
+        BroadcastSample {
+            mean: out.ledger.mean_node_cost(),
+            max: out.ledger.max_node_cost() as f64,
+            informed: informed as f64 / n as f64,
+            slots: out.slots as f64,
+        }
+    });
     let fast: Vec<BroadcastSample> =
-        run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
+        run_trials(trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
             let mut adv = cell.adversary.build();
             let out = run_broadcast_faulted(
                 &params,
@@ -477,7 +502,7 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
             cell.adversary,
             fault_tag(&cell.fault)
         ),
-        trials: cfg.trials,
+        trials,
         metrics,
     }
 }
@@ -493,6 +518,7 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
         start_epoch: 6,
         adversary,
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     let duels = vec![
         duel(AdversarySpec::NoJam),
@@ -525,6 +551,12 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
         },
         DuelCell {
             fault: FaultPlan::none().with_skew(1, 1),
+            // This cell's bob_cost MW-p once landed at 0.0198 — within the
+            // expected min-of-~100-uniforms range (see module docs), and
+            // the boundary semantics are certified identical by a
+            // deterministic test. The larger sample keeps its p-values
+            // comfortably away from the verdict threshold anyway.
+            trial_multiplier: 4,
             ..duel(AdversarySpec::NoJam)
         },
     ];
@@ -533,6 +565,7 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
         first_epoch: 4,
         adversary,
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     let broadcasts = vec![
         broadcast(AdversarySpec::NoJam),
@@ -591,6 +624,7 @@ mod tests {
             start_epoch: 6,
             adversary: AdversarySpec::NoJam,
             fault: FaultPlan::none(),
+            trial_multiplier: 1,
         };
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(
@@ -610,6 +644,7 @@ mod tests {
                 fraction: 1.0,
             },
             fault: FaultPlan::none(),
+            trial_multiplier: 1,
         };
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(
@@ -632,6 +667,7 @@ mod tests {
                 fraction: 1.0,
             },
             fault: FaultPlan::none().with_loss(0.15),
+            trial_multiplier: 1,
         };
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(report.name.contains("faults[loss=0.15]"), "{}", report.name);
@@ -649,6 +685,7 @@ mod tests {
             first_epoch: 4,
             adversary: AdversarySpec::NoJam,
             fault: FaultPlan::none().with_crash(1, 2, 6, true),
+            trial_multiplier: 1,
         };
         let cfg = ConformanceConfig {
             trials: 25,
@@ -720,6 +757,7 @@ mod tests {
                 fraction: 1.0,
             },
             fault: FaultPlan::none(),
+            trial_multiplier: 1,
         };
         let cfg = ConformanceConfig {
             trials: 20,
@@ -738,6 +776,161 @@ mod tests {
         let v = MetricVerdict::compare("delivered", &[1.0; 30], &[1.0; 30], false);
         assert_eq!(v.worst_p(), 1.0);
         assert!(!v.diverges(0.05));
+    }
+
+    #[test]
+    fn trial_multiplier_scales_the_cell_sample() {
+        let cell = DuelCell {
+            error_rate: 0.05,
+            start_epoch: 6,
+            adversary: AdversarySpec::NoJam,
+            fault: FaultPlan::none(),
+            trial_multiplier: 3,
+        };
+        let cfg = ConformanceConfig {
+            trials: 10,
+            ..small_cfg()
+        };
+        let report = run_duel_cell(&cell, &cfg);
+        assert_eq!(report.trials, 30, "multiplier must scale the sample");
+        assert!(report.metrics.iter().all(|m| m.mw_p.is_finite()));
+    }
+
+    /// Both engines implement `skew = s` as the strict mask
+    /// `offset < s` within each period. This pins the convention down
+    /// deterministically: an always-on sender plus a listener that records
+    /// its first decoded slot, run through the exact engine, must agree
+    /// slot-for-slot with the fast duel engine's delivery slot at every
+    /// skew value — including both boundary cases (s = 0 masks nothing,
+    /// s = period length masks everything). This is the certificate behind
+    /// dismissing the `faults[skew=n1+1]` cell's near-threshold p-value as
+    /// a multiple-comparison artifact rather than an off-by-one.
+    #[test]
+    fn skew_boundary_is_strict_in_both_engines() {
+        use rcb_channel::slot::{Action, Reception};
+        use rcb_channel::{Payload, Slot};
+        use rcb_core::one_to_one::profile::DuelProfile;
+        use rcb_core::protocol::{PeriodLoc, Schedule};
+        use rcb_mathkit::rng::RcbRng;
+
+        const PERIOD: u64 = 4;
+        const HORIZON: u64 = 2 * PERIOD;
+
+        struct FourSlotPeriods;
+        impl Schedule for FourSlotPeriods {
+            fn locate(&self, slot: Slot) -> PeriodLoc {
+                PeriodLoc {
+                    period: slot / PERIOD,
+                    offset: slot % PERIOD,
+                    len: PERIOD,
+                }
+            }
+        }
+
+        #[derive(Default)]
+        struct MeteredSender {
+            slot: u64,
+        }
+        impl SlotProtocol for MeteredSender {
+            fn act(&mut self, _rng: &mut RcbRng) -> Action {
+                if self.is_done() {
+                    Action::Sleep
+                } else {
+                    Action::Send(Payload::message())
+                }
+            }
+            fn end_slot(&mut self, _heard: Option<&Reception>) {
+                self.slot += 1;
+            }
+            fn is_done(&self) -> bool {
+                self.slot >= HORIZON
+            }
+            fn received_message(&self) -> bool {
+                true
+            }
+        }
+
+        #[derive(Default)]
+        struct BoundaryProbe {
+            slot: u64,
+            first_decode: Option<u64>,
+        }
+        impl SlotProtocol for BoundaryProbe {
+            fn act(&mut self, _rng: &mut RcbRng) -> Action {
+                if self.is_done() {
+                    Action::Sleep
+                } else {
+                    Action::Listen
+                }
+            }
+            fn end_slot(&mut self, heard: Option<&Reception>) {
+                if let Some(r) = heard {
+                    if r.is_message() && self.first_decode.is_none() {
+                        self.first_decode = Some(self.slot);
+                    }
+                }
+                self.slot += 1;
+            }
+            fn is_done(&self) -> bool {
+                self.slot >= HORIZON
+            }
+            fn received_message(&self) -> bool {
+                self.first_decode.is_some()
+            }
+        }
+
+        struct AlwaysOnProfile;
+        impl DuelProfile for AlwaysOnProfile {
+            fn start_epoch(&self) -> u32 {
+                1
+            }
+            fn rate(&self, _epoch: u32) -> f64 {
+                1.0
+            }
+            fn noise_threshold(&self, _epoch: u32) -> f64 {
+                100.0
+            }
+            fn phase_len(&self, _epoch: u32) -> u64 {
+                PERIOD
+            }
+        }
+
+        let exact_first_decode = |s: u64| {
+            let mut sender = MeteredSender::default();
+            let mut probe = BoundaryProbe::default();
+            let mut adv = RepAsSlotAdversary::duel(Box::new(NoJamRep));
+            let mut rng = RcbRng::new(9);
+            run_exact_faulted(
+                &mut [&mut sender, &mut probe],
+                &mut adv,
+                &FourSlotPeriods,
+                &Partition::pair(),
+                &mut rng,
+                ExactConfig::default(),
+                None,
+                &FaultPlan::none().with_skew(1, s),
+            );
+            probe.first_decode
+        };
+        let fast_delivery = |s: u64| {
+            let mut rng = RcbRng::new(9);
+            let mut adv = NoJamRep;
+            run_duel_faulted(
+                &AlwaysOnProfile,
+                &mut adv,
+                &mut rng,
+                DuelConfig::default(),
+                &FaultPlan::none().with_skew(1, s),
+            )
+            .delivery_slot
+        };
+        for s in 0..=PERIOD {
+            let exact = exact_first_decode(s);
+            let fast = fast_delivery(s);
+            assert_eq!(exact, fast, "skew boundary disagrees at s = {s}");
+            // And the shared convention itself: first decode at offset s.
+            assert_eq!(exact, (s < PERIOD).then_some(s), "s = {s}");
+        }
     }
 
     #[test]

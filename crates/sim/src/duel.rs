@@ -23,7 +23,7 @@ use rcb_adversary::traits::{RepetitionAdversary, RepetitionContext, RepetitionSu
 use rcb_core::one_to_one::profile::DuelProfile;
 use rcb_core::one_to_one::state::{AliceState, BobSendOutcome, BobState};
 use rcb_mathkit::rng::RcbRng;
-use rcb_mathkit::sample::{bernoulli, sample_slots};
+use rcb_mathkit::sample::{bernoulli, sample_slots_into};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -163,6 +163,12 @@ fn run_duel_core<P: DuelProfile>(
         _ => false,
     };
 
+    // Reusable phase buffers: the transmitting party's slot set and the
+    // listening party's — two allocations for the whole run instead of
+    // four fresh `Vec`s per epoch.
+    let mut sends_buf: Vec<u64> = Vec::new();
+    let mut listens_buf: Vec<u64> = Vec::new();
+
     while !((alice.is_done() || alice_dead) && (bob.is_done() || bob_dead)) {
         if slots >= config.max_slots {
             truncated = true;
@@ -199,11 +205,12 @@ fn run_duel_core<P: DuelProfile>(
         let plan = adversary.plan(&ctx);
         adversary_cost += plan.jam_count(len);
 
-        let alice_sends = if alice.is_done() || alice_off {
-            Vec::new()
+        if alice.is_done() || alice_off {
+            sends_buf.clear();
         } else {
-            sample_slots(rng, len, rate)
-        };
+            sample_slots_into(rng, len, rate, &mut sends_buf);
+        }
+        let alice_sends = &sends_buf;
         alice_cost += alice_sends.len() as u64;
 
         let mut bob_noise = 0u64;
@@ -215,9 +222,9 @@ fn run_duel_core<P: DuelProfile>(
                 // counts (the phase clock is driven by Bob's own crystal).
                 bob_outcome = Some(bob.end_send_phase(false, 0, thr));
             } else {
-                let bob_listens = sample_slots(rng, len, rate);
+                sample_slots_into(rng, len, rate, &mut listens_buf);
                 let mut got_m_at = None;
-                scan_listens(&bob_listens, &alice_sends, |t, alice_sent| {
+                scan_listens(&listens_buf, alice_sends, |t, alice_sent| {
                     bob_listened += 1;
                     if t < bob_skew {
                         // Misaligned boundary slot: undecodable energy.
@@ -286,11 +293,12 @@ fn run_duel_core<P: DuelProfile>(
         let bob_off2 = bob_dead || faults.crashed(1, period);
 
         let bob_nacking = matches!(bob_outcome, Some(BobSendOutcome::ContinueToNack));
-        let bob_nacks = if bob_nacking && !bob_off2 {
-            sample_slots(rng, len, rate)
+        if bob_nacking && !bob_off2 {
+            sample_slots_into(rng, len, rate, &mut sends_buf);
         } else {
-            Vec::new()
-        };
+            sends_buf.clear();
+        }
+        let bob_nacks = &sends_buf;
         bob_cost += bob_nacks.len() as u64;
 
         let mut alice_listened = 0u64;
@@ -299,12 +307,12 @@ fn run_duel_core<P: DuelProfile>(
                 // Radio off: a quiet epoch from Alice's point of view.
                 alice.end_epoch(false, 0, thr);
             } else {
-                let alice_listens = sample_slots(rng, len, rate);
-                alice_listened = alice_listens.len() as u64;
+                sample_slots_into(rng, len, rate, &mut listens_buf);
+                alice_listened = listens_buf.len() as u64;
                 alice_cost += alice_listened;
                 let mut heard_nack = false;
                 let mut alice_noise = 0u64;
-                scan_listens(&alice_listens, &bob_nacks, |t, bob_sent| {
+                scan_listens(&listens_buf, bob_nacks, |t, bob_sent| {
                     // Skew is checked before jamming; both decode as noise
                     // and neither draws the loss coin.
                     if t < alice_skew || plan2.is_jammed(t, len) {

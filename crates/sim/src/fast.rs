@@ -22,7 +22,7 @@ use rcb_adversary::traits::{RepetitionAdversary, RepetitionContext, RepetitionSu
 use rcb_core::one_to_n::node::OneToNNode;
 use rcb_core::one_to_n::params::OneToNParams;
 use rcb_mathkit::rng::RcbRng;
-use rcb_mathkit::sample::{bernoulli, sample_slots};
+use rcb_mathkit::sample::{bernoulli, sample_slots_into};
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
@@ -211,9 +211,13 @@ fn run_broadcast_core(
     let mut offline = vec![false; n];
     let mut pending_reboot = faults.reboot_at();
 
-    // Reusable buffers.
+    // Reusable buffers. `scratch` holds one node's sampled slot set at a
+    // time (sends in step 1, listens in step 3), so the engine performs no
+    // per-node allocation inside the repetition loop.
     let mut send_events: Vec<(u64, u32)> = Vec::new();
     let mut slot_contents: Vec<(u64, SlotContent)> = Vec::new();
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut send_counts = vec![0u64; n];
     let mut clear_counts = vec![0u64; n];
     let mut msg_counts = vec![0u64; n];
 
@@ -268,19 +272,24 @@ fn run_broadcast_core(
             // flips, so their RNG consumption pauses with the radio.
             send_events.clear();
             for (u, node) in nodes.iter().enumerate() {
+                send_counts[u] = 0;
                 if node.is_terminated() || offline[u] {
                     continue;
                 }
-                let sends = sample_slots(rng, len, node.send_prob(params));
-                costs[u] += sends.len() as u64;
-                for t in sends {
+                sample_slots_into(rng, len, node.send_prob(params), &mut scratch);
+                send_counts[u] = scratch.len() as u64;
+                costs[u] += scratch.len() as u64;
+                for &t in &scratch {
                     send_events.push((t, u as u32));
                 }
             }
             send_events.sort_unstable();
 
-            // 2. Collapse into per-slot channel content.
+            // 2. Collapse into per-slot channel content, counting `m`
+            // slots as they are classified (the epilogue needs the total,
+            // and grouping here is cheaper than re-scanning the contents).
             slot_contents.clear();
+            let mut message_slots = 0u64;
             let mut k = 0usize;
             while k < send_events.len() {
                 let (t, u) = send_events[k];
@@ -291,6 +300,7 @@ fn run_broadcast_core(
                 let content = if j - k >= 2 {
                     SlotContent::Collision
                 } else if nodes[u as usize].sends_message() {
+                    message_slots += 1;
                     SlotContent::Message(u)
                 } else {
                     SlotContent::SingleNoise
@@ -306,13 +316,16 @@ fn run_broadcast_core(
                     continue;
                 }
                 let skew = faults.skew_slots(u);
-                let listens = sample_slots(rng, len, node.listen_prob(params));
+                sample_slots_into(rng, len, node.listen_prob(params), &mut scratch);
                 // Drop listen slots where this node itself transmits.
                 // Own sends for node u are a sorted subsequence of
                 // send_events; rescan them via binary search on the full
                 // sorted list (senders per slot are few).
-                for t in listens {
-                    if slot_in_own_sends(&send_events, t, u as u32) {
+                // Nodes that sent nothing this repetition (the common case
+                // at low send rates) skip the lookup outright.
+                let sent = send_counts[u] != 0;
+                for &t in &scratch {
+                    if sent && slot_in_own_sends(&send_events, t, u as u32) {
                         continue;
                     }
                     costs[u] += 1;
@@ -342,10 +355,6 @@ fn run_broadcast_core(
             }
 
             // 4. Repetition epilogue.
-            let message_slots = slot_contents
-                .iter()
-                .filter(|(_, c)| matches!(c, SlotContent::Message(_)))
-                .count() as u64;
             for (u, node) in nodes.iter_mut().enumerate() {
                 if node.is_terminated() {
                     continue;

@@ -8,26 +8,44 @@
 //! bit-identical regardless of thread count or scheduling.
 
 use rcb_mathkit::rng::{RcbRng, SeedSequence};
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::TrialFailure;
 
+thread_local! {
+    /// Set while this OS thread is executing trials as a `run_trials`
+    /// worker. Nested runners consult it so that `Parallelism::Auto`
+    /// inside a trial closure (the conformance grid does this per cell)
+    /// degrades to sequential instead of spawning cores² threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Thread-count policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
-    /// One worker per available CPU.
+    /// One worker per available CPU — or sequential when the caller is
+    /// itself a `run_trials` worker (every core is already busy running
+    /// sibling trials, so fanning out again only oversubscribes).
     Auto,
-    /// Exactly this many workers (1 = sequential).
+    /// Exactly this many workers (1 = sequential). Unlike [`Auto`], a
+    /// nested `Fixed(n)` is honoured: the caller asked for `n` by name.
     Fixed(usize),
 }
 
 impl Parallelism {
     fn threads(self) -> usize {
         match self {
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            Parallelism::Auto => {
+                if IN_WORKER.with(Cell::get) {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                }
+            }
             Parallelism::Fixed(n) => n.max(1),
         }
     }
@@ -88,12 +106,15 @@ where
     }
 
     let cursor = AtomicU64::new(0);
-    let worker = |collected: &mut Vec<(u64, Result<T, TrialFailure>)>| loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= trials {
-            return;
+    let worker = |collected: &mut Vec<(u64, Result<T, TrialFailure>)>| {
+        IN_WORKER.with(|w| w.set(true));
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= trials {
+                return;
+            }
+            collected.push((i, run_one(i)));
         }
-        collected.push((i, run_one(i)));
     };
 
     let mut per_worker: Vec<Vec<(u64, Result<T, TrialFailure>)>> = Vec::with_capacity(threads);
@@ -186,6 +207,32 @@ mod tests {
     fn auto_parallelism_runs() {
         let out = run_trials(10, 3, Parallelism::Auto, |i, _| i + 1);
         assert_eq!(out.iter().sum::<u64>(), 55);
+    }
+
+    #[test]
+    fn nested_auto_degrades_to_sequential() {
+        // A trial closure that itself calls run_trials with Auto must not
+        // fan out again: the nested run stays on the worker's own thread.
+        let all_inner_on_worker = run_trials(4, 1, Parallelism::Fixed(2), |_, _| {
+            let outer_thread = std::thread::current().id();
+            let inner_threads =
+                run_trials(8, 2, Parallelism::Auto, |_, _| std::thread::current().id());
+            inner_threads.into_iter().all(|id| id == outer_thread)
+        });
+        assert!(all_inner_on_worker.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn nested_auto_results_match_top_level() {
+        // Degrading to sequential must not change results (each trial's
+        // RNG stream is index-derived, so it cannot) — pin it anyway.
+        let nested = run_trials(3, 7, Parallelism::Fixed(2), |_, _| {
+            run_trials(16, 11, Parallelism::Auto, |i, rng| (i, rng.f64()))
+        });
+        let top = run_trials(16, 11, Parallelism::Auto, |i, rng| (i, rng.f64()));
+        for inner in nested {
+            assert_eq!(inner, top);
+        }
     }
 
     #[test]

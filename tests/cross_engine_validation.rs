@@ -44,6 +44,7 @@ fn duel_engines_agree_without_jamming() {
         start_epoch: 6,
         adversary: AdversarySpec::NoJam,
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(10)));
 }
@@ -58,6 +59,7 @@ fn duel_engines_agree_under_blanket_jamming() {
             fraction: 1.0,
         },
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(30)));
 }
@@ -75,6 +77,7 @@ fn duel_engines_agree_under_heavy_jamming() {
             fraction: 1.0,
         },
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(50)));
 }
@@ -92,6 +95,7 @@ fn duel_engines_agree_in_distribution() {
             fraction: 1.0,
         },
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     let report = run_duel_cell(&cell, &cfg(70));
     assert_conformant(&report);
@@ -107,6 +111,7 @@ fn broadcast_engines_agree_on_small_network() {
         first_epoch: 4, // keep the exact engine's slot count tame
         adversary: AdversarySpec::NoJam,
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     let c = ConformanceConfig {
         trials: 25,
@@ -127,6 +132,7 @@ fn broadcast_engines_agree_under_jamming() {
             fraction: 1.0,
         },
         fault: FaultPlan::none(),
+        trial_multiplier: 1,
     };
     let c = ConformanceConfig {
         trials: 25,
@@ -149,6 +155,7 @@ fn duel_engines_agree_under_loss_and_jamming() {
             fraction: 1.0,
         },
         fault: FaultPlan::none().with_loss(0.15),
+        trial_multiplier: 1,
     };
     assert_conformant(&run_duel_cell(&cell, &cfg(90)));
 }
@@ -163,6 +170,7 @@ fn broadcast_engines_agree_under_crash_restart() {
         first_epoch: 4,
         adversary: AdversarySpec::NoJam,
         fault: FaultPlan::none().with_crash(1, 2, 6, true),
+        trial_multiplier: 1,
     };
     let c = ConformanceConfig {
         trials: 25,
