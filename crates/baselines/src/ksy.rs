@@ -1,4 +1,4 @@
-//! King–Saia–Young golden-ratio baseline (reconstruction of [23]).
+//! King–Saia–Young golden-ratio baseline (reconstruction of \[23\]).
 //!
 //! What the paper uses about KSY is its cost curve and the self-consistency
 //! that produces it: in epoch `i` each party budgets `Θ(2^((φ−1)·i))`

@@ -3,7 +3,7 @@
 //! The protocols the paper measures itself against:
 //!
 //! * [`ksy`] — a reconstruction of the King–Saia–Young algorithm
-//!   (PODC 2011, reference [23] of the paper), the prior state of the art
+//!   (PODC 2011, reference \[23\] of the paper), the prior state of the art
 //!   for 1-to-1 communication with expected cost `O(T^(φ−1) + 1)`. No
 //!   public implementation exists; ours reuses the Figure 1 skeleton with
 //!   the golden-ratio activity budget (see module docs for why this

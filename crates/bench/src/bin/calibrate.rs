@@ -8,11 +8,10 @@
 //! time. Used to pick the shipped constants; re-run after any change to
 //! the practical preset.
 
-use rcb_adversary::rep_strategies::{BudgetedRepBlocker, NoJamRep};
-use rcb_adversary::traits::RepetitionAdversary;
 use rcb_core::one_to_n::{OneToNNode, OneToNParams};
 use rcb_mathkit::rng::RcbRng;
-use rcb_sim::fast::{run_broadcast_observed, BroadcastObserver, FastConfig};
+use rcb_sim::fast::BroadcastObserver;
+use rcb_sim::scenario::{AdversarySpec, ScenarioSpec, Workload};
 use std::time::Instant;
 
 #[derive(Default)]
@@ -52,20 +51,22 @@ impl BroadcastObserver for Probe {
 fn one(params: &OneToNParams, n: usize, budget: u64, seed: u64) {
     let mut probe = Probe::new();
     let mut rng = RcbRng::new(seed);
-    let mut adv: Box<dyn RepetitionAdversary> = if budget == 0 {
-        Box::new(NoJamRep)
+    let adversary = if budget == 0 {
+        AdversarySpec::NoJam
     } else {
-        Box::new(BudgetedRepBlocker::new(budget, 1.0))
+        AdversarySpec::Budgeted {
+            budget,
+            fraction: 1.0,
+        }
     };
+    let mut spec = ScenarioSpec::broadcast_with(*params, n)
+        .with_adversary(adversary)
+        .with_seed(seed);
+    if let Workload::Broadcast(w) = &mut spec.workload {
+        w.max_epoch = 26;
+    }
     let t0 = Instant::now();
-    let out = run_broadcast_observed(
-        params,
-        n,
-        adv.as_mut(),
-        &mut rng,
-        FastConfig { max_epoch: 26 },
-        &mut probe,
-    );
+    let (out, err) = spec.run_observed(&mut rng, &mut probe);
     let dt = t0.elapsed().as_secs_f64();
     println!(
         "n={n:>4} T={:>8} | epoch {:>2} (ideal {:>2}) | informed {:>4}/{n:<4} safety {:>3} | \
@@ -81,7 +82,10 @@ fn one(params: &OneToNParams, n: usize, budget: u64, seed: u64) {
         probe.n_est_max,
         probe.s_max,
         dt,
-        if out.truncated { "  TRUNCATED" } else { "" },
+        match err {
+            Some(e) => format!("  TRUNCATED ({e})"),
+            None => String::new(),
+        },
     );
 }
 

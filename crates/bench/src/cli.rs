@@ -19,31 +19,34 @@ use std::str::FromStr;
 
 use crate::experiments::common::split_truncated;
 use crate::perf::{self, PerfScale};
-use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep};
-use rcb_adversary::traits::RepetitionAdversary;
 use rcb_analysis::table::{num, TableBuilder};
-use rcb_baselines::ksy::KsyProfile;
-use rcb_core::one_to_n::OneToNParams;
-use rcb_core::one_to_one::profile::{DuelProfile, Fig1Profile};
 use rcb_mathkit::rng::SeedSequence;
 use rcb_mathkit::stats::RunningStats;
 use rcb_mathkit::PHI_MINUS_ONE;
 use rcb_sim::conformance::{default_grid, run_grid, ConformanceConfig};
-use rcb_sim::duel::{run_duel_checked, DuelConfig};
-use rcb_sim::fast::{run_broadcast_checked, FastConfig};
+use rcb_sim::error::SimError;
 use rcb_sim::faults::FaultPlan;
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
-use rcb_sim::runner::{run_trials, Parallelism};
+use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
+use rcb_sim::runner::Parallelism;
+use rcb_sim::scenario::{
+    find_scenario, fnv1a, registry, AdversarySpec, DuelProtocol, Outcome, ScenarioSpec, Workload,
+    FNV_OFFSET,
+};
 
-/// Parsed command line: one subcommand plus `--key value` options.
+/// Parsed command line: one subcommand, optional further positionals
+/// (only the `scenario` command takes any), plus `--key value` options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: Option<String>,
+    positionals: Vec<String>,
     options: HashMap<String, String>,
 }
 
 impl Args {
-    /// Parses `argv` (without the program name).
+    /// Parses `argv` (without the program name). Positionals after the
+    /// command are collected; each command enforces its own arity at
+    /// dispatch (only `scenario` accepts any).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         let mut args = Args::default();
         let mut iter = argv.into_iter().peekable();
@@ -67,7 +70,7 @@ impl Args {
             } else if args.command.is_none() {
                 args.command = Some(token);
             } else {
-                return Err(format!("unexpected positional argument `{token}`"));
+                args.positionals.push(token);
             }
         }
         Ok(args)
@@ -75,6 +78,11 @@ impl Args {
 
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// The `i`-th positional after the command, if present.
+    fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// Typed option lookup with a default.
@@ -176,6 +184,11 @@ COMMANDS:
              --against FILE (compare to a recorded baseline)
              --threshold F (default 0.35)   --report-only true
              --notes TEXT   --seed N (default 2014)
+  scenario   named declarative scenarios (the perf grid's registry)
+             scenario list          table of every registry entry
+             scenario names         bare names, one per line
+             scenario run <NAME>    run one entry
+               --trials N   --seed N  (override the registry defaults)
   help       this text
 
 FAULT INJECTION (duel and broadcast):
@@ -193,6 +206,11 @@ FAULT INJECTION (duel and broadcast):
 
 /// Executes a parsed command line, returning the report text.
 pub fn run_cli(args: &Args) -> Result<String, String> {
+    if args.command() != Some("scenario") {
+        if let Some(extra) = args.positional(0) {
+            return Err(format!("unexpected positional argument `{extra}`"));
+        }
+    }
     match args.command() {
         None | Some("help") => Ok(HELP.to_string()),
         Some("duel") => cmd_duel(args),
@@ -201,22 +219,20 @@ pub fn run_cli(args: &Args) -> Result<String, String> {
         Some("golden") => cmd_golden(args),
         Some("conformance") => cmd_conformance(args),
         Some("perf") => cmd_perf(args),
+        Some("scenario") => cmd_scenario(args),
         Some(other) => Err(format!("unknown command `{other}`; try `rcbsim help`")),
     }
 }
 
-fn duel_report<P: DuelProfile + Sync>(
-    profile: &P,
-    budget: u64,
-    q: f64,
-    trials: u64,
-    seed: u64,
-    faults: FaultPlan,
-) -> String {
-    let results = run_trials(trials, seed, Parallelism::Auto, |_, rng| {
-        let mut adv = BudgetedRepBlocker::new(budget, q);
-        run_duel_checked(profile, &mut adv, rng, DuelConfig::default(), &faults)
-    });
+fn duel_report(spec: &ScenarioSpec) -> String {
+    render_duel(spec.trials, spec.run_batch())
+}
+
+fn render_duel(trials: u64, results: Vec<Result<Outcome, SimError>>) -> String {
+    let results: Vec<Result<DuelOutcome, SimError>> = results
+        .into_iter()
+        .map(|r| r.map(Outcome::into_duel))
+        .collect();
     let (outcomes, truncated) = split_truncated(results);
     if outcomes.is_empty() {
         return format!("every one of the {trials} trials truncated at an engine cap\n");
@@ -283,59 +299,39 @@ fn cmd_duel(args: &Args) -> Result<String, String> {
     let seed: u64 = args.get("seed", 2014)?;
     let faults = fault_plan_from_args(args)?;
     let profile_name = args.get_str("profile", "fig1");
-    match profile_name.as_str() {
+    let protocol = match profile_name.as_str() {
         "fig1" => {
             let epsilon: f64 = args.get("epsilon", 0.01)?;
             let start: u32 = args.get("start-epoch", 8)?;
-            let profile = Fig1Profile::with_start_epoch(epsilon, start);
-            Ok(duel_report(&profile, budget, q, trials, seed, faults))
+            DuelProtocol::fig1(epsilon, start)
         }
-        "ksy" => {
-            let profile = KsyProfile::new();
-            Ok(duel_report(&profile, budget, q, trials, seed, faults))
-        }
-        other => Err(format!("--profile must be fig1 or ksy, got `{other}`")),
-    }
+        "ksy" => DuelProtocol::ksy(),
+        other => return Err(format!("--profile must be fig1 or ksy, got `{other}`")),
+    };
+    let spec = ScenarioSpec::duel(protocol)
+        .with_adversary(AdversarySpec::Budgeted {
+            budget,
+            fraction: q,
+        })
+        .with_faults(faults)
+        .with_seed(seed)
+        .with_trials(trials);
+    spec.validate()?;
+    Ok(duel_report(&spec))
 }
 
-fn cmd_broadcast(args: &Args) -> Result<String, String> {
-    let n: usize = args.get("n", 32)?;
-    let budget: u64 = args.get("budget", 1 << 20)?;
-    let q: f64 = args.get("q", 1.0)?;
-    let trials: u64 = args.get("trials", 10)?;
-    let seed: u64 = args.get("seed", 2014)?;
-    let kind = args.get_str("adversary", "suffix");
-    if !matches!(kind.as_str(), "suffix" | "random" | "keepalive" | "none") {
-        return Err(format!(
-            "--adversary must be suffix|random|keepalive|none, got `{kind}`"
-        ));
-    }
-    let faults = fault_plan_from_args(args)?;
-    let params = OneToNParams::practical();
-    let kind_owned = kind.clone();
-    let results = run_trials(trials, seed, Parallelism::Auto, move |i, rng| {
-        let mut adv: Box<dyn RepetitionAdversary> = match kind_owned.as_str() {
-            "suffix" => Box::new(BudgetedRepBlocker::new(budget, q)),
-            "random" => Box::new(RandomRep::new(q.min(0.999), budget, seed ^ i)),
-            "keepalive" => Box::new(KeepAliveBlocker::new(budget, q)),
-            _ => Box::new(NoJamRep),
-        };
-        run_broadcast_checked(
-            &params,
-            n,
-            &[0],
-            adv.as_mut(),
-            rng,
-            FastConfig::default(),
-            &mut (),
-            &faults,
-        )
-    });
+fn broadcast_report(spec: &ScenarioSpec) -> String {
+    render_broadcast(spec.trials, spec.run_batch())
+}
+
+fn render_broadcast(trials: u64, results: Vec<Result<Outcome, SimError>>) -> String {
+    let results: Vec<Result<BroadcastOutcome, SimError>> = results
+        .into_iter()
+        .map(|r| r.map(Outcome::into_broadcast))
+        .collect();
     let (outcomes, truncated) = split_truncated(results);
     if outcomes.is_empty() {
-        return Ok(format!(
-            "every one of the {trials} trials truncated at the epoch cap\n"
-        ));
+        return format!("every one of the {trials} trials truncated at the epoch cap\n");
     }
     let mut mean_cost = RunningStats::new();
     let mut max_cost = RunningStats::new();
@@ -374,13 +370,144 @@ fn cmd_broadcast(args: &Args) -> Result<String, String> {
         num(spend.min()),
         num(spend.max()),
     ]);
-    Ok(format!(
+    format!(
         "{}\nall informed: {}/{} runs\ntruncated trials: {}\n",
         t.markdown(),
         informed,
         outcomes.len(),
         truncated
-    ))
+    )
+}
+
+fn cmd_broadcast(args: &Args) -> Result<String, String> {
+    let n: usize = args.get("n", 32)?;
+    let budget: u64 = args.get("budget", 1 << 20)?;
+    let q: f64 = args.get("q", 1.0)?;
+    let trials: u64 = args.get("trials", 10)?;
+    let seed: u64 = args.get("seed", 2014)?;
+    let kind = args.get_str("adversary", "suffix");
+    let adversary = match kind.as_str() {
+        "suffix" => AdversarySpec::Budgeted {
+            budget,
+            fraction: q,
+        },
+        "random" => AdversarySpec::Random {
+            budget,
+            rate: q.min(0.999),
+        },
+        "keepalive" => AdversarySpec::KeepAlive {
+            budget,
+            fraction: q,
+        },
+        "none" => AdversarySpec::NoJam,
+        other => {
+            return Err(format!(
+                "--adversary must be suffix|random|keepalive|none, got `{other}`"
+            ))
+        }
+    };
+    let faults = fault_plan_from_args(args)?;
+    let spec = ScenarioSpec::broadcast(n)
+        .with_adversary(adversary)
+        .with_faults(faults)
+        .with_seed(seed)
+        .with_trials(trials);
+    spec.validate()?;
+    Ok(broadcast_report(&spec))
+}
+
+/// `scenario list|names|run <NAME>` — the named registry behind the perf
+/// grid, exposed for direct use. `run` accepts `--trials`/`--seed`
+/// overrides and reports the same FNV-1a determinism checksum the perf
+/// harness records, folded in trial order over every outcome (including
+/// truncated trials, which surface as a count rather than vanishing).
+fn cmd_scenario(args: &Args) -> Result<String, String> {
+    let entries = registry();
+    match args.positional(0) {
+        None | Some("list") => {
+            let mut t = TableBuilder::new(vec![
+                "name",
+                "engine",
+                "workload",
+                "adversary",
+                "faults",
+                "trials",
+            ]);
+            for e in &entries {
+                t.row(vec![
+                    e.name.to_string(),
+                    e.spec.engine_label().to_string(),
+                    e.spec.workload.to_string(),
+                    e.spec.adversary.to_string(),
+                    e.spec.faults.to_string(),
+                    e.spec.trials.to_string(),
+                ]);
+            }
+            Ok(format!(
+                "{}\nrun one with `rcbsim scenario run <NAME>` (--trials/--seed override)\n",
+                t.markdown()
+            ))
+        }
+        Some("names") => {
+            let mut out = String::new();
+            for e in &entries {
+                out.push_str(e.name);
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        Some("run") => {
+            let name = args.positional(1).ok_or_else(|| {
+                "scenario run needs a NAME; try `rcbsim scenario list`".to_string()
+            })?;
+            if let Some(extra) = args.positional(2) {
+                return Err(format!("unexpected positional argument `{extra}`"));
+            }
+            let entry = find_scenario(name)
+                .ok_or_else(|| format!("unknown scenario `{name}`; try `rcbsim scenario list`"))?;
+            let mut spec = entry.spec;
+            if let Some(trials) = args.get_opt::<u64>("trials")? {
+                spec = spec.with_trials(trials);
+            }
+            if let Some(seed) = args.get_opt::<u64>("seed")? {
+                spec = spec.with_seed(seed);
+            }
+            spec.validate()?;
+            let raw = spec.run_batch_raw();
+            let mut checksum = FNV_OFFSET;
+            for (outcome, _) in &raw {
+                checksum = fnv1a(checksum, &[spec.outcome_checksum(outcome)]);
+            }
+            let results: Vec<Result<Outcome, SimError>> = raw
+                .into_iter()
+                .map(|(outcome, err)| match err {
+                    Some(e) => Err(e),
+                    None => Ok(outcome),
+                })
+                .collect();
+            let header = format!(
+                "scenario {name}: {summary}\n{engine} · {workload} · {adversary} · faults: {faults} \
+                 · seed {seed} · {trials} trials\n",
+                summary = entry.summary,
+                engine = spec.engine_label(),
+                workload = spec.workload,
+                adversary = spec.adversary,
+                faults = spec.faults,
+                seed = spec.seeds.master,
+                trials = spec.trials,
+            );
+            let body = match spec.workload {
+                Workload::Duel(_) => render_duel(spec.trials, results),
+                Workload::Broadcast(_) => render_broadcast(spec.trials, results),
+            };
+            Ok(format!(
+                "{header}\n{body}\ndeterminism checksum: {checksum:016x}\n"
+            ))
+        }
+        Some(other) => Err(format!(
+            "unknown scenario action `{other}`; expected list, names, or run"
+        )),
+    }
 }
 
 fn cmd_product(args: &Args) -> Result<String, String> {
@@ -511,7 +638,10 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(parse(&["duel", "--budget"]).is_err(), "missing value");
         assert!(parse(&["duel", "--q", "1", "--q", "2"]).is_err(), "dup");
-        assert!(parse(&["duel", "extra"]).is_err(), "second positional");
+        // Extra positionals parse (the `scenario` command needs them) but
+        // every other command rejects them at dispatch.
+        let extra = parse(&["duel", "extra"]).expect("parse collects positionals");
+        assert!(run_cli(&extra).is_err(), "second positional");
         assert!(parse(&["--"]).is_err(), "bare dashes");
         let a = parse(&["duel", "--budget", "abc"]).expect("parse ok");
         assert!(a.get::<u64>("budget", 0).is_err(), "type error surfaces");
@@ -688,5 +818,73 @@ mod tests {
         assert!(run_cli(&zero).is_err());
         let alpha = parse(&["conformance", "--alpha", "2.0"]).expect("parse");
         assert!(run_cli(&alpha).is_err());
+    }
+
+    #[test]
+    fn scenario_list_and_names() {
+        let list = run_cli(&parse(&["scenario", "list"]).expect("parse")).expect("list");
+        let names = run_cli(&parse(&["scenario", "names"]).expect("parse")).expect("names");
+        for entry in registry() {
+            assert!(list.contains(entry.name), "list shows {}", entry.name);
+            assert!(names.contains(entry.name), "names shows {}", entry.name);
+        }
+        // Bare `scenario` defaults to `list`.
+        let bare = run_cli(&parse(&["scenario"]).expect("parse")).expect("bare");
+        assert_eq!(bare, list);
+    }
+
+    #[test]
+    fn scenario_run_smoke_with_overrides() {
+        let duel = run_cli(
+            &parse(&[
+                "scenario",
+                "run",
+                "duel_jammed",
+                "--trials",
+                "3",
+                "--seed",
+                "7",
+            ])
+            .expect("parse"),
+        )
+        .expect("run");
+        assert!(duel.contains("scenario duel_jammed"));
+        assert!(duel.contains("3 trials"));
+        assert!(duel.contains("alice cost"));
+        assert!(duel.contains("determinism checksum"));
+        let bcast = run_cli(
+            &parse(&["scenario", "run", "bcast_n8_jammed", "--trials", "2"]).expect("parse"),
+        )
+        .expect("run");
+        assert!(bcast.contains("mean node cost"));
+        assert!(bcast.contains("determinism checksum"));
+    }
+
+    #[test]
+    fn scenario_run_is_deterministic() {
+        let args = parse(&["scenario", "run", "duel_jammed", "--trials", "4"]).expect("parse");
+        let a = run_cli(&args).expect("first run");
+        let b = run_cli(&args).expect("second run");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_rejects_bad_input() {
+        assert!(
+            run_cli(&parse(&["scenario", "run"]).expect("parse")).is_err(),
+            "missing name"
+        );
+        assert!(
+            run_cli(&parse(&["scenario", "run", "nonexistent"]).expect("parse")).is_err(),
+            "unknown name"
+        );
+        assert!(
+            run_cli(&parse(&["scenario", "run", "duel_jammed", "extra"]).expect("parse")).is_err(),
+            "trailing positional"
+        );
+        assert!(
+            run_cli(&parse(&["scenario", "explode"]).expect("parse")).is_err(),
+            "unknown action"
+        );
     }
 }

@@ -1,15 +1,36 @@
 //! Shared sweep machinery for the experiment modules.
+//!
+//! Sweeps are axis-mutations of a base [`ScenarioSpec`]: the caller builds
+//! one spec (protocol, blocking fraction, trials, seed) and the sweep
+//! re-stamps the adversary budget and the per-cell seed for each point.
 
-use rcb_adversary::rep_strategies::BudgetedRepBlocker;
 use rcb_analysis::report::{Cell, SweepSeries};
-use rcb_core::one_to_n::OneToNParams;
-use rcb_core::one_to_one::profile::DuelProfile;
-use rcb_sim::duel::{run_duel_checked, DuelConfig};
 use rcb_sim::error::SimError;
-use rcb_sim::fast::{run_broadcast_checked, FastConfig};
-use rcb_sim::faults::FaultPlan;
 use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
-use rcb_sim::runner::{run_trials, Parallelism};
+use rcb_sim::scenario::{AdversarySpec, DuelProtocol, Outcome, ScenarioSpec, Workload};
+
+/// Base duel spec for budget sweeps: the canonical full-phase blocker at
+/// fraction `q`, budget re-stamped per sweep point.
+pub fn duel_sweep_base(protocol: DuelProtocol, q: f64, trials: u64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::duel(protocol)
+        .with_adversary(AdversarySpec::Budgeted {
+            budget: 0,
+            fraction: q,
+        })
+        .with_trials(trials)
+        .with_seed(seed)
+}
+
+/// Base 1-to-n spec (practical params, node 0 source) for budget sweeps.
+pub fn broadcast_sweep_base(n: usize, q: f64, trials: u64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::broadcast(n)
+        .with_adversary(AdversarySpec::Budgeted {
+            budget: 0,
+            fraction: q,
+        })
+        .with_trials(trials)
+        .with_seed(seed)
+}
 
 /// Budget axis: `2^start .. 2^end` inclusive, stepping by `step` doublings.
 pub fn budget_axis(start: u32, end: u32, step: u32) -> Vec<u64> {
@@ -48,29 +69,28 @@ pub fn split_truncated<T>(results: Vec<Result<T, SimError>>) -> (Vec<T>, u64) {
     (out, truncated)
 }
 
-/// Sweeps a duel profile over adversary budgets with the canonical
-/// full-blocking attacker. `q` is the blocking fraction (1.0 = silence
-/// whole phases).
-pub fn duel_budget_sweep<P: DuelProfile + Sync>(
-    profile: &P,
-    budgets: &[u64],
-    q: f64,
-    trials: u64,
-    seed: u64,
-) -> Vec<DuelSweepPoint> {
+/// Sweeps a base duel scenario over adversary budgets. The base spec fixes
+/// the protocol, the adversary family (its blocking fraction survives the
+/// re-budgeting), the trial count, and the master seed; each point runs the
+/// base with the budget swapped in and the seed XOR-folded with it so cells
+/// draw independent streams.
+pub fn duel_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<DuelSweepPoint> {
+    assert!(
+        matches!(base.workload, Workload::Duel(_)),
+        "duel_budget_sweep needs a duel base spec"
+    );
     budgets
         .iter()
         .map(|&budget| {
-            let results = run_trials(trials, seed ^ budget, Parallelism::Auto, |_, rng| {
-                let mut adv = BudgetedRepBlocker::new(budget, q);
-                run_duel_checked(
-                    profile,
-                    &mut adv,
-                    rng,
-                    DuelConfig::default(),
-                    &FaultPlan::none(),
-                )
-            });
+            let spec = base
+                .clone()
+                .with_adversary(base.adversary.with_budget(budget))
+                .with_seed(base.seeds.master ^ budget);
+            let results: Vec<Result<DuelOutcome, SimError>> = spec
+                .run_batch()
+                .into_iter()
+                .map(|r| r.map(Outcome::into_duel))
+                .collect();
             let (outcomes, truncated) = split_truncated(results);
             summarize_duels(budget, outcomes, truncated)
         })
@@ -121,36 +141,26 @@ pub struct BroadcastSweepPoint {
     pub outcomes: Vec<BroadcastOutcome>,
 }
 
-/// Sweeps 1-to-n over adversary budgets at fixed `n`.
-pub fn broadcast_budget_sweep(
-    params: &OneToNParams,
-    n: usize,
-    budgets: &[u64],
-    q: f64,
-    trials: u64,
-    seed: u64,
-) -> Vec<BroadcastSweepPoint> {
+/// Sweeps a base 1-to-n scenario over adversary budgets at its fixed `n`.
+/// Seeds fold in both the budget and `n` so multi-`n` grids never share a
+/// stream across cells.
+pub fn broadcast_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<BroadcastSweepPoint> {
+    let n = match &base.workload {
+        Workload::Broadcast(w) => w.n,
+        Workload::Duel(_) => panic!("broadcast_budget_sweep needs a broadcast base spec"),
+    };
     budgets
         .iter()
         .map(|&budget| {
-            let results = run_trials(
-                trials,
-                seed ^ budget ^ (n as u64) << 32,
-                Parallelism::Auto,
-                |_, rng| {
-                    let mut adv = BudgetedRepBlocker::new(budget, q);
-                    run_broadcast_checked(
-                        params,
-                        n,
-                        &[0],
-                        &mut adv,
-                        rng,
-                        FastConfig::default(),
-                        &mut (),
-                        &FaultPlan::none(),
-                    )
-                },
-            );
+            let spec = base
+                .clone()
+                .with_adversary(base.adversary.with_budget(budget))
+                .with_seed(base.seeds.master ^ budget ^ ((n as u64) << 32));
+            let results: Vec<Result<BroadcastOutcome, SimError>> = spec
+                .run_batch()
+                .into_iter()
+                .map(|r| r.map(Outcome::into_broadcast))
+                .collect();
             let (outcomes, truncated) = split_truncated(results);
             summarize_broadcasts(budget, n, outcomes, truncated)
         })
@@ -258,7 +268,6 @@ pub fn series_from(name: &str, points: impl IntoIterator<Item = (f64, Cell)>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::one_to_one::profile::Fig1Profile;
 
     #[test]
     fn budget_axis_doubles() {
@@ -268,8 +277,8 @@ mod tests {
 
     #[test]
     fn duel_sweep_smoke() {
-        let profile = Fig1Profile::with_start_epoch(0.1, 7);
-        let pts = duel_budget_sweep(&profile, &[1024], 1.0, 8, 1);
+        let base = duel_sweep_base(DuelProtocol::fig1(0.1, 7), 1.0, 8, 1);
+        let pts = duel_budget_sweep(&base, &[1024]);
         assert_eq!(pts.len(), 1);
         let p = &pts[0];
         assert_eq!(p.outcomes.len(), 8);
@@ -280,8 +289,8 @@ mod tests {
 
     #[test]
     fn broadcast_sweep_smoke() {
-        let params = OneToNParams::practical();
-        let pts = broadcast_budget_sweep(&params, 8, &[2048], 1.0, 3, 2);
+        let base = broadcast_sweep_base(8, 1.0, 3, 2);
+        let pts = broadcast_budget_sweep(&base, &[2048]);
         assert_eq!(pts.len(), 1);
         assert!(pts[0].mean_cost.mean > 0.0);
         assert!(pts[0].mean_t > 0.0);
@@ -308,16 +317,16 @@ mod tests {
 
     #[test]
     fn truncation_note_zero_is_explicit() {
-        let profile = Fig1Profile::with_start_epoch(0.1, 7);
-        let pts = duel_budget_sweep(&profile, &[1024], 1.0, 4, 1);
+        let base = duel_sweep_base(DuelProtocol::fig1(0.1, 7), 1.0, 4, 1);
+        let pts = duel_budget_sweep(&base, &[1024]);
         let note = truncation_note(&pts);
         assert!(note.contains("truncated trials: 0"), "{note}");
     }
 
     #[test]
     fn truncation_note_lists_affected_cells() {
-        let profile = Fig1Profile::with_start_epoch(0.1, 7);
-        let mut pts = duel_budget_sweep(&profile, &[1024, 2048], 1.0, 4, 1);
+        let base = duel_sweep_base(DuelProtocol::fig1(0.1, 7), 1.0, 4, 1);
+        let mut pts = duel_budget_sweep(&base, &[1024, 2048]);
         pts[1].truncated = 3;
         let note = truncation_note(&pts);
         assert!(note.contains("WARNING"), "{note}");

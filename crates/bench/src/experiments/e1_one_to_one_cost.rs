@@ -6,12 +6,14 @@
 //! `T` must sit near 0.5 (and far from the naive baseline's 1.0), and the
 //! success rate must stay ≥ 1 − ε.
 
-use crate::experiments::common::{budget_axis, duel_budget_sweep, series_from, truncation_note};
+use crate::experiments::common::{
+    budget_axis, duel_budget_sweep, duel_sweep_base, series_from, truncation_note,
+};
 use crate::scale::Scale;
 use rcb_analysis::plot::ascii_loglog;
 use rcb_analysis::scaling::{fit_scaling, fit_scaling_above_baseline};
 use rcb_analysis::table::{num, TableBuilder};
-use rcb_core::one_to_one::profile::Fig1Profile;
+use rcb_sim::scenario::DuelProtocol;
 
 pub fn run(scale: &Scale) -> String {
     let mut out = String::new();
@@ -19,12 +21,12 @@ pub fn run(scale: &Scale) -> String {
     let trials = scale.trials(150);
 
     for epsilon in [0.1, 0.01] {
-        let profile = Fig1Profile::with_start_epoch(epsilon, 8);
+        let protocol = DuelProtocol::fig1(epsilon, 8);
         // τ baseline: unjammed cost, the additive ln(1/ε) term.
-        let baseline = duel_budget_sweep(&profile, &[0], 1.0, trials, scale.seed ^ 0xBA5E)[0]
-            .cost
-            .mean;
-        let points = duel_budget_sweep(&profile, &budgets, 1.0, trials, scale.seed ^ 0xE1);
+        let base = duel_sweep_base(protocol, 1.0, trials, scale.seed ^ 0xBA5E);
+        let baseline = duel_budget_sweep(&base, &[0])[0].cost.mean;
+        let base = duel_sweep_base(protocol, 1.0, trials, scale.seed ^ 0xE1);
+        let points = duel_budget_sweep(&base, &budgets);
 
         let mut table = TableBuilder::new(vec![
             "budget",

@@ -5,11 +5,13 @@
 //! ≈ 0.5. The success-rate column simultaneously checks the Monte-Carlo
 //! guarantee `Pr[delivery] ≥ 1 − ε`.
 
-use crate::experiments::common::{duel_budget_sweep, series_from, truncation_note};
+use crate::experiments::common::{
+    duel_budget_sweep, duel_sweep_base, series_from, truncation_note,
+};
 use crate::scale::Scale;
 use rcb_analysis::scaling::fit_scaling;
 use rcb_analysis::table::{num, TableBuilder};
-use rcb_core::one_to_one::profile::Fig1Profile;
+use rcb_sim::scenario::DuelProtocol;
 
 pub fn run(scale: &Scale) -> String {
     let mut out = String::new();
@@ -28,8 +30,13 @@ pub fn run(scale: &Scale) -> String {
     let mut points = Vec::new();
     let mut cells = Vec::new();
     for &epsilon in &epsilons {
-        let profile = Fig1Profile::with_start_epoch(epsilon, 8);
-        let sweep = duel_budget_sweep(&profile, &[budget], 1.0, trials, scale.seed ^ 0xE2);
+        let base = duel_sweep_base(
+            DuelProtocol::fig1(epsilon, 8),
+            1.0,
+            trials,
+            scale.seed ^ 0xE2,
+        );
+        let sweep = duel_budget_sweep(&base, &[budget]);
         let p = &sweep[0];
         // The paper's cost carries √(ln(8/ε)) — fit against the actual
         // argument, not ln(1/ε), whose additive ln 8 flattens the fit.

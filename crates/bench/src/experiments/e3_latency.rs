@@ -5,18 +5,20 @@
 //! (asymptotically optimal — the adversary can always force `T` latency by
 //! jamming everything).
 
-use crate::experiments::common::{budget_axis, duel_budget_sweep, series_from, truncation_note};
+use crate::experiments::common::{
+    budget_axis, duel_budget_sweep, duel_sweep_base, series_from, truncation_note,
+};
 use crate::scale::Scale;
 use rcb_analysis::scaling::fit_scaling;
 use rcb_analysis::table::{num, TableBuilder};
-use rcb_core::one_to_one::profile::Fig1Profile;
+use rcb_sim::scenario::DuelProtocol;
 
 pub fn run(scale: &Scale) -> String {
     let mut out = String::new();
     let budgets = budget_axis(10, 20 + scale.extra_budget_doublings, 2);
     let trials = scale.trials(100);
-    let profile = Fig1Profile::with_start_epoch(0.01, 8);
-    let points = duel_budget_sweep(&profile, &budgets, 1.0, trials, scale.seed ^ 0xE3);
+    let base = duel_sweep_base(DuelProtocol::fig1(0.01, 8), 1.0, trials, scale.seed ^ 0xE3);
+    let points = duel_budget_sweep(&base, &budgets);
 
     let mut table = TableBuilder::new(vec!["budget", "T (real)", "E[slots]", "slots/T"]);
     for p in &points {

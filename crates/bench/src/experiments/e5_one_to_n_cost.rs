@@ -8,17 +8,15 @@
 //!   pay less per node**, the headline of the paper.
 
 use crate::experiments::common::{
-    broadcast_budget_sweep, budget_axis, series_from, truncation_note,
+    broadcast_budget_sweep, broadcast_sweep_base, budget_axis, series_from, truncation_note,
 };
 use crate::scale::Scale;
 use rcb_analysis::plot::ascii_loglog;
 use rcb_analysis::scaling::{fit_scaling, fit_scaling_with_offset};
 use rcb_analysis::table::{num, TableBuilder};
-use rcb_core::one_to_n::OneToNParams;
 
 pub fn run(scale: &Scale) -> String {
     let mut out = String::new();
-    let params = OneToNParams::practical();
 
     // (a) Cost vs T at fixed n.
     let n = 32;
@@ -26,10 +24,16 @@ pub fn run(scale: &Scale) -> String {
     let trials = scale.trials(20);
     // τ baseline: the unjammed (T = 0) cost, i.e. the additive log⁶n-style
     // term of the cost function; subtracted before the scaling fit.
-    let baseline = broadcast_budget_sweep(&params, n, &[0], 1.0, trials, scale.seed ^ 0xBA5E)[0]
-        .mean_cost
-        .mean;
-    let points = broadcast_budget_sweep(&params, n, &budgets, 1.0, trials, scale.seed ^ 0xE5);
+    let baseline = broadcast_budget_sweep(
+        &broadcast_sweep_base(n, 1.0, trials, scale.seed ^ 0xBA5E),
+        &[0],
+    )[0]
+    .mean_cost
+    .mean;
+    let points = broadcast_budget_sweep(
+        &broadcast_sweep_base(n, 1.0, trials, scale.seed ^ 0xE5),
+        &budgets,
+    );
 
     let mut table = TableBuilder::new(vec![
         "budget",
@@ -87,7 +91,10 @@ pub fn run(scale: &Scale) -> String {
     let mut cells = Vec::new();
     let mut sweep_cells = Vec::new();
     for &n in &ns {
-        let pts = broadcast_budget_sweep(&params, n, &[budget], 1.0, trials_b, scale.seed ^ 0x5E5);
+        let pts = broadcast_budget_sweep(
+            &broadcast_sweep_base(n, 1.0, trials_b, scale.seed ^ 0x5E5),
+            &[budget],
+        );
         let p = &pts[0];
         table_b.row(vec![
             n.to_string(),

@@ -5,22 +5,23 @@
 //!   term — fitted exponent ≈ 1 with polylog drift).
 
 use crate::experiments::common::{
-    broadcast_budget_sweep, budget_axis, series_from, truncation_note,
+    broadcast_budget_sweep, broadcast_sweep_base, budget_axis, series_from, truncation_note,
 };
 use crate::scale::Scale;
 use rcb_analysis::scaling::fit_scaling;
 use rcb_analysis::table::{num, TableBuilder};
-use rcb_core::one_to_n::OneToNParams;
 
 pub fn run(scale: &Scale) -> String {
     let mut out = String::new();
-    let params = OneToNParams::practical();
 
     // (a) Latency vs T at fixed n.
     let n = 32;
     let budgets = budget_axis(17, 23, 2);
     let trials = scale.trials(15);
-    let points = broadcast_budget_sweep(&params, n, &budgets, 1.0, trials, scale.seed ^ 0xE6);
+    let points = broadcast_budget_sweep(
+        &broadcast_sweep_base(n, 1.0, trials, scale.seed ^ 0xE6),
+        &budgets,
+    );
     let mut table = TableBuilder::new(vec![
         "budget", "T (real)", "E[slots]", "slots/T", "informed",
     ]);
@@ -51,7 +52,10 @@ pub fn run(scale: &Scale) -> String {
     let mut cells = Vec::new();
     let mut sweep_cells = Vec::new();
     for &n in &ns {
-        let pts = broadcast_budget_sweep(&params, n, &[0], 1.0, trials_b, scale.seed ^ 0x6E6);
+        let pts = broadcast_budget_sweep(
+            &broadcast_sweep_base(n, 1.0, trials_b, scale.seed ^ 0x6E6),
+            &[0],
+        );
         let p = &pts[0];
         let lg = (n.max(2) as f64).log2();
         table_b.row(vec![

@@ -6,7 +6,7 @@
 //! must be bounded below by a constant (the lower bound) and vary only
 //! polylogarithmically across the grid (the upper bound).
 
-use crate::experiments::common::{broadcast_budget_sweep, truncation_note};
+use crate::experiments::common::{broadcast_budget_sweep, broadcast_sweep_base, truncation_note};
 use crate::scale::Scale;
 use rcb_analysis::table::{num, TableBuilder};
 use rcb_core::one_to_n::OneToNParams;
@@ -25,7 +25,10 @@ pub fn run(scale: &Scale) -> String {
     for &budget in &budgets {
         let mut row = vec![format!("T≈{budget}")];
         for &n in &ns {
-            let pts = broadcast_budget_sweep(&params, n, &[budget], 1.0, trials, scale.seed ^ 0xE7);
+            let pts = broadcast_budget_sweep(
+                &broadcast_sweep_base(n, 1.0, trials, scale.seed ^ 0xE7),
+                &[budget],
+            );
             let p = &pts[0];
             let floor = (p.mean_t.max(1.0) / n as f64).sqrt();
             let ratio = p.mean_cost.mean / floor;

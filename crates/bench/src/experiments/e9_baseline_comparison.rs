@@ -24,7 +24,10 @@ use rcb_sim::exact::{run_exact_checked, ExactConfig};
 use rcb_sim::faults::FaultPlan;
 use rcb_sim::runner::{run_trials, Parallelism};
 
-use crate::experiments::common::{duel_budget_sweep, split_truncated, truncation_note};
+use crate::experiments::common::{
+    duel_budget_sweep, duel_sweep_base, split_truncated, truncation_note,
+};
+use rcb_sim::scenario::DuelProtocol;
 
 const EPSILON: f64 = 0.01;
 
@@ -73,8 +76,13 @@ pub fn run(scale: &Scale) -> String {
     let trials = scale.trials(60);
     let trials_exact = scale.trials(15);
 
-    let fig1 = Fig1Profile::with_start_epoch(EPSILON, 8);
-    let ksy = KsyProfile::new();
+    let fig1_base = duel_sweep_base(
+        DuelProtocol::fig1(EPSILON, 8),
+        1.0,
+        trials,
+        scale.seed ^ 0xE9,
+    );
+    let ksy_base = duel_sweep_base(DuelProtocol::ksy(), 1.0, trials, scale.seed ^ 0x9E9);
 
     let mut table = TableBuilder::new(vec![
         "T (budget)",
@@ -86,9 +94,9 @@ pub fn run(scale: &Scale) -> String {
     let mut sweep_cells = Vec::new();
     let mut exact_truncated = 0u64;
     for &budget in &budgets {
-        let fig1_pts = duel_budget_sweep(&fig1, &[budget], 1.0, trials, scale.seed ^ 0xE9);
+        let fig1_pts = duel_budget_sweep(&fig1_base, &[budget]);
         let fig1_cost = fig1_pts[0].cost.mean;
-        let ksy_pts = duel_budget_sweep(&ksy, &[budget.max(1)], 1.0, trials, scale.seed ^ 0x9E9);
+        let ksy_pts = duel_budget_sweep(&ksy_base, &[budget.max(1)]);
         let ksy_cost = ksy_pts[0].cost.mean;
         sweep_cells.extend(fig1_pts);
         sweep_cells.extend(ksy_pts);

@@ -26,19 +26,8 @@ pub mod rss;
 
 use std::time::Instant;
 
-use rcb_adversary::rep_strategies::{BudgetedRepBlocker, NoJamRep};
-use rcb_adversary::RepAsSlotAdversary;
-use rcb_channel::partition::Partition;
-use rcb_core::one_to_n::OneToNParams;
-use rcb_core::one_to_one::profile::Fig1Profile;
-use rcb_core::one_to_one::schedule::DuelSchedule;
-use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
-use rcb_core::protocol::SlotProtocol;
-use rcb_mathkit::rng::{RcbRng, SeedSequence};
-use rcb_sim::duel::{run_duel_checked, DuelConfig};
-use rcb_sim::exact::{run_exact_checked, ExactConfig};
-use rcb_sim::fast::{run_broadcast_checked, FastConfig};
-use rcb_sim::faults::FaultPlan;
+use rcb_mathkit::rng::SeedSequence;
+use rcb_sim::scenario::{fnv1a, registry, FNV_OFFSET};
 
 use json::Json;
 
@@ -127,231 +116,21 @@ pub struct BenchReport {
 }
 
 // ---------------------------------------------------------------------------
-// Scenario grid
-// ---------------------------------------------------------------------------
-
-/// Per-trial measurement: slots simulated and the outcome fold.
-struct Trial {
-    slots: u64,
-    hash: u64,
-}
-
-struct Spec {
-    id: &'static str,
-    engine: &'static str,
-    base_trials: u64,
-    run: fn(&mut RcbRng) -> Trial,
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-fn fnv(mut h: u64, words: &[u64]) -> u64 {
-    for &w in words {
-        for b in w.to_le_bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-fn duel_trial(rng: &mut RcbRng, budget: u64, faults: &FaultPlan) -> Trial {
-    let profile = Fig1Profile::with_start_epoch(0.1, 8);
-    let mut adv: Box<dyn rcb_adversary::traits::RepetitionAdversary> = if budget == 0 {
-        Box::new(NoJamRep)
-    } else {
-        Box::new(BudgetedRepBlocker::new(budget, 1.0))
-    };
-    let out = run_duel_checked(&profile, adv.as_mut(), rng, DuelConfig::default(), faults)
-        .expect("pinned perf scenarios never exhaust the slot budget");
-    Trial {
-        slots: out.slots,
-        hash: fnv(
-            FNV_OFFSET,
-            &[
-                out.alice_cost,
-                out.bob_cost,
-                out.adversary_cost,
-                out.slots,
-                out.delivered as u64,
-                out.delivery_slot.unwrap_or(u64::MAX),
-                out.last_epoch as u64,
-            ],
-        ),
-    }
-}
-
-fn broadcast_trial(rng: &mut RcbRng, n: usize, budget: u64, faults: &FaultPlan) -> Trial {
-    let params = OneToNParams::practical();
-    let mut adv = BudgetedRepBlocker::new(budget, 1.0);
-    let out = run_broadcast_checked(
-        &params,
-        n,
-        &[0],
-        &mut adv,
-        rng,
-        FastConfig::default(),
-        &mut (),
-        faults,
-    )
-    .expect("pinned perf scenarios never exhaust the epoch budget");
-    let mut hash = fnv(
-        FNV_OFFSET,
-        &[
-            out.slots,
-            out.adversary_cost,
-            out.informed as u64,
-            out.last_epoch as u64,
-            out.safety_terminations as u64,
-        ],
-    );
-    hash = fnv(hash, &out.node_costs);
-    Trial {
-        slots: out.slots,
-        hash,
-    }
-}
-
-fn sc_duel_clean(rng: &mut RcbRng) -> Trial {
-    duel_trial(rng, 0, &FaultPlan::none())
-}
-
-fn sc_duel_jammed(rng: &mut RcbRng) -> Trial {
-    duel_trial(rng, 1 << 16, &FaultPlan::none())
-}
-
-fn sc_duel_jammed_faulted(rng: &mut RcbRng) -> Trial {
-    duel_trial(
-        rng,
-        1 << 16,
-        &FaultPlan::none().with_loss(0.1).with_skew(1, 1),
-    )
-}
-
-fn sc_exact_duel_jammed(rng: &mut RcbRng) -> Trial {
-    let profile = Fig1Profile::with_start_epoch(0.1, 8);
-    let mut alice = AliceProtocol::new(profile);
-    let mut bob = BobProtocol::new(profile);
-    let schedule = DuelSchedule::new(8);
-    let partition = Partition::pair();
-    let mut adv = RepAsSlotAdversary::duel(Box::new(BudgetedRepBlocker::new(1 << 12, 1.0)));
-    let out = run_exact_checked(
-        &mut [&mut alice, &mut bob],
-        &mut adv,
-        &schedule,
-        &partition,
-        rng,
-        ExactConfig::default(),
-        None,
-        &FaultPlan::none(),
-    )
-    .expect("pinned perf scenarios complete within the slot cap");
-    Trial {
-        slots: out.slots,
-        hash: fnv(
-            FNV_OFFSET,
-            &[
-                out.ledger.node_cost(0),
-                out.ledger.node_cost(1),
-                out.slots,
-                out.completed as u64,
-                bob.received_message() as u64,
-            ],
-        ),
-    }
-}
-
-fn sc_bcast_n8_jammed(rng: &mut RcbRng) -> Trial {
-    broadcast_trial(rng, 8, 100_000, &FaultPlan::none())
-}
-
-fn sc_bcast_n64_jammed(rng: &mut RcbRng) -> Trial {
-    broadcast_trial(rng, 64, 200_000, &FaultPlan::none())
-}
-
-fn sc_bcast_n256_jammed(rng: &mut RcbRng) -> Trial {
-    broadcast_trial(rng, 256, 400_000, &FaultPlan::none())
-}
-
-fn sc_bcast_n64_faulted(rng: &mut RcbRng) -> Trial {
-    broadcast_trial(
-        rng,
-        64,
-        200_000,
-        &FaultPlan::none()
-            .with_loss(0.1)
-            .with_crash(3, 2, 6, true)
-            .with_skew(5, 1),
-    )
-}
-
-/// The pinned grid. Order, ids, and parameters are part of the recorded
-/// baseline's meaning: comparator matching is by id, so renaming a
-/// scenario orphans its history.
-fn specs() -> Vec<Spec> {
-    vec![
-        Spec {
-            id: "duel_clean",
-            engine: "duel-fast",
-            // Clean duels finish in a couple of epochs, so the count is
-            // high: a repeat must run for ≥ ~100 ms or scheduler jitter
-            // (not engine speed) dominates the measurement.
-            base_trials: 30_000,
-            run: sc_duel_clean,
-        },
-        Spec {
-            id: "duel_jammed",
-            engine: "duel-fast",
-            base_trials: 600,
-            run: sc_duel_jammed,
-        },
-        Spec {
-            id: "duel_jammed_faulted",
-            engine: "duel-fast",
-            base_trials: 600,
-            run: sc_duel_jammed_faulted,
-        },
-        Spec {
-            id: "exact_duel_jammed",
-            engine: "exact",
-            base_trials: 160,
-            run: sc_exact_duel_jammed,
-        },
-        Spec {
-            id: "bcast_n8_jammed",
-            engine: "broadcast-fast",
-            base_trials: 60,
-            run: sc_bcast_n8_jammed,
-        },
-        Spec {
-            id: "bcast_n64_jammed",
-            engine: "broadcast-fast",
-            base_trials: 20,
-            run: sc_bcast_n64_jammed,
-        },
-        Spec {
-            id: "bcast_n256_jammed",
-            engine: "broadcast-fast",
-            base_trials: 8,
-            run: sc_bcast_n256_jammed,
-        },
-        Spec {
-            id: "bcast_n64_faulted",
-            engine: "broadcast-fast",
-            base_trials: 20,
-            run: sc_bcast_n64_faulted,
-        },
-    ]
-}
-
-// ---------------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------------
 
-/// Runs the pinned grid and returns the report (not yet written to disk).
+/// Runs the pinned grid — the [`registry`] of named scenarios, which owns
+/// the ids, parameters, and base trial counts — and returns the report
+/// (not yet written to disk). Comparator matching is by scenario name, so
+/// renaming a registry entry orphans its history.
+///
+/// The harness's `seed` parameter overrides each spec's own seed policy:
+/// a baseline file records one seed for the whole grid.
 pub fn run_perf(seed: u64, scale: PerfScale, git_sha: &str, notes: &str) -> BenchReport {
     let mut scenarios = Vec::new();
-    for spec in specs() {
-        let trials = scale.trials(spec.base_trials);
+    for entry in registry() {
+        let spec = entry.spec;
+        let trials = scale.trials(spec.trials);
         let seeds = SeedSequence::new(seed);
         let mut best_wall = f64::INFINITY;
         let mut first: Option<(u64, u64)> = None; // (slots, checksum)
@@ -363,9 +142,11 @@ pub fn run_perf(seed: u64, scale: PerfScale, git_sha: &str, notes: &str) -> Benc
             let mut checksum = FNV_OFFSET;
             for i in 0..trials {
                 let mut rng = seeds.rng(i);
-                let trial = (spec.run)(&mut rng);
-                slots += trial.slots;
-                checksum = fnv(checksum, &[trial.hash]);
+                let outcome = spec
+                    .run_trial(i, &mut rng)
+                    .expect("pinned perf scenarios complete within their caps");
+                slots += outcome.slots();
+                checksum = fnv1a(checksum, &[spec.outcome_checksum(&outcome)]);
             }
             best_wall = best_wall.min(start.elapsed().as_secs_f64().max(1e-9));
             peak_rss = peak_rss.max(rss::peak_rss_kib().unwrap_or(0));
@@ -374,14 +155,14 @@ pub fn run_perf(seed: u64, scale: PerfScale, git_sha: &str, notes: &str) -> Benc
                 Some((s, c)) => assert!(
                     s == slots && c == checksum,
                     "{}: repeat diverged — engine is nondeterministic",
-                    spec.id
+                    entry.name
                 ),
             }
         }
         let (slots, checksum) = first.expect("repeats >= 1");
         scenarios.push(ScenarioResult {
-            id: spec.id.to_string(),
-            engine: spec.engine.to_string(),
+            id: entry.name.to_string(),
+            engine: spec.engine_label().to_string(),
             trials,
             slots,
             wall_secs: best_wall,

@@ -2,7 +2,8 @@
 //!
 //! Each *cell* fixes a protocol configuration and an adversary policy; the
 //! harness runs `trials` independent executions per engine (deterministic
-//! per-trial RNG streams via [`run_trials`]) and compares the load-bearing
+//! per-trial RNG streams via [`run_trials`](crate::runner::run_trials))
+//! and compares the load-bearing
 //! metrics with two nonparametric tests: Mann–Whitney U (location shifts)
 //! and two-sample Kolmogorov–Smirnov (any distributional difference). Under
 //! the null — both engines sample the same distribution — p-values are
@@ -16,7 +17,7 @@
 //! the listener) on the fast engine — two different attacks. Here one
 //! [`AdversarySpec`] builds the *same* repetition strategy for both
 //! engines; the exact engine drives it through
-//! [`RepAsSlotAdversary`].
+//! [`RepAsSlotAdversary`](rcb_adversary::RepAsSlotAdversary).
 //!
 //! ## Reading the worst p-value
 //!
@@ -35,81 +36,27 @@
 //! [`DuelCell::trial_multiplier`] instead of loosening the gate for the
 //! whole grid.
 
-use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep};
-use rcb_adversary::traits::RepetitionAdversary;
-use rcb_adversary::RepAsSlotAdversary;
-use rcb_channel::partition::Partition;
-use rcb_core::one_to_n::{OneToNParams, OneToNSchedule, OneToNSlotNode};
-use rcb_core::one_to_one::profile::Fig1Profile;
-use rcb_core::one_to_one::schedule::DuelSchedule;
-use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
-use rcb_core::protocol::SlotProtocol;
+use rcb_core::one_to_n::OneToNParams;
 use rcb_mathkit::gof::ks_two_sample;
 use rcb_mathkit::hypothesis::mann_whitney_u;
 
-use crate::duel::{run_duel_faulted, DuelConfig};
-use crate::exact::{run_exact_faulted, ExactConfig};
-use crate::fast::{run_broadcast_faulted, FastConfig};
 use crate::faults::FaultPlan;
-use crate::runner::{run_trials, Parallelism};
+use crate::runner::Parallelism;
+use crate::scenario::{DuelProtocol, Engine, Outcome, ScenarioSpec, Workload, FAST_STREAM_SALT};
 
-use std::fmt;
+// `AdversarySpec` was born here and moved up to the scenario layer once
+// every consumer (not just the differ) needed it; re-exported so existing
+// `conformance::AdversarySpec` paths keep working.
+pub use crate::scenario::AdversarySpec;
 
-/// An adversary policy both engines can run. Each trial on each engine gets
-/// a **fresh** instance (budgets reset), so trials stay i.i.d.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AdversarySpec {
-    /// No jamming (`T = 0`).
-    NoJam,
-    /// [`BudgetedRepBlocker`]: jam a `fraction`-suffix of every repetition
-    /// while the budget lasts.
-    Budgeted { budget: u64, fraction: f64 },
-    /// [`KeepAliveBlocker`]: jam only odd repetitions, keeping the victims
-    /// active for longer.
-    KeepAlive { budget: u64, fraction: f64 },
-}
-
-impl AdversarySpec {
-    /// A fresh strategy instance with its full budget.
-    pub fn build(&self) -> Box<dyn RepetitionAdversary> {
-        match *self {
-            AdversarySpec::NoJam => Box::new(NoJamRep),
-            AdversarySpec::Budgeted { budget, fraction } => {
-                Box::new(BudgetedRepBlocker::new(budget, fraction))
-            }
-            AdversarySpec::KeepAlive { budget, fraction } => {
-                Box::new(KeepAliveBlocker::new(budget, fraction))
-            }
-        }
-    }
-}
-
-impl fmt::Display for AdversarySpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AdversarySpec::NoJam => write!(f, "T=0"),
-            AdversarySpec::Budgeted { budget, fraction } => {
-                write!(f, "blocker(T={budget}, q={fraction})")
-            }
-            AdversarySpec::KeepAlive { budget, fraction } => {
-                write!(f, "keepalive(T={budget}, q={fraction})")
-            }
-        }
-    }
-}
-
-/// One 1-to-1 (Figure 1) grid cell.
-#[derive(Debug, Clone, Copy)]
+/// One 1-to-1 (Figure 1) grid cell: an engine-agnostic [`ScenarioSpec`]
+/// that [`run_duel_cell`] stamps with each engine in turn (plus the
+/// config's seed, trial count, and parallelism).
+#[derive(Debug, Clone, PartialEq)]
 pub struct DuelCell {
-    /// Error tolerance ε of the profile.
-    pub error_rate: f64,
-    /// Start epoch (kept small so the exact engine stays fast).
-    pub start_epoch: u32,
-    pub adversary: AdversarySpec,
-    /// Non-adversarial fault plan, applied to both engines. Fault cells
-    /// are how the differ certifies that the two fault implementations
-    /// agree in distribution, not just the clean paths.
-    pub fault: FaultPlan,
+    /// The scenario both engines run. Its `engine`, `seeds`, `trials`, and
+    /// `parallelism` fields are placeholders — the harness overwrites them.
+    pub spec: ScenarioSpec,
     /// Multiplies `ConformanceConfig::trials` for this cell only. Use > 1
     /// for cells whose p-values historically land near the verdict
     /// threshold: more samples sharpen the test where it matters without
@@ -117,18 +64,113 @@ pub struct DuelCell {
     pub trial_multiplier: u64,
 }
 
-/// One 1-to-n (Figure 2) grid cell.
-#[derive(Debug, Clone, Copy)]
+impl DuelCell {
+    /// A clean Figure-1 cell: error tolerance ε, start epoch (kept small so
+    /// the exact engine stays fast), adversary policy.
+    pub fn new(error_rate: f64, start_epoch: u32, adversary: AdversarySpec) -> Self {
+        Self {
+            spec: ScenarioSpec::duel(DuelProtocol::fig1(error_rate, start_epoch))
+                .with_adversary(adversary),
+            trial_multiplier: 1,
+        }
+    }
+
+    /// Adds a non-adversarial fault plan, applied to both engines. Fault
+    /// cells are how the differ certifies that the two fault
+    /// implementations agree in distribution, not just the clean paths.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.spec = self.spec.with_faults(fault);
+        self
+    }
+
+    pub fn with_trial_multiplier(mut self, trial_multiplier: u64) -> Self {
+        self.trial_multiplier = trial_multiplier;
+        self
+    }
+
+    fn name(&self) -> String {
+        let tag = fault_tag(&self.spec.faults);
+        let adversary = &self.spec.adversary;
+        match &self.spec.workload {
+            Workload::Duel(w) => match w.protocol {
+                DuelProtocol::Fig1 {
+                    epsilon,
+                    start_epoch,
+                } => format!("duel ε={epsilon} i₀={start_epoch} {adversary}{tag}"),
+                DuelProtocol::Ksy { start_epoch } => {
+                    format!("duel ksy i₀={start_epoch} {adversary}{tag}")
+                }
+            },
+            Workload::Broadcast(_) => unreachable!("DuelCell holds a duel workload"),
+        }
+    }
+}
+
+/// One 1-to-n (Figure 2) grid cell; see [`DuelCell`] for the scheme.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BroadcastCell {
-    pub n: usize,
-    /// `OneToNParams::practical()` with this `first_epoch`.
-    pub first_epoch: u32,
-    pub adversary: AdversarySpec,
-    /// Non-adversarial fault plan, applied to both engines.
-    pub fault: FaultPlan,
+    /// The scenario both engines run (harness stamps engine/seed/trials).
+    pub spec: ScenarioSpec,
     /// Per-cell multiplier on `ConformanceConfig::trials`; see
     /// [`DuelCell::trial_multiplier`].
     pub trial_multiplier: u64,
+}
+
+impl BroadcastCell {
+    /// A clean broadcast cell: `n` nodes on `OneToNParams::practical()`
+    /// with the given `first_epoch`, node 0 the source.
+    pub fn new(n: usize, first_epoch: u32, adversary: AdversarySpec) -> Self {
+        let mut params = OneToNParams::practical();
+        params.first_epoch = first_epoch;
+        Self {
+            spec: ScenarioSpec::broadcast_with(params, n).with_adversary(adversary),
+            trial_multiplier: 1,
+        }
+    }
+
+    /// Adds a non-adversarial fault plan, applied to both engines.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.spec = self.spec.with_faults(fault);
+        self
+    }
+
+    pub fn with_trial_multiplier(mut self, trial_multiplier: u64) -> Self {
+        self.trial_multiplier = trial_multiplier;
+        self
+    }
+
+    fn name(&self) -> String {
+        let tag = fault_tag(&self.spec.faults);
+        let adversary = &self.spec.adversary;
+        match &self.spec.workload {
+            Workload::Broadcast(w) => {
+                format!(
+                    "broadcast n={} i₀={} {adversary}{tag}",
+                    w.n, w.params.first_epoch
+                )
+            }
+            Workload::Duel(_) => unreachable!("BroadcastCell holds a broadcast workload"),
+        }
+    }
+}
+
+/// Stamps a cell's engine-agnostic spec with one engine plus the harness
+/// parameters (seed stream, sample size, parallelism).
+fn stamp(
+    spec: &ScenarioSpec,
+    engine: Engine,
+    trial_multiplier: u64,
+    cfg: &ConformanceConfig,
+) -> ScenarioSpec {
+    let seed = match engine {
+        Engine::Exact => cfg.seed,
+        Engine::Fast => cfg.fast_seed(),
+    };
+    spec.clone()
+        .with_engine(engine)
+        .with_seed(seed)
+        .with_trials(cfg.trials.saturating_mul(trial_multiplier.max(1)))
+        .with_parallelism(cfg.parallelism)
 }
 
 /// Harness parameters.
@@ -158,8 +200,8 @@ impl ConformanceConfig {
     /// The fast engine must not share trial seeds with the exact engine:
     /// the engines consume different amounts of randomness per trial, and
     /// partially-shared streams would correlate the two samples.
-    fn fast_seed(&self) -> u64 {
-        self.seed ^ 0x9e37_79b9_7f4a_7c15
+    pub fn fast_seed(&self) -> u64 {
+        self.seed ^ FAST_STREAM_SALT
     }
 }
 
@@ -305,45 +347,31 @@ struct DuelSample {
     slots: f64,
 }
 
-/// Runs one duel cell on both engines and compares the metrics.
+/// Runs one duel cell on both engines and compares the metrics. Truncated
+/// trials are sampled too — hitting a cap is data about the engine, not a
+/// failure of the comparison — via the tolerant
+/// [`run_batch_raw`](ScenarioSpec::run_batch_raw) path.
 pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
-    let profile = Fig1Profile::with_start_epoch(cell.error_rate, cell.start_epoch);
+    let sample = |outcome: Outcome| {
+        let o = outcome.into_duel();
+        DuelSample {
+            alice: o.alice_cost as f64,
+            bob: o.bob_cost as f64,
+            max: o.max_cost() as f64,
+            delivered: o.delivered as u64 as f64,
+            slots: o.slots as f64,
+        }
+    };
+    let batch = |engine| {
+        stamp(&cell.spec, engine, cell.trial_multiplier, cfg)
+            .run_batch_raw()
+            .into_iter()
+            .map(|(outcome, _)| sample(outcome))
+            .collect::<Vec<DuelSample>>()
+    };
+    let exact = batch(Engine::Exact);
+    let fast = batch(Engine::Fast);
     let trials = cfg.trials.saturating_mul(cell.trial_multiplier.max(1));
-    let exact: Vec<DuelSample> = run_trials(trials, cfg.seed, cfg.parallelism, |_, rng| {
-        let mut alice = AliceProtocol::new(profile);
-        let mut bob = BobProtocol::new(profile);
-        let schedule = DuelSchedule::new(cell.start_epoch);
-        let partition = Partition::pair();
-        let mut adv = RepAsSlotAdversary::duel(cell.adversary.build());
-        let out = run_exact_faulted(
-            &mut [&mut alice, &mut bob],
-            &mut adv,
-            &schedule,
-            &partition,
-            rng,
-            ExactConfig::default(),
-            None,
-            &cell.fault,
-        );
-        DuelSample {
-            alice: out.ledger.node_cost(0) as f64,
-            bob: out.ledger.node_cost(1) as f64,
-            max: out.ledger.max_node_cost() as f64,
-            delivered: bob.received_message() as u64 as f64,
-            slots: out.slots as f64,
-        }
-    });
-    let fast: Vec<DuelSample> = run_trials(trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
-        let mut adv = cell.adversary.build();
-        let out = run_duel_faulted(&profile, &mut adv, rng, DuelConfig::default(), &cell.fault);
-        DuelSample {
-            alice: out.alice_cost as f64,
-            bob: out.bob_cost as f64,
-            max: out.max_cost() as f64,
-            delivered: out.delivered as u64 as f64,
-            slots: out.slots as f64,
-        }
-    });
 
     let col = |f: fn(&DuelSample) -> f64, v: &[DuelSample]| v.iter().map(f).collect::<Vec<_>>();
     let metrics = vec![
@@ -379,13 +407,7 @@ pub fn run_duel_cell(cell: &DuelCell, cfg: &ConformanceConfig) -> CellReport {
         ),
     ];
     CellReport {
-        name: format!(
-            "duel ε={} i₀={} {}{}",
-            cell.error_rate,
-            cell.start_epoch,
-            cell.adversary,
-            fault_tag(&cell.fault)
-        ),
+        name: cell.name(),
         trials,
         metrics,
     }
@@ -409,62 +431,29 @@ struct BroadcastSample {
 
 /// Runs one 1-to-n cell on both engines and compares the metrics.
 pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> CellReport {
-    let mut params = OneToNParams::practical();
-    params.first_epoch = cell.first_epoch;
-    let n = cell.n;
-    let trials = cfg.trials.saturating_mul(cell.trial_multiplier.max(1));
-
-    let exact: Vec<BroadcastSample> = run_trials(trials, cfg.seed, cfg.parallelism, |_, rng| {
-        let mut nodes: Vec<OneToNSlotNode> = (0..n)
-            .map(|u| OneToNSlotNode::new(params, u == 0))
-            .collect();
-        let mut refs: Vec<&mut dyn SlotProtocol> = Vec::new();
-        for node in nodes.iter_mut() {
-            refs.push(node);
-        }
-        let schedule = OneToNSchedule::new(params);
-        let partition = Partition::uniform(n);
-        let mut adv = RepAsSlotAdversary::broadcast(cell.adversary.build(), n);
-        let out = run_exact_faulted(
-            &mut refs,
-            &mut adv,
-            &schedule,
-            &partition,
-            rng,
-            ExactConfig {
-                max_slots: 40_000_000,
-            },
-            None,
-            &cell.fault,
-        );
-        let informed = nodes.iter().filter(|v| v.received_message()).count();
+    let n = match &cell.spec.workload {
+        Workload::Broadcast(w) => w.n,
+        Workload::Duel(_) => unreachable!("BroadcastCell holds a broadcast workload"),
+    };
+    let sample = |outcome: Outcome| {
+        let o = outcome.into_broadcast();
         BroadcastSample {
-            mean: out.ledger.mean_node_cost(),
-            max: out.ledger.max_node_cost() as f64,
-            informed: informed as f64 / n as f64,
-            slots: out.slots as f64,
+            mean: o.mean_cost(),
+            max: o.max_cost() as f64,
+            informed: o.informed as f64 / n as f64,
+            slots: o.slots as f64,
         }
-    });
-    let fast: Vec<BroadcastSample> =
-        run_trials(trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
-            let mut adv = cell.adversary.build();
-            let out = run_broadcast_faulted(
-                &params,
-                n,
-                &[0],
-                &mut adv,
-                rng,
-                FastConfig::default(),
-                &mut (),
-                &cell.fault,
-            );
-            BroadcastSample {
-                mean: out.mean_cost(),
-                max: out.max_cost() as f64,
-                informed: out.informed as f64 / n as f64,
-                slots: out.slots as f64,
-            }
-        });
+    };
+    let batch = |engine| {
+        stamp(&cell.spec, engine, cell.trial_multiplier, cfg)
+            .run_batch_raw()
+            .into_iter()
+            .map(|(outcome, _)| sample(outcome))
+            .collect::<Vec<BroadcastSample>>()
+    };
+    let exact = batch(Engine::Exact);
+    let fast = batch(Engine::Fast);
+    let trials = cfg.trials.saturating_mul(cell.trial_multiplier.max(1));
 
     let col =
         |f: fn(&BroadcastSample) -> f64, v: &[BroadcastSample]| v.iter().map(f).collect::<Vec<_>>();
@@ -495,13 +484,7 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
         ),
     ];
     CellReport {
-        name: format!(
-            "broadcast n={} i₀={} {}{}",
-            cell.n,
-            cell.first_epoch,
-            cell.adversary,
-            fault_tag(&cell.fault)
-        ),
+        name: cell.name(),
         trials,
         metrics,
     }
@@ -513,13 +496,7 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
 /// battery brownout, clock skew, crash–restart) for both protocol
 /// families.
 pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
-    let duel = |adversary| DuelCell {
-        error_rate: 0.05,
-        start_epoch: 6,
-        adversary,
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    let duel = |adversary| DuelCell::new(0.05, 6, adversary);
     let duels = vec![
         duel(AdversarySpec::NoJam),
         duel(AdversarySpec::Budgeted {
@@ -538,49 +515,30 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
             budget: 1024,
             fraction: 1.0,
         }),
-        DuelCell {
-            fault: FaultPlan::none().with_loss(0.15),
-            ..duel(AdversarySpec::Budgeted {
-                budget: 512,
-                fraction: 1.0,
-            })
-        },
-        DuelCell {
-            fault: FaultPlan::none().with_battery(64),
-            ..duel(AdversarySpec::NoJam)
-        },
-        DuelCell {
-            fault: FaultPlan::none().with_skew(1, 1),
+        duel(AdversarySpec::Budgeted {
+            budget: 512,
+            fraction: 1.0,
+        })
+        .with_fault(FaultPlan::none().with_loss(0.15)),
+        duel(AdversarySpec::NoJam).with_fault(FaultPlan::none().with_battery(64)),
+        duel(AdversarySpec::NoJam)
+            .with_fault(FaultPlan::none().with_skew(1, 1))
             // This cell's bob_cost MW-p once landed at 0.0198 — within the
             // expected min-of-~100-uniforms range (see module docs), and
             // the boundary semantics are certified identical by a
             // deterministic test. The larger sample keeps its p-values
             // comfortably away from the verdict threshold anyway.
-            trial_multiplier: 4,
-            ..duel(AdversarySpec::NoJam)
-        },
+            .with_trial_multiplier(4),
     ];
-    let broadcast = |adversary| BroadcastCell {
-        n: 5,
-        first_epoch: 4,
-        adversary,
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    let broadcast = |adversary| BroadcastCell::new(5, 4, adversary);
     let broadcasts = vec![
         broadcast(AdversarySpec::NoJam),
         broadcast(AdversarySpec::Budgeted {
             budget: 256,
             fraction: 1.0,
         }),
-        BroadcastCell {
-            fault: FaultPlan::none().with_loss(0.15),
-            ..broadcast(AdversarySpec::NoJam)
-        },
-        BroadcastCell {
-            fault: FaultPlan::none().with_crash(1, 2, 6, true),
-            ..broadcast(AdversarySpec::NoJam)
-        },
+        broadcast(AdversarySpec::NoJam).with_fault(FaultPlan::none().with_loss(0.15)),
+        broadcast(AdversarySpec::NoJam).with_fault(FaultPlan::none().with_crash(1, 2, 6, true)),
     ];
     (duels, broadcasts)
 }
@@ -607,6 +565,17 @@ pub fn run_grid(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcb_adversary::rep_strategies::NoJamRep;
+    use rcb_adversary::RepAsSlotAdversary;
+    use rcb_channel::partition::Partition;
+    use rcb_core::one_to_one::profile::Fig1Profile;
+    use rcb_core::one_to_one::schedule::DuelSchedule;
+    use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
+    use rcb_core::protocol::SlotProtocol;
+
+    use crate::duel::{run_duel_faulted, DuelConfig};
+    use crate::exact::{run_exact_faulted, ExactConfig};
+    use crate::runner::run_trials;
 
     fn small_cfg() -> ConformanceConfig {
         ConformanceConfig {
@@ -619,13 +588,7 @@ mod tests {
 
     #[test]
     fn unjammed_duel_cell_agrees() {
-        let cell = DuelCell {
-            error_rate: 0.05,
-            start_epoch: 6,
-            adversary: AdversarySpec::NoJam,
-            fault: FaultPlan::none(),
-            trial_multiplier: 1,
-        };
+        let cell = DuelCell::new(0.05, 6, AdversarySpec::NoJam);
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(
             !report.diverges(1e-3),
@@ -636,16 +599,14 @@ mod tests {
 
     #[test]
     fn jammed_duel_cell_agrees() {
-        let cell = DuelCell {
-            error_rate: 0.05,
-            start_epoch: 6,
-            adversary: AdversarySpec::Budgeted {
+        let cell = DuelCell::new(
+            0.05,
+            6,
+            AdversarySpec::Budgeted {
                 budget: 512,
                 fraction: 1.0,
             },
-            fault: FaultPlan::none(),
-            trial_multiplier: 1,
-        };
+        );
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(
             !report.diverges(1e-3),
@@ -659,16 +620,15 @@ mod tests {
         // The fault implementations are engine-specific (receiver
         // condition vs. sampled-event coin); the differ must certify they
         // sample the same distribution.
-        let cell = DuelCell {
-            error_rate: 0.05,
-            start_epoch: 6,
-            adversary: AdversarySpec::Budgeted {
+        let cell = DuelCell::new(
+            0.05,
+            6,
+            AdversarySpec::Budgeted {
                 budget: 512,
                 fraction: 1.0,
             },
-            fault: FaultPlan::none().with_loss(0.15),
-            trial_multiplier: 1,
-        };
+        )
+        .with_fault(FaultPlan::none().with_loss(0.15));
         let report = run_duel_cell(&cell, &small_cfg());
         assert!(report.name.contains("faults[loss=0.15]"), "{}", report.name);
         assert!(
@@ -680,13 +640,8 @@ mod tests {
 
     #[test]
     fn crash_broadcast_cell_agrees() {
-        let cell = BroadcastCell {
-            n: 5,
-            first_epoch: 4,
-            adversary: AdversarySpec::NoJam,
-            fault: FaultPlan::none().with_crash(1, 2, 6, true),
-            trial_multiplier: 1,
-        };
+        let cell = BroadcastCell::new(5, 4, AdversarySpec::NoJam)
+            .with_fault(FaultPlan::none().with_crash(1, 2, 6, true));
         let cfg = ConformanceConfig {
             trials: 25,
             ..small_cfg()
@@ -716,7 +671,7 @@ mod tests {
             let mut bob = BobProtocol::new(profile);
             let schedule = DuelSchedule::new(6);
             let partition = Partition::pair();
-            let mut adv = RepAsSlotAdversary::duel(jammed.build());
+            let mut adv = RepAsSlotAdversary::duel(jammed.build(0));
             let out = run_exact_faulted(
                 &mut [&mut alice, &mut bob],
                 &mut adv,
@@ -730,7 +685,7 @@ mod tests {
             out.ledger.max_node_cost() as f64
         });
         let fast: Vec<f64> = run_trials(cfg.trials, cfg.fast_seed(), cfg.parallelism, |_, rng| {
-            let mut adv = AdversarySpec::NoJam.build();
+            let mut adv = AdversarySpec::NoJam.build(0);
             run_duel_faulted(
                 &profile,
                 &mut adv,
@@ -749,16 +704,14 @@ mod tests {
 
     #[test]
     fn reports_are_deterministic() {
-        let cell = DuelCell {
-            error_rate: 0.05,
-            start_epoch: 6,
-            adversary: AdversarySpec::Budgeted {
+        let cell = DuelCell::new(
+            0.05,
+            6,
+            AdversarySpec::Budgeted {
                 budget: 256,
                 fraction: 1.0,
             },
-            fault: FaultPlan::none(),
-            trial_multiplier: 1,
-        };
+        );
         let cfg = ConformanceConfig {
             trials: 20,
             ..small_cfg()
@@ -780,13 +733,7 @@ mod tests {
 
     #[test]
     fn trial_multiplier_scales_the_cell_sample() {
-        let cell = DuelCell {
-            error_rate: 0.05,
-            start_epoch: 6,
-            adversary: AdversarySpec::NoJam,
-            fault: FaultPlan::none(),
-            trial_multiplier: 3,
-        };
+        let cell = DuelCell::new(0.05, 6, AdversarySpec::NoJam).with_trial_multiplier(3);
         let cfg = ConformanceConfig {
             trials: 10,
             ..small_cfg()

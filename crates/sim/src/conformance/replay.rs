@@ -44,7 +44,8 @@ pub struct DuelReplay {
 
 /// Replays a duel trace through mirror [`AliceState`]/[`BobState`] machines.
 ///
-/// `trace` must come from a run over [`Partition::pair`]
+/// `trace` must come from a run over
+/// [`Partition::pair`](rcb_channel::partition::Partition::pair)
 /// (node 0 = Alice, node 1 = Bob) on `schedule`; records must be the
 /// complete prefix of the run (the default for an ample-capacity trace).
 pub fn replay_duel_trace<P: DuelProfile>(
@@ -201,7 +202,8 @@ impl BroadcastReplay {
     }
 }
 
-/// Replays a 1-to-n trace over [`Partition::uniform`]`(n)`.
+/// Replays a 1-to-n trace over
+/// [`Partition::uniform`](rcb_channel::partition::Partition::uniform)`(n)`.
 ///
 /// The trace records listeners but not per-node send decisions, so the full
 /// [`OneToNNode`](rcb_core::one_to_n::OneToNNode) machine cannot be

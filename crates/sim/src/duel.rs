@@ -122,7 +122,7 @@ pub fn run_duel_checked<P: DuelProfile>(
     }
 }
 
-fn run_duel_core<P: DuelProfile>(
+pub(crate) fn run_duel_core<P: DuelProfile>(
     profile: &P,
     adversary: &mut dyn RepetitionAdversary,
     rng: &mut RcbRng,

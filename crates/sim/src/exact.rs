@@ -1,7 +1,7 @@
 //! The reference engine: every slot resolved through the channel substrate.
 //!
 //! General over any node set implementing
-//! [`SlotProtocol`](rcb_core::protocol::SlotProtocol) and any
+//! [`SlotProtocol`] and any
 //! [`SlotAdversary`]. Used directly for small configurations, for the
 //! spoofing experiments (only this engine supports payload injection), and
 //! as the ground truth the fast engines are cross-validated against.
@@ -116,7 +116,7 @@ pub fn run_exact_checked(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_exact_core(
+pub(crate) fn run_exact_core(
     protocols: &mut [&mut dyn SlotProtocol],
     adversary: &mut dyn SlotAdversary,
     schedule: &dyn Schedule,

@@ -174,7 +174,7 @@ pub fn run_broadcast_checked(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_broadcast_core(
+pub(crate) fn run_broadcast_core(
     params: &OneToNParams,
     n: usize,
     sources: &[usize],

@@ -26,6 +26,13 @@
 //! every engine via the `*_faulted` entry points; [`error`] carries the
 //! typed harness failures ([`SimError`], [`TrialFailure`]) surfaced by the
 //! `*_checked` entry points and [`runner::run_trials_isolated`].
+//!
+//! [`scenario`] is the **canonical front door**: a declarative
+//! [`ScenarioSpec`] (workload, engine, adversary, faults, seed policy,
+//! trials) with one checked run path that subsumes the per-engine
+//! `run_*`/`_faulted`/`_checked` entry-point matrix. New code should build
+//! a spec; the legacy entry points remain as thin wrappers over the same
+//! cores for callers that already hold protocol/adversary instances.
 
 pub mod conformance;
 pub mod duel;
@@ -37,9 +44,10 @@ pub mod lowerbound;
 pub mod outcome;
 pub mod reduction;
 pub mod runner;
+pub mod scenario;
 
 pub use conformance::{
-    default_grid, run_grid, AdversarySpec, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
+    default_grid, run_grid, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
 };
 pub use duel::{run_duel, run_duel_checked, run_duel_faulted, DuelConfig};
 pub use error::{SimError, TrialFailure};
@@ -52,3 +60,7 @@ pub use faults::{BatteryFault, CrashFault, FaultConfigError, FaultPlan, LossFaul
 pub use outcome::{BroadcastOutcome, DuelOutcome};
 pub use reduction::{simulate_reduction, ReductionOutcome};
 pub use runner::{run_trials, run_trials_isolated, Parallelism};
+pub use scenario::{
+    find_scenario, registry, AdversarySpec, BroadcastWorkload, DuelProtocol, DuelWorkload, Engine,
+    NamedScenario, Outcome, ScenarioSpec, SeedPolicy, Workload, FAST_STREAM_SALT,
+};

@@ -4,7 +4,7 @@
 //! parameter cell. [`run_trials`] fans trial indices out over `std::thread`
 //! scoped workers; every trial gets its own deterministic RNG stream
 //! derived from `(master_seed, trial_index)` via
-//! [`SeedSequence`](rcb_mathkit::rng::SeedSequence), so results are
+//! [`SeedSequence`], so results are
 //! bit-identical regardless of thread count or scheduling.
 
 use rcb_mathkit::rng::{RcbRng, SeedSequence};
@@ -29,7 +29,8 @@ pub enum Parallelism {
     /// itself a `run_trials` worker (every core is already busy running
     /// sibling trials, so fanning out again only oversubscribes).
     Auto,
-    /// Exactly this many workers (1 = sequential). Unlike [`Auto`], a
+    /// Exactly this many workers (1 = sequential). Unlike
+    /// [`Auto`](Parallelism::Auto), a
     /// nested `Fixed(n)` is honoured: the caller asked for `n` by name.
     Fixed(usize),
 }

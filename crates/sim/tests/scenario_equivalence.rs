@@ -1,0 +1,396 @@
+//! Golden equivalence: `ScenarioSpec::run_*` against the legacy entry
+//! points it subsumes.
+//!
+//! The scenario layer promises *bit-identical* behavior — same outcomes,
+//! same slot counts, same FNV-1a checksum folds — for every (workload,
+//! engine, adversary, faults) combination the repo ships. This suite pins
+//! that promise on the two shipped catalogs:
+//!
+//! * every cell of the conformance differ's default grid, on both engines;
+//! * every named registry entry behind `rcbsim scenario run`.
+//!
+//! Each spec is replayed through a hand-built legacy harness that calls
+//! `run_duel_faulted` / `run_broadcast_faulted` / `run_exact_faulted`
+//! directly, mirroring the constructions `ScenarioSpec` performs. A drift
+//! in either direction — the spec layer or the legacy path — fails here.
+//!
+//! A property test additionally pins that a spec with an empty `FaultPlan`
+//! replays the *clean* (unfaulted) entry point byte for byte, including
+//! the caller's RNG stream position afterwards.
+
+use proptest::prelude::*;
+use rcb_adversary::rep_strategies::{BudgetedRepBlocker, KeepAliveBlocker, NoJamRep, RandomRep};
+use rcb_adversary::traits::RepetitionAdversary;
+use rcb_adversary::RepAsSlotAdversary;
+use rcb_baselines::ksy::KsyProfile;
+use rcb_channel::partition::Partition;
+use rcb_core::one_to_n::{OneToNSchedule, OneToNSlotNode};
+use rcb_core::one_to_one::profile::{DuelProfile, Fig1Profile};
+use rcb_core::one_to_one::schedule::DuelSchedule;
+use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
+use rcb_core::protocol::SlotProtocol;
+use rcb_mathkit::rng::RcbRng;
+use rcb_sim::conformance::default_grid;
+use rcb_sim::duel::{run_duel, run_duel_faulted, DuelConfig};
+use rcb_sim::exact::{run_exact_faulted, ExactConfig};
+use rcb_sim::fast::{run_broadcast, run_broadcast_faulted, FastConfig};
+use rcb_sim::faults::FaultPlan;
+use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
+use rcb_sim::runner::run_trials;
+use rcb_sim::scenario::{
+    fnv1a, registry, AdversarySpec, BroadcastWorkload, DuelProtocol, DuelWorkload, Engine, Outcome,
+    ScenarioSpec, Workload, FNV_OFFSET,
+};
+
+// ---------------------------------------------------------------------------
+// Legacy harness: the pre-scenario construction for each (workload, engine)
+// ---------------------------------------------------------------------------
+
+/// The adversary construction `AdversarySpec::build` replaced, spelled out
+/// the way call sites used to write it.
+fn legacy_adversary(spec: &AdversarySpec, seed: u64) -> Box<dyn RepetitionAdversary> {
+    match *spec {
+        AdversarySpec::NoJam => Box::new(NoJamRep),
+        AdversarySpec::Budgeted { budget, fraction } => {
+            Box::new(BudgetedRepBlocker::new(budget, fraction))
+        }
+        AdversarySpec::KeepAlive { budget, fraction } => {
+            Box::new(KeepAliveBlocker::new(budget, fraction))
+        }
+        AdversarySpec::Random { budget, rate } => Box::new(RandomRep::new(rate, budget, seed)),
+    }
+}
+
+fn legacy_fast_duel(
+    w: &DuelWorkload,
+    adv: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    faults: &FaultPlan,
+) -> DuelOutcome {
+    let config = DuelConfig {
+        max_slots: w.max_slots,
+    };
+    match w.protocol {
+        DuelProtocol::Fig1 {
+            epsilon,
+            start_epoch,
+        } => run_duel_faulted(
+            &Fig1Profile::with_start_epoch(epsilon, start_epoch),
+            adv,
+            rng,
+            config,
+            faults,
+        ),
+        DuelProtocol::Ksy { start_epoch } => run_duel_faulted(
+            &KsyProfile::with_start_epoch(start_epoch),
+            adv,
+            rng,
+            config,
+            faults,
+        ),
+    }
+}
+
+fn legacy_exact_duel<P: DuelProfile + Copy>(
+    profile: P,
+    w: &DuelWorkload,
+    adversary: Box<dyn RepetitionAdversary>,
+    rng: &mut RcbRng,
+    faults: &FaultPlan,
+) -> DuelOutcome {
+    let mut alice = AliceProtocol::new(profile);
+    let mut bob = BobProtocol::new(profile);
+    let schedule = DuelSchedule::new(profile.start_epoch());
+    let partition = Partition::pair();
+    let mut adv = RepAsSlotAdversary::duel(adversary);
+    let out = run_exact_faulted(
+        &mut [&mut alice, &mut bob],
+        &mut adv,
+        &schedule,
+        &partition,
+        rng,
+        ExactConfig {
+            max_slots: w.exact_max_slots,
+        },
+        None,
+        faults,
+    );
+    let delivered = bob.received_message();
+    DuelOutcome {
+        delivered,
+        bob_premature: !delivered && out.completed,
+        alice_cost: out.ledger.node_cost(0),
+        bob_cost: out.ledger.node_cost(1),
+        adversary_cost: out.ledger.adversary_cost(),
+        slots: out.slots,
+        delivery_slot: None,
+        last_epoch: 0,
+        truncated: !out.completed,
+    }
+}
+
+fn legacy_exact_broadcast(
+    w: &BroadcastWorkload,
+    adversary: Box<dyn RepetitionAdversary>,
+    rng: &mut RcbRng,
+    faults: &FaultPlan,
+) -> BroadcastOutcome {
+    let mut nodes: Vec<OneToNSlotNode> = (0..w.n)
+        .map(|u| OneToNSlotNode::new(w.params, w.sources.contains(&u)))
+        .collect();
+    let mut refs: Vec<&mut dyn SlotProtocol> = Vec::new();
+    for node in nodes.iter_mut() {
+        refs.push(node);
+    }
+    let schedule = OneToNSchedule::new(w.params);
+    let partition = Partition::uniform(w.n);
+    let mut adv = RepAsSlotAdversary::broadcast(adversary, w.n);
+    let out = run_exact_faulted(
+        &mut refs,
+        &mut adv,
+        &schedule,
+        &partition,
+        rng,
+        ExactConfig {
+            max_slots: w.exact_max_slots,
+        },
+        None,
+        faults,
+    );
+    let informed = nodes.iter().filter(|v| v.received_message()).count();
+    BroadcastOutcome {
+        n: w.n,
+        informed,
+        all_informed: informed == w.n,
+        all_terminated: out.completed,
+        safety_terminations: 0,
+        node_costs: (0..w.n).map(|u| out.ledger.node_cost(u)).collect(),
+        adversary_cost: out.ledger.adversary_cost(),
+        slots: out.slots,
+        last_epoch: 0,
+        truncated: !out.completed,
+    }
+}
+
+/// One legacy trial for a spec: the dispatch `run_trial_raw` replaced.
+fn legacy_trial(spec: &ScenarioSpec, trial: u64, rng: &mut RcbRng) -> Outcome {
+    let seed = spec.seeds.adversary_seed(trial);
+    match (&spec.workload, spec.engine) {
+        (Workload::Duel(w), Engine::Fast) => {
+            let mut adv = legacy_adversary(&spec.adversary, seed);
+            Outcome::Duel(legacy_fast_duel(w, adv.as_mut(), rng, &spec.faults))
+        }
+        (Workload::Duel(w), Engine::Exact) => {
+            let adv = legacy_adversary(&spec.adversary, seed);
+            let out = match w.protocol {
+                DuelProtocol::Fig1 {
+                    epsilon,
+                    start_epoch,
+                } => legacy_exact_duel(
+                    Fig1Profile::with_start_epoch(epsilon, start_epoch),
+                    w,
+                    adv,
+                    rng,
+                    &spec.faults,
+                ),
+                DuelProtocol::Ksy { start_epoch } => legacy_exact_duel(
+                    KsyProfile::with_start_epoch(start_epoch),
+                    w,
+                    adv,
+                    rng,
+                    &spec.faults,
+                ),
+            };
+            Outcome::Duel(out)
+        }
+        (Workload::Broadcast(w), Engine::Fast) => {
+            let mut adv = legacy_adversary(&spec.adversary, seed);
+            Outcome::Broadcast(run_broadcast_faulted(
+                &w.params,
+                w.n,
+                &w.sources,
+                adv.as_mut(),
+                rng,
+                FastConfig {
+                    max_epoch: w.max_epoch,
+                },
+                &mut (),
+                &spec.faults,
+            ))
+        }
+        (Workload::Broadcast(w), Engine::Exact) => {
+            let adv = legacy_adversary(&spec.adversary, seed);
+            Outcome::Broadcast(legacy_exact_broadcast(w, adv, rng, &spec.faults))
+        }
+    }
+}
+
+/// Runs `spec` through both paths and asserts outcome equality, slot
+/// equality, and identical FNV-1a checksum folds over the whole batch.
+fn assert_spec_matches_legacy(spec: &ScenarioSpec, label: &str) {
+    spec.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+    let via_spec = spec.run_batch_raw();
+    let via_legacy = run_trials(
+        spec.trials,
+        spec.seeds.master,
+        spec.parallelism,
+        |i, rng| legacy_trial(spec, i, rng),
+    );
+    assert_eq!(via_spec.len(), via_legacy.len(), "{label}: trial counts");
+
+    let mut checksum_spec = FNV_OFFSET;
+    let mut checksum_legacy = FNV_OFFSET;
+    for (i, ((spec_out, err), legacy_out)) in via_spec.iter().zip(&via_legacy).enumerate() {
+        assert_eq!(spec_out, legacy_out, "{label}: trial {i} outcome diverged");
+        assert_eq!(
+            spec_out.slots(),
+            legacy_out.slots(),
+            "{label}: trial {i} slot count diverged"
+        );
+        // A surfaced engine cap must agree with the outcome's own flag —
+        // the typed error adds information, never changes the numbers.
+        let truncated = match spec_out {
+            Outcome::Duel(o) => o.truncated,
+            Outcome::Broadcast(o) => o.truncated,
+        };
+        assert_eq!(
+            err.is_some(),
+            truncated,
+            "{label}: trial {i} error/truncation mismatch"
+        );
+        checksum_spec = fnv1a(checksum_spec, &[spec.outcome_checksum(spec_out)]);
+        checksum_legacy = fnv1a(checksum_legacy, &[spec.outcome_checksum(legacy_out)]);
+    }
+    assert_eq!(
+        checksum_spec, checksum_legacy,
+        "{label}: batch checksum diverged"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Catalog sweeps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn default_grid_duel_cells_match_legacy() {
+    let (duel_cells, _) = default_grid();
+    assert!(!duel_cells.is_empty(), "grid must have duel cells");
+    for (i, cell) in duel_cells.iter().enumerate() {
+        for engine in [Engine::Fast, Engine::Exact] {
+            let trials = if engine == Engine::Fast { 4 } else { 2 };
+            let spec = cell
+                .spec
+                .clone()
+                .with_engine(engine)
+                .with_trials(trials)
+                .with_seed(0xC0FFEE ^ i as u64);
+            assert_spec_matches_legacy(&spec, &format!("duel grid cell {i} ({engine:?})"));
+        }
+    }
+}
+
+#[test]
+fn default_grid_broadcast_cells_match_legacy() {
+    let (_, broadcast_cells) = default_grid();
+    assert!(
+        !broadcast_cells.is_empty(),
+        "grid must have broadcast cells"
+    );
+    for (i, cell) in broadcast_cells.iter().enumerate() {
+        for engine in [Engine::Fast, Engine::Exact] {
+            let trials = if engine == Engine::Fast { 4 } else { 2 };
+            let spec = cell
+                .spec
+                .clone()
+                .with_engine(engine)
+                .with_trials(trials)
+                .with_seed(0xBCA57 ^ i as u64);
+            assert_spec_matches_legacy(&spec, &format!("broadcast grid cell {i} ({engine:?})"));
+        }
+    }
+}
+
+#[test]
+fn registry_entries_match_legacy() {
+    let entries = registry();
+    assert!(!entries.is_empty(), "registry must not be empty");
+    for entry in &entries {
+        // Registry trial counts are sized for perf runs; cap them so the
+        // equivalence check stays cheap while still folding a multi-trial
+        // checksum. Seeds are the entries' own pinned seeds.
+        let cap = if entry.spec.engine == Engine::Exact {
+            4
+        } else {
+            8
+        };
+        let spec = entry.spec.clone().with_trials(entry.spec.trials.min(cap));
+        assert_spec_matches_legacy(&spec, entry.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Empty fault plan ≡ clean path
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// A duel spec carrying `FaultPlan::none()` replays the *clean*
+    /// (pre-faults) entry point bit for bit, and leaves the caller's RNG
+    /// in the identical stream position.
+    #[test]
+    fn empty_fault_plan_spec_is_byte_identical_to_clean_duel(
+        seed in any::<u64>(),
+        budget in 0u64..4096,
+    ) {
+        let spec = ScenarioSpec::duel(DuelProtocol::fig1(0.1, 6))
+            .with_adversary(AdversarySpec::Budgeted { budget, fraction: 1.0 })
+            .with_faults(FaultPlan::none())
+            .with_seed(seed);
+
+        let mut rng_spec = RcbRng::new(seed);
+        let via_spec = spec.run(&mut rng_spec);
+
+        let mut rng_clean = RcbRng::new(seed);
+        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
+        let clean = run_duel(
+            &Fig1Profile::with_start_epoch(0.1, 6),
+            &mut adv,
+            &mut rng_clean,
+            DuelConfig::default(),
+        );
+
+        match via_spec {
+            Ok(out) => prop_assert_eq!(out.into_duel(), clean),
+            Err(_) => prop_assert!(clean.truncated, "spec errored but clean run completed"),
+        }
+        prop_assert_eq!(rng_spec, rng_clean, "RNG stream position must match");
+    }
+
+    /// Broadcast flavor of the same invariant, at a small fixed `n`.
+    #[test]
+    fn empty_fault_plan_spec_is_byte_identical_to_clean_broadcast(
+        seed in any::<u64>(),
+        budget in 0u64..2048,
+    ) {
+        let spec = ScenarioSpec::broadcast(5)
+            .with_adversary(AdversarySpec::Budgeted { budget, fraction: 1.0 })
+            .with_faults(FaultPlan::none())
+            .with_seed(seed);
+        let params = match &spec.workload {
+            Workload::Broadcast(w) => w.params,
+            Workload::Duel(_) => unreachable!(),
+        };
+
+        let mut rng_spec = RcbRng::new(seed);
+        let via_spec = spec.run(&mut rng_spec);
+
+        let mut rng_clean = RcbRng::new(seed);
+        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
+        let clean = run_broadcast(&params, 5, &mut adv, &mut rng_clean, FastConfig::default());
+
+        match via_spec {
+            Ok(out) => prop_assert_eq!(out.into_broadcast(), clean),
+            Err(_) => prop_assert!(clean.truncated, "spec errored but clean run completed"),
+        }
+        prop_assert_eq!(rng_spec, rng_clean, "RNG stream position must match");
+    }
+}

@@ -12,7 +12,7 @@ use rcb::prelude::*;
 use rcb_channel::battery::Battery;
 
 fn main() {
-    let profile = Fig1Profile::with_start_epoch(0.01, 8);
+    let base = ScenarioSpec::duel(DuelProtocol::fig1(0.01, 8));
     let node_capacity = 20_000u64;
 
     println!("device batteries: {node_capacity} units each\n");
@@ -21,29 +21,45 @@ fn main() {
 
     for factor in [1u64, 10, 100, 1000, 5000] {
         let jammer_capacity = node_capacity * factor;
+        let spec = base.clone().with_adversary(AdversarySpec::Budgeted {
+            budget: jammer_capacity,
+            fraction: 1.0,
+        });
         // Average over a few runs for stable numbers.
         let trials = 20;
         let mut alice_used = 0u64;
         let mut bob_used = 0u64;
         let mut jam_used = 0u64;
         let mut delivered = 0u64;
+        let mut truncated = 0u64;
         for seed in 0..trials {
-            let mut adv = BudgetedRepBlocker::new(jammer_capacity, 1.0);
             let mut rng = RcbRng::new(0xBA77E5 + seed + factor);
-            let out = run_duel(&profile, &mut adv, &mut rng, DuelConfig::default());
-            alice_used += out.alice_cost;
-            bob_used += out.bob_cost;
-            jam_used += out.adversary_cost;
-            delivered += out.delivered as u64;
+            match spec.run(&mut rng) {
+                Ok(outcome) => {
+                    let out = outcome.into_duel();
+                    alice_used += out.alice_cost;
+                    bob_used += out.bob_cost;
+                    jam_used += out.adversary_cost;
+                    delivered += out.delivered as u64;
+                }
+                Err(_) => truncated += 1,
+            }
         }
-        let (a, b, j) = (alice_used / trials, bob_used / trials, jam_used / trials);
+        let completed = (trials - truncated).max(1);
+        let (a, b, j) = (
+            alice_used / completed,
+            bob_used / completed,
+            jam_used / completed,
+        );
         let mut alice_battery = Battery::new(node_capacity);
         let mut bob_battery = Battery::new(node_capacity);
         let mut jam_battery = Battery::new(jammer_capacity);
         let alice_ok = alice_battery.spend(a);
         let bob_ok = bob_battery.spend(b);
         jam_battery.spend(j);
-        let verdict = if !(alice_ok && bob_ok) {
+        let verdict = if truncated > 0 {
+            "inconclusive (truncated runs)"
+        } else if !(alice_ok && bob_ok) {
             "devices dead"
         } else if jam_battery.fraction_used() > 0.9 {
             "jammer bankrupted"

@@ -23,7 +23,9 @@ fn run_one(label: &str, adversary: &mut dyn SlotAdversary, seed: u64) -> (String
     let partition = Partition::pair();
     let mut rng = RcbRng::new(seed);
     let mut trace = Trace::with_capacity(4096);
-    let out = run_exact(
+    // The checked entry point: a run that hits the engine slot cap comes
+    // back as a typed error instead of silently clipped numbers.
+    let out = run_exact_checked(
         &mut [&mut alice, &mut bob],
         adversary,
         &schedule,
@@ -31,7 +33,9 @@ fn run_one(label: &str, adversary: &mut dyn SlotAdversary, seed: u64) -> (String
         &mut rng,
         ExactConfig::default(),
         Some(&mut trace),
-    );
+        &FaultPlan::none(),
+    )
+    .unwrap_or_else(|e| panic!("{label}: truncated at the engine slot cap: {e}"));
     let jammed_slots = trace.records().iter().filter(|r| r.jam_mask != 0).count() as u64;
     (
         format!(

@@ -15,24 +15,41 @@ use rcb::prelude::*;
 use rcb_core::one_to_one::schedule::DuelSchedule;
 use rcb_sim::runner::{run_trials, Parallelism};
 
-fn mean_duel_cost<P: DuelProfile + Sync>(profile: &P, budget: u64, trials: u64) -> f64 {
-    let outs = run_trials(trials, 0xD0E1 ^ budget, Parallelism::Auto, |_, rng| {
-        let mut adv = BudgetedRepBlocker::new(budget, 1.0);
-        run_duel(profile, &mut adv, rng, DuelConfig::default())
-    });
-    outs.iter().map(|o| o.max_cost() as f64).sum::<f64>() / trials as f64
+/// Mean max-party cost over completed trials; truncated trials (engine
+/// slot cap) are dropped from the mean and counted.
+fn mean_duel_cost(protocol: DuelProtocol, budget: u64, trials: u64) -> (f64, u64) {
+    let spec = ScenarioSpec::duel(protocol)
+        .with_adversary(AdversarySpec::Budgeted {
+            budget,
+            fraction: 1.0,
+        })
+        .with_trials(trials)
+        .with_seed(0xD0E1 ^ budget);
+    let mut sum = 0.0;
+    let mut completed = 0u64;
+    let mut truncated = 0u64;
+    for result in spec.run_batch() {
+        match result {
+            Ok(out) => {
+                sum += out.max_cost() as f64;
+                completed += 1;
+            }
+            Err(_) => truncated += 1,
+        }
+    }
+    (sum / completed.max(1) as f64, truncated)
 }
 
-fn mean_combined_cost(budget: u64, trials: u64) -> f64 {
+fn mean_combined_cost(budget: u64, trials: u64) -> (f64, u64) {
     let fig1 = Fig1Profile::with_start_epoch(0.01, 8);
     let ksy = KsyProfile::new();
-    let outs = run_trials(trials, 0xC0DE ^ budget, Parallelism::Auto, |_, rng| {
+    let results = run_trials(trials, 0xC0DE ^ budget, Parallelism::Auto, |_, rng| {
         let mut alice = combined_alice(fig1, ksy);
         let mut bob = combined_bob(fig1, ksy);
         let mut adv = BudgetedPhaseBlocker::new(budget, 1.0);
         let schedule = DuelSchedule::new(8);
         let partition = Partition::pair();
-        let out = run_exact(
+        run_exact_checked(
             &mut [&mut alice, &mut bob],
             &mut adv,
             &schedule,
@@ -42,25 +59,39 @@ fn mean_combined_cost(budget: u64, trials: u64) -> f64 {
                 max_slots: (budget * 64).max(1 << 20),
             },
             None,
-        );
-        out.ledger.max_node_cost() as f64
+            &FaultPlan::none(),
+        )
+        .map(|out| out.ledger.max_node_cost() as f64)
     });
-    outs.iter().sum::<f64>() / trials as f64
+    let mut sum = 0.0;
+    let mut completed = 0u64;
+    let mut truncated = 0u64;
+    for r in results {
+        match r {
+            Ok(c) => {
+                sum += c;
+                completed += 1;
+            }
+            Err(_) => truncated += 1,
+        }
+    }
+    (sum / completed.max(1) as f64, truncated)
 }
 
 fn main() {
-    let fig1 = Fig1Profile::with_start_epoch(0.01, 8);
-    let ksy = KsyProfile::new();
     let trials = 40;
 
     println!("         T | Fig-1 (sqrt T) | KSY (T^0.62) | Combined (min)");
     println!("-----------+----------------+--------------+---------------");
+    let mut total_truncated = 0u64;
     for budget in [0u64, 1 << 8, 1 << 12, 1 << 16, 1 << 19] {
-        let f = mean_duel_cost(&fig1, budget, trials);
-        let k = mean_duel_cost(&ksy, budget, trials);
-        let c = mean_combined_cost(budget, 10);
+        let (f, tf) = mean_duel_cost(DuelProtocol::fig1(0.01, 8), budget, trials);
+        let (k, tk) = mean_duel_cost(DuelProtocol::ksy(), budget, trials);
+        let (c, tc) = mean_combined_cost(budget, 10);
+        total_truncated += tf + tk + tc;
         println!("{budget:>10} | {f:>14.1} | {k:>12.1} | {c:>13.1}");
     }
+    println!("\ntruncated trials (excluded from means): {total_truncated}");
 
     println!();
     println!("KSY wins at T = 0 (no ln(1/ε) floor); Figure 1 pulls ahead as T");

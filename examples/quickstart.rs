@@ -11,7 +11,7 @@ fn main() {
     // Failure probability ε = 1%: Bob receives m with probability ≥ 99%.
     // (The start epoch is scaled down from the paper's 11 + lg ln(8/ε) so
     // the T = 0 baseline cost is small; see DESIGN.md §2.)
-    let profile = Fig1Profile::with_start_epoch(0.01, 8);
+    let base = ScenarioSpec::duel(DuelProtocol::fig1(0.01, 8));
 
     println!("adversary budget T | Alice cost | Bob cost | slots | delivered");
     println!("-------------------+------------+----------+-------+----------");
@@ -19,13 +19,21 @@ fn main() {
         // The canonical attacker: silence whole phases until the budget is
         // gone (Lemma 1 says suffix/blanket jamming is the adversary's
         // strongest shape).
-        let mut adversary = BudgetedRepBlocker::new(budget, 1.0);
+        let spec = base.clone().with_adversary(AdversarySpec::Budgeted {
+            budget,
+            fraction: 1.0,
+        });
         let mut rng = RcbRng::new(2014);
-        let out = run_duel(&profile, &mut adversary, &mut rng, DuelConfig::default());
-        println!(
-            "{:>18} | {:>10} | {:>8} | {:>5} | {}",
-            out.adversary_cost, out.alice_cost, out.bob_cost, out.slots, out.delivered
-        );
+        match spec.run(&mut rng) {
+            Ok(outcome) => {
+                let out = outcome.into_duel();
+                println!(
+                    "{:>18} | {:>10} | {:>8} | {:>5} | {}",
+                    out.adversary_cost, out.alice_cost, out.bob_cost, out.slots, out.delivered
+                );
+            }
+            Err(e) => println!("{budget:>18} | TRUNCATED before completion: {e}"),
+        }
     }
 
     println!();

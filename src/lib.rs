@@ -18,15 +18,19 @@
 //!
 //! ## Quickstart
 //!
+//! A run is a declarative [`ScenarioSpec`](rcb_sim::scenario::ScenarioSpec):
+//! workload, engine, adversary, faults, seeds, and trial count in one
+//! validated value (DESIGN.md §10).
+//!
 //! ```
 //! use rcb::prelude::*;
 //!
 //! // Alice sends m to Bob while an adversary blanket-jams early phases
 //! // with a budget of 10_000 slot-units.
-//! let profile = Fig1Profile::with_start_epoch(0.01, 8);
-//! let mut adversary = BudgetedRepBlocker::new(10_000, 1.0);
+//! let spec = ScenarioSpec::duel(DuelProtocol::fig1(0.01, 8))
+//!     .with_adversary(AdversarySpec::Budgeted { budget: 10_000, fraction: 1.0 });
 //! let mut rng = RcbRng::new(42);
-//! let outcome = run_duel(&profile, &mut adversary, &mut rng, DuelConfig::default());
+//! let outcome = spec.run(&mut rng).expect("well under the engine cap").into_duel();
 //!
 //! assert!(outcome.delivered, "after the budget is spent, m gets through");
 //! // Resource competitiveness: the good nodes spend far less than T.
@@ -38,12 +42,21 @@
 //! ```
 //! use rcb::prelude::*;
 //!
-//! let params = OneToNParams::practical();
-//! let mut adversary = NoJamRep; // T = 0: the efficiency-function regime
+//! // Defaults: practical Figure-2 constants, node 0 informed, no jamming
+//! // (T = 0: the efficiency-function regime).
+//! let spec = ScenarioSpec::broadcast(32);
 //! let mut rng = RcbRng::new(7);
-//! let out = run_broadcast(&params, 32, &mut adversary, &mut rng, FastConfig::default());
+//! let out = spec.run(&mut rng).expect("unjammed runs finish early").into_broadcast();
 //! assert!(out.all_informed && out.all_terminated);
 //! ```
+//!
+//! The pinned perf scenarios are published as a named registry:
+//! [`registry()`](rcb_sim::scenario::registry) /
+//! [`find_scenario`](rcb_sim::scenario::find_scenario) in the library,
+//! `rcbsim scenario list` / `rcbsim scenario run <name>` on the CLI. The
+//! low-level entry points (`run_duel`, `run_broadcast`, `run_exact`, and
+//! their checked/faulted variants) remain for direct engine access and
+//! are bit-identical to the spec path.
 
 pub use rcb_adversary as adversary;
 pub use rcb_analysis as analysis;
@@ -78,7 +91,7 @@ pub mod prelude {
     pub use rcb_mathkit::rng::{RcbRng, SeedSequence};
     pub use rcb_sim::conformance::{
         default_grid, replay_broadcast_trace, replay_duel_trace, run_broadcast_cell, run_duel_cell,
-        run_grid, AdversarySpec, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
+        run_grid, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
     };
     pub use rcb_sim::duel::{run_duel, run_duel_checked, run_duel_faulted, DuelConfig};
     pub use rcb_sim::error::{SimError, TrialFailure};
@@ -89,6 +102,10 @@ pub mod prelude {
     pub use rcb_sim::faults::{FaultConfigError, FaultPlan};
     pub use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
     pub use rcb_sim::runner::{run_trials, run_trials_isolated, Parallelism};
+    pub use rcb_sim::scenario::{
+        find_scenario, registry, AdversarySpec, BroadcastWorkload, DuelProtocol, DuelWorkload,
+        Engine, NamedScenario, Outcome, ScenarioSpec, SeedPolicy, Workload,
+    };
 }
 
 /// Compiles the README's code blocks as doctests so the front-page example

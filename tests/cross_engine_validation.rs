@@ -39,28 +39,20 @@ fn assert_conformant(report: &CellReport) {
 
 #[test]
 fn duel_engines_agree_without_jamming() {
-    let cell = DuelCell {
-        error_rate: 0.05,
-        start_epoch: 6,
-        adversary: AdversarySpec::NoJam,
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    let cell = DuelCell::new(0.05, 6, AdversarySpec::NoJam);
     assert_conformant(&run_duel_cell(&cell, &cfg(10)));
 }
 
 #[test]
 fn duel_engines_agree_under_blanket_jamming() {
-    let cell = DuelCell {
-        error_rate: 0.05,
-        start_epoch: 6,
-        adversary: AdversarySpec::Budgeted {
+    let cell = DuelCell::new(
+        0.05,
+        6,
+        AdversarySpec::Budgeted {
             budget: 512,
             fraction: 1.0,
         },
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    );
     assert_conformant(&run_duel_cell(&cell, &cfg(30)));
 }
 
@@ -69,16 +61,14 @@ fn duel_engines_agree_under_blanket_jamming() {
 /// bookkeeping (thresholds, phase lengths, budget spend) shows up here.
 #[test]
 fn duel_engines_agree_under_heavy_jamming() {
-    let cell = DuelCell {
-        error_rate: 0.05,
-        start_epoch: 6,
-        adversary: AdversarySpec::Budgeted {
+    let cell = DuelCell::new(
+        0.05,
+        6,
+        AdversarySpec::Budgeted {
             budget: 2048,
             fraction: 1.0,
         },
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    );
     assert_conformant(&run_duel_cell(&cell, &cfg(50)));
 }
 
@@ -87,16 +77,14 @@ fn duel_engines_agree_under_heavy_jamming() {
 /// produces the most structured (bimodal) cost distributions.
 #[test]
 fn duel_engines_agree_in_distribution() {
-    let cell = DuelCell {
-        error_rate: 0.05,
-        start_epoch: 6,
-        adversary: AdversarySpec::KeepAlive {
+    let cell = DuelCell::new(
+        0.05,
+        6,
+        AdversarySpec::KeepAlive {
             budget: 1024,
             fraction: 1.0,
         },
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    );
     let report = run_duel_cell(&cell, &cfg(70));
     assert_conformant(&report);
     // The harness must actually have tested the cost distributions.
@@ -106,13 +94,8 @@ fn duel_engines_agree_in_distribution() {
 /// 1-to-n: exact engine at slot level vs the fast repetition engine.
 #[test]
 fn broadcast_engines_agree_on_small_network() {
-    let cell = BroadcastCell {
-        n: 5,
-        first_epoch: 4, // keep the exact engine's slot count tame
-        adversary: AdversarySpec::NoJam,
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    // first_epoch 4 keeps the exact engine's slot count tame.
+    let cell = BroadcastCell::new(5, 4, AdversarySpec::NoJam);
     let c = ConformanceConfig {
         trials: 25,
         ..cfg(1000)
@@ -124,16 +107,14 @@ fn broadcast_engines_agree_on_small_network() {
 /// budget unit per slot, exactly the fast engine's accounting.
 #[test]
 fn broadcast_engines_agree_under_jamming() {
-    let cell = BroadcastCell {
-        n: 5,
-        first_epoch: 4,
-        adversary: AdversarySpec::Budgeted {
+    let cell = BroadcastCell::new(
+        5,
+        4,
+        AdversarySpec::Budgeted {
             budget: 256,
             fraction: 1.0,
         },
-        fault: FaultPlan::none(),
-        trial_multiplier: 1,
-    };
+    );
     let c = ConformanceConfig {
         trials: 25,
         ..cfg(2000)
@@ -147,16 +128,15 @@ fn broadcast_engines_agree_under_jamming() {
 /// both implementations.
 #[test]
 fn duel_engines_agree_under_loss_and_jamming() {
-    let cell = DuelCell {
-        error_rate: 0.05,
-        start_epoch: 6,
-        adversary: AdversarySpec::Budgeted {
+    let cell = DuelCell::new(
+        0.05,
+        6,
+        AdversarySpec::Budgeted {
             budget: 512,
             fraction: 1.0,
         },
-        fault: FaultPlan::none().with_loss(0.15),
-        trial_multiplier: 1,
-    };
+    )
+    .with_fault(FaultPlan::none().with_loss(0.15));
     assert_conformant(&run_duel_cell(&cell, &cfg(90)));
 }
 
@@ -165,13 +145,8 @@ fn duel_engines_agree_under_loss_and_jamming() {
 /// accounting between the engines diverges here.
 #[test]
 fn broadcast_engines_agree_under_crash_restart() {
-    let cell = BroadcastCell {
-        n: 5,
-        first_epoch: 4,
-        adversary: AdversarySpec::NoJam,
-        fault: FaultPlan::none().with_crash(1, 2, 6, true),
-        trial_multiplier: 1,
-    };
+    let cell = BroadcastCell::new(5, 4, AdversarySpec::NoJam)
+        .with_fault(FaultPlan::none().with_crash(1, 2, 6, true));
     let c = ConformanceConfig {
         trials: 25,
         ..cfg(3000)
