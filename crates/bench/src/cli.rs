@@ -180,6 +180,9 @@ COMMANDS:
   perf       pinned perf grid → BENCH_<git-sha>.json (slots/sec,
              trials/sec, peak RSS, determinism checksums per engine)
              --scale standard|smoke (default standard)
+             --cpus N[,N...] (default 1; one timed full-grid pass per
+             worker count, recorded as a scaling curve; per-scenario
+             stats and RSS come from the first pass)
              --out PATH (default BENCH_<sha>.json; `-` skips the write)
              --against FILE (compare to a recorded baseline)
              --threshold F (default 0.35)   --report-only true
@@ -580,6 +583,25 @@ fn cmd_conformance(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `--cpus 1,2,4` → worker counts for the perf scaling passes.
+fn parse_cpus_list(raw: &str) -> Result<Vec<u64>, String> {
+    let cpus = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.parse::<u64>() {
+            Ok(0) | Err(_) => Err(format!(
+                "--cpus entries must be positive integers, got `{s}`"
+            )),
+            Ok(n) => Ok(n),
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    if cpus.is_empty() {
+        return Err("--cpus needs at least one worker count".into());
+    }
+    Ok(cpus)
+}
+
 fn cmd_perf(args: &Args) -> Result<String, String> {
     let seed: u64 = args.get("seed", 2014)?;
     let scale = PerfScale::parse(&args.get_str("scale", "standard"))?;
@@ -589,10 +611,11 @@ fn cmd_perf(args: &Args) -> Result<String, String> {
     }
     let report_only: bool = args.get("report-only", false)?;
     let notes = args.get_str("notes", "");
+    let cpus = parse_cpus_list(&args.get_str("cpus", "1"))?;
     let sha = perf::git_short_sha();
     let out_path = args.get_str("out", &format!("BENCH_{sha}.json"));
 
-    let report = perf::run_perf(seed, scale, &sha, &notes);
+    let report = perf::run_perf(seed, scale, &sha, &notes, &cpus);
     let mut text = report.render();
     if out_path != "-" {
         std::fs::write(&out_path, report.to_json().render())
@@ -645,6 +668,15 @@ mod tests {
         assert!(parse(&["--"]).is_err(), "bare dashes");
         let a = parse(&["duel", "--budget", "abc"]).expect("parse ok");
         assert!(a.get::<u64>("budget", 0).is_err(), "type error surfaces");
+    }
+
+    #[test]
+    fn cpus_list_parses_and_rejects_garbage() {
+        assert_eq!(parse_cpus_list("1").expect("single"), vec![1]);
+        assert_eq!(parse_cpus_list("1, 2,4").expect("list"), vec![1, 2, 4]);
+        assert!(parse_cpus_list("").is_err(), "empty list");
+        assert!(parse_cpus_list("0").is_err(), "zero workers");
+        assert!(parse_cpus_list("two").is_err(), "non-numeric");
     }
 
     #[test]

@@ -3,11 +3,17 @@
 //! Sweeps are axis-mutations of a base [`ScenarioSpec`]: the caller builds
 //! one spec (protocol, blocking fraction, trials, seed) and the sweep
 //! re-stamps the adversary budget and the per-cell seed for each point.
+//! All per-budget specs are built up front and executed through the
+//! trial-granular work-stealing executor
+//! ([`run_specs`](rcb_sim::executor::run_specs)), so cores stay busy
+//! across cell boundaries; the per-cell seed folds (and therefore every
+//! trial's RNG stream) are unchanged from the historical serial loop.
 
 use rcb_analysis::report::{Cell, SweepSeries};
 use rcb_sim::error::SimError;
+use rcb_sim::executor::run_specs;
 use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
-use rcb_sim::scenario::{AdversarySpec, DuelProtocol, Outcome, ScenarioSpec, Workload};
+use rcb_sim::scenario::{AdversarySpec, DuelProtocol, ScenarioSpec, Workload};
 
 /// Base duel spec for budget sweeps: the canonical full-phase blocker at
 /// fraction `q`, budget re-stamped per sweep point.
@@ -79,17 +85,24 @@ pub fn duel_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<DuelSweepP
         matches!(base.workload, Workload::Duel(_)),
         "duel_budget_sweep needs a duel base spec"
     );
-    budgets
+    let specs: Vec<ScenarioSpec> = budgets
         .iter()
         .map(|&budget| {
-            let spec = base
-                .clone()
+            base.clone()
                 .with_adversary(base.adversary.with_budget(budget))
-                .with_seed(base.seeds.master ^ budget);
-            let results: Vec<Result<DuelOutcome, SimError>> = spec
-                .run_batch()
+                .with_seed(base.seeds.master ^ budget)
+        })
+        .collect();
+    budgets
+        .iter()
+        .zip(run_specs(&specs, base.parallelism))
+        .map(|(&budget, batch)| {
+            let results: Vec<Result<DuelOutcome, SimError>> = batch
                 .into_iter()
-                .map(|r| r.map(Outcome::into_duel))
+                .map(|(outcome, err)| match err {
+                    None => Ok(outcome.into_duel()),
+                    Some(e) => Err(e),
+                })
                 .collect();
             let (outcomes, truncated) = split_truncated(results);
             summarize_duels(budget, outcomes, truncated)
@@ -149,17 +162,24 @@ pub fn broadcast_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<Broad
         Workload::Broadcast(w) => w.n,
         Workload::Duel(_) => panic!("broadcast_budget_sweep needs a broadcast base spec"),
     };
-    budgets
+    let specs: Vec<ScenarioSpec> = budgets
         .iter()
         .map(|&budget| {
-            let spec = base
-                .clone()
+            base.clone()
                 .with_adversary(base.adversary.with_budget(budget))
-                .with_seed(base.seeds.master ^ budget ^ ((n as u64) << 32));
-            let results: Vec<Result<BroadcastOutcome, SimError>> = spec
-                .run_batch()
+                .with_seed(base.seeds.master ^ budget ^ ((n as u64) << 32))
+        })
+        .collect();
+    budgets
+        .iter()
+        .zip(run_specs(&specs, base.parallelism))
+        .map(|(&budget, batch)| {
+            let results: Vec<Result<BroadcastOutcome, SimError>> = batch
                 .into_iter()
-                .map(|r| r.map(Outcome::into_broadcast))
+                .map(|(outcome, err)| match err {
+                    None => Ok(outcome.into_broadcast()),
+                    Some(e) => Err(e),
+                })
                 .collect();
             let (outcomes, truncated) = split_truncated(results);
             summarize_broadcasts(budget, n, outcomes, truncated)
@@ -294,6 +314,27 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!(pts[0].mean_cost.mean > 0.0);
         assert!(pts[0].mean_t > 0.0);
+    }
+
+    #[test]
+    fn sweep_results_match_per_cell_run_batch() {
+        // The work-stealing execution must reproduce the historical
+        // serial per-cell path bit-for-bit: same seed folds, same trials.
+        use rcb_sim::scenario::Outcome;
+        let base = duel_sweep_base(DuelProtocol::fig1(0.1, 7), 1.0, 5, 3);
+        let budgets = [512u64, 1024, 4096];
+        let pts = duel_budget_sweep(&base, &budgets);
+        for (&budget, pt) in budgets.iter().zip(&pts) {
+            let direct: Vec<_> = base
+                .clone()
+                .with_adversary(base.adversary.with_budget(budget))
+                .with_seed(base.seeds.master ^ budget)
+                .run_batch()
+                .into_iter()
+                .filter_map(|r| r.ok().map(Outcome::into_duel))
+                .collect();
+            assert_eq!(pt.outcomes, direct, "budget {budget} diverged");
+        }
     }
 
     #[test]

@@ -63,6 +63,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
@@ -267,13 +274,31 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        let unit = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        // Surrogate pairs: JSON escapes non-BMP code points
+                        // as UTF-16 pairs (`\uD83D\uDE00` is U+1F600),
+                        // so a high surrogate must combine with an
+                        // immediately following low one; either half alone
+                        // encodes no scalar value and is rejected.
+                        let code = if (0xD800..=0xDBFF).contains(&unit) {
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err("unpaired high surrogate in \\u escape".into());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err("unpaired high surrogate in \\u escape".into());
+                            }
+                            *pos += 6;
+                            0x1_0000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..=0xDFFF).contains(&unit) {
+                            return Err("unpaired low surrogate in \\u escape".into());
+                        } else {
+                            unit
+                        };
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
                 }
@@ -291,6 +316,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Four hex digits starting at `at` (the payload of a `\u` escape).
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
@@ -374,6 +406,43 @@ mod tests {
             Json::parse("\"\\u0041\\u00e9\"").expect("parse"),
             Json::Str("Aé".into())
         );
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_to_non_bmp_scalars() {
+        // U+1F600 😀 escapes as the UTF-16 pair d83d/de00.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").expect("parse"),
+            Json::Str("😀".into())
+        );
+        // Mixed with BMP escapes and raw text, and at string edges.
+        assert_eq!(
+            Json::parse("\"x\\ud83d\\ude00\\u0041y\"").expect("parse"),
+            Json::Str("x😀Ay".into())
+        );
+        // The maximum code point U+10FFFF = dbff/dfff.
+        assert_eq!(
+            Json::parse("\"\\udbff\\udfff\"").expect("parse"),
+            Json::Str("\u{10FFFF}".into())
+        );
+        // Raw (unescaped) non-BMP text still round-trips through the writer.
+        let doc = Json::Str("emoji 😀 and beyond \u{10FFFF}".into());
+        assert_eq!(Json::parse(&doc.render()).expect("reparse"), doc);
+    }
+
+    #[test]
+    fn unpaired_surrogate_escapes_are_rejected() {
+        for bad in [
+            "\"\\ud83d\"",        // lone high at end of string
+            "\"\\ud83dx\"",       // high followed by raw text
+            "\"\\ud83d\\n\"",     // high followed by a non-\u escape
+            "\"\\ud83d\\ud83d\"", // high followed by another high
+            "\"\\ude00\"",        // lone low
+            "\"\\ude00\\ud83d\"", // pair in the wrong order
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.contains("surrogate"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -8,18 +8,27 @@
 //! A comparator (`rcbsim perf --against <file>`) flags changes beyond a
 //! noise threshold.
 //!
-//! Methodology (DESIGN.md §9):
+//! Methodology (DESIGN.md §9, §11):
 //!
-//! * Trials run **sequentially** on one core with the same
-//!   `SeedSequence`-derived per-trial RNG streams as `run_trials`, so the
-//!   numbers isolate engine hot-path cost from scheduler noise and are
-//!   comparable across machines with different core counts.
+//! * Each scenario's trials run with the same `SeedSequence`-derived
+//!   per-trial RNG streams as `run_trials`. The default is one serial pass
+//!   (`--cpus 1`), which isolates engine hot-path cost from scheduler
+//!   noise; `--cpus 1,2,4` additionally times one full-grid pass per
+//!   worker count through [`rcb_sim::executor::run_cells`] and records a
+//!   scaling curve. Per-scenario stats come from the **first** pass, and
+//!   every scenario records the worker count it was measured under.
 //! * Every scenario also folds its outcomes into an FNV-1a checksum. The
 //!   checksum is a *determinism witness*: two runs at the same seed, scale,
-//!   and schema must agree bit-for-bit, and an optimisation that claims to
-//!   be output-preserving must leave it unchanged.
+//!   and schema must agree bit-for-bit — including across passes at
+//!   different worker counts, which the harness asserts — and an
+//!   optimisation that claims to be output-preserving must leave it
+//!   unchanged.
 //! * Peak RSS is `VmHWM`, reset per scenario where `/proc` allows it (see
-//!   [`rss`]).
+//!   [`rss`]). `VmHWM` is process-wide, so attribution is only meaningful
+//!   when scenarios run one at a time: a multi-worker pass records no RSS,
+//!   and a serial pass distinguishes *exclusive* measurements (reset took
+//!   effect before every repeat) from *cumulative* upper bounds (probe
+//!   present, reset denied) from *absent* (no probe; JSON `null`).
 
 pub mod json;
 pub mod rss;
@@ -27,12 +36,17 @@ pub mod rss;
 use std::time::Instant;
 
 use rcb_mathkit::rng::SeedSequence;
-use rcb_sim::scenario::{fnv1a, registry, FNV_OFFSET};
+use rcb_sim::executor::run_cells;
+use rcb_sim::runner::Parallelism;
+use rcb_sim::scenario::{fnv1a, registry, NamedScenario, FNV_OFFSET};
 
 use json::Json;
 
-/// Version of the `BENCH_*.json` schema this build reads and writes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version of the `BENCH_*.json` schema this build writes. Reads accept
+/// v1 (pre-scaling: no per-scenario `cpus`, `peak_rss_kib` as a bare
+/// number with 0 standing for "unavailable", no `rss_exclusive`, no
+/// `scaling` array) and map it onto the v2 shape.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Default regression threshold for the comparator: a scenario regresses
 /// when throughput drops below `baseline / (1 + threshold)`. 0.35 absorbs
@@ -93,10 +107,31 @@ pub struct ScenarioResult {
     pub wall_secs: f64,
     pub slots_per_sec: f64,
     pub trials_per_sec: f64,
-    /// 0 when the platform exposes no peak-RSS probe.
-    pub peak_rss_kib: u64,
+    /// Worker count of the pass this measurement came from. The comparator
+    /// normalises throughput by it, so baselines recorded at different
+    /// `--cpus` stay comparable (with a warning).
+    pub cpus: u64,
+    /// Peak RSS in KiB, `None` when the platform exposes no probe or the
+    /// measuring pass was multi-worker (attribution impossible).
+    pub peak_rss_kib: Option<u64>,
+    /// True only when the value is this scenario's own peak: serial pass,
+    /// probe present, and the high-water-mark reset took effect before
+    /// every repeat. False with `Some(_)` means a cumulative upper bound.
+    pub rss_exclusive: bool,
     /// FNV-1a fold of every trial outcome, hex — the determinism witness.
     pub checksum: String,
+}
+
+/// One point on the whole-grid scaling curve: a timed pass at a fixed
+/// worker count. `speedup` is relative to the 1-cpu pass (or the first
+/// pass when none was requested); `efficiency = speedup / cpus`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    pub cpus: u64,
+    pub wall_secs: f64,
+    pub slots_per_sec: f64,
+    pub speedup: f64,
+    pub efficiency: f64,
 }
 
 /// A full harness run, 1:1 with one `BENCH_*.json` file.
@@ -108,16 +143,83 @@ pub struct BenchReport {
     pub scale: String,
     /// Timed repetitions per scenario (fastest run is the one recorded).
     pub repeats: u64,
+    /// Host logical-core count, for provenance; per-scenario `cpus` is the
+    /// worker count actually used.
     pub cpus: u64,
     /// Free-form provenance, e.g. before/after numbers for a recorded
     /// optimisation.
     pub notes: String,
     pub scenarios: Vec<ScenarioResult>,
+    /// One entry per `--cpus` value, in request order.
+    pub scaling: Vec<ScalingPoint>,
 }
 
 // ---------------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------------
+
+/// Raw per-scenario measurement from one pass, before report assembly.
+struct Measured {
+    slots: u64,
+    checksum: u64,
+    wall_secs: f64,
+    peak_rss_kib: Option<u64>,
+    rss_exclusive: bool,
+}
+
+/// Times one scenario: `repeats` runs, fastest wall recorded, outcomes
+/// asserted identical across repeats. RSS is only probed on a `serial`
+/// pass — `VmHWM` is process-wide, so concurrent cells would attribute
+/// each other's allocations.
+fn measure_scenario(entry: &NamedScenario, seed: u64, scale: PerfScale, serial: bool) -> Measured {
+    let spec = &entry.spec;
+    let trials = scale.trials(spec.trials);
+    let seeds = SeedSequence::new(seed);
+    let mut best_wall = f64::INFINITY;
+    let mut first: Option<(u64, u64)> = None; // (slots, checksum)
+    let mut peak: Option<u64> = None;
+    let mut probe_ok = true;
+    let mut reset_ok = true;
+    for _ in 0..scale.repeats() {
+        if serial {
+            reset_ok &= rss::reset_peak_rss();
+        }
+        let start = Instant::now();
+        let mut slots = 0u64;
+        let mut checksum = FNV_OFFSET;
+        for i in 0..trials {
+            let mut rng = seeds.rng(i);
+            let outcome = spec
+                .run_trial(i, &mut rng)
+                .expect("pinned perf scenarios complete within their caps");
+            slots += outcome.slots();
+            checksum = fnv1a(checksum, &[spec.outcome_checksum(&outcome)]);
+        }
+        best_wall = best_wall.min(start.elapsed().as_secs_f64().max(1e-9));
+        if serial {
+            match rss::peak_rss_kib() {
+                Some(kib) => peak = Some(peak.unwrap_or(0).max(kib)),
+                None => probe_ok = false,
+            }
+        }
+        match first {
+            None => first = Some((slots, checksum)),
+            Some((s, c)) => assert!(
+                s == slots && c == checksum,
+                "{}: repeat diverged — engine is nondeterministic",
+                entry.name
+            ),
+        }
+    }
+    let (slots, checksum) = first.expect("repeats >= 1");
+    Measured {
+        slots,
+        checksum,
+        wall_secs: best_wall,
+        peak_rss_kib: if serial { peak } else { None },
+        rss_exclusive: serial && probe_ok && reset_ok && peak.is_some(),
+    }
+}
 
 /// Runs the pinned grid — the [`registry`] of named scenarios, which owns
 /// the ids, parameters, and base trial counts — and returns the report
@@ -126,52 +228,98 @@ pub struct BenchReport {
 ///
 /// The harness's `seed` parameter overrides each spec's own seed policy:
 /// a baseline file records one seed for the whole grid.
-pub fn run_perf(seed: u64, scale: PerfScale, git_sha: &str, notes: &str) -> BenchReport {
-    let mut scenarios = Vec::new();
-    for entry in registry() {
-        let spec = entry.spec;
-        let trials = scale.trials(spec.trials);
-        let seeds = SeedSequence::new(seed);
-        let mut best_wall = f64::INFINITY;
-        let mut first: Option<(u64, u64)> = None; // (slots, checksum)
-        let mut peak_rss = 0u64;
-        for _ in 0..scale.repeats() {
-            rss::reset_peak_rss();
-            let start = Instant::now();
-            let mut slots = 0u64;
-            let mut checksum = FNV_OFFSET;
-            for i in 0..trials {
-                let mut rng = seeds.rng(i);
-                let outcome = spec
-                    .run_trial(i, &mut rng)
-                    .expect("pinned perf scenarios complete within their caps");
-                slots += outcome.slots();
-                checksum = fnv1a(checksum, &[spec.outcome_checksum(&outcome)]);
-            }
-            best_wall = best_wall.min(start.elapsed().as_secs_f64().max(1e-9));
-            peak_rss = peak_rss.max(rss::peak_rss_kib().unwrap_or(0));
-            match first {
-                None => first = Some((slots, checksum)),
-                Some((s, c)) => assert!(
-                    s == slots && c == checksum,
-                    "{}: repeat diverged — engine is nondeterministic",
-                    entry.name
-                ),
-            }
-        }
-        let (slots, checksum) = first.expect("repeats >= 1");
-        scenarios.push(ScenarioResult {
-            id: entry.name.to_string(),
-            engine: spec.engine_label().to_string(),
-            trials,
-            slots,
-            wall_secs: best_wall,
-            slots_per_sec: slots as f64 / best_wall,
-            trials_per_sec: trials as f64 / best_wall,
-            peak_rss_kib: peak_rss,
-            checksum: format!("{checksum:016x}"),
+///
+/// `cpus` lists the worker counts to time the grid under, one full pass
+/// each (empty ⇒ `[1]`). Per-scenario stats come from the first pass;
+/// every pass must reproduce the first pass's slots and checksums exactly
+/// (the executor's schedule-independence guarantee) or the harness panics.
+pub fn run_perf(
+    seed: u64,
+    scale: PerfScale,
+    git_sha: &str,
+    notes: &str,
+    cpus: &[u64],
+) -> BenchReport {
+    let cpus_list: Vec<u64> = if cpus.is_empty() {
+        vec![1]
+    } else {
+        cpus.iter().map(|&k| k.max(1)).collect()
+    };
+    let entries = registry();
+
+    struct Pass {
+        cpus: u64,
+        wall_secs: f64,
+        measured: Vec<Measured>,
+    }
+    let mut passes: Vec<Pass> = Vec::new();
+    for &k in &cpus_list {
+        let start = Instant::now();
+        let measured = run_cells(&entries, Parallelism::Fixed(k as usize), |_, entry| {
+            measure_scenario(entry, seed, scale, k <= 1)
+        });
+        passes.push(Pass {
+            cpus: k,
+            wall_secs: start.elapsed().as_secs_f64().max(1e-9),
+            measured,
         });
     }
+
+    let primary = &passes[0];
+    for pass in &passes[1..] {
+        for ((entry, a), b) in entries.iter().zip(&primary.measured).zip(&pass.measured) {
+            assert!(
+                a.slots == b.slots && a.checksum == b.checksum,
+                "{}: outcomes diverged between the {}-cpu and {}-cpu passes — \
+                 the executor must be schedule-independent",
+                entry.name,
+                primary.cpus,
+                pass.cpus
+            );
+        }
+    }
+
+    let total_slots: u64 = primary.measured.iter().map(|m| m.slots).sum();
+    let ref_wall = passes
+        .iter()
+        .find(|p| p.cpus == 1)
+        .map(|p| p.wall_secs)
+        .unwrap_or(passes[0].wall_secs);
+    let scaling = passes
+        .iter()
+        .map(|p| {
+            let speedup = ref_wall / p.wall_secs;
+            ScalingPoint {
+                cpus: p.cpus,
+                wall_secs: p.wall_secs,
+                slots_per_sec: total_slots as f64 / p.wall_secs,
+                speedup,
+                efficiency: speedup / p.cpus as f64,
+            }
+        })
+        .collect();
+
+    let scenarios = entries
+        .iter()
+        .zip(&primary.measured)
+        .map(|(entry, m)| {
+            let trials = scale.trials(entry.spec.trials);
+            ScenarioResult {
+                id: entry.name.to_string(),
+                engine: entry.spec.engine_label().to_string(),
+                trials,
+                slots: m.slots,
+                wall_secs: m.wall_secs,
+                slots_per_sec: m.slots as f64 / m.wall_secs,
+                trials_per_sec: trials as f64 / m.wall_secs,
+                cpus: primary.cpus,
+                peak_rss_kib: m.peak_rss_kib,
+                rss_exclusive: m.rss_exclusive,
+                checksum: format!("{:016x}", m.checksum),
+            }
+        })
+        .collect();
+
     BenchReport {
         schema_version: SCHEMA_VERSION,
         git_sha: git_sha.to_string(),
@@ -183,6 +331,7 @@ pub fn run_perf(seed: u64, scale: PerfScale, git_sha: &str, notes: &str) -> Benc
             .unwrap_or(1),
         notes: notes.to_string(),
         scenarios,
+        scaling,
     }
 }
 
@@ -213,13 +362,43 @@ impl ScenarioResult {
             ("wall_secs", Json::Num(self.wall_secs)),
             ("slots_per_sec", Json::Num(self.slots_per_sec)),
             ("trials_per_sec", Json::Num(self.trials_per_sec)),
-            ("peak_rss_kib", Json::Num(self.peak_rss_kib as f64)),
+            ("cpus", Json::Num(self.cpus as f64)),
+            (
+                "peak_rss_kib",
+                match self.peak_rss_kib {
+                    Some(kib) => Json::Num(kib as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("rss_exclusive", Json::Bool(self.rss_exclusive)),
             ("checksum", Json::Str(self.checksum.clone())),
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    fn from_json(v: &Json, version: u64) -> Result<Self, String> {
         let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field `{key}`"));
+        let (cpus, peak_rss_kib, rss_exclusive) = if version == 1 {
+            // v1 had no per-scenario cpus (always a serial pass), wrote 0
+            // for "no probe", and could not distinguish a cumulative
+            // reading from an exclusive one — treat every v1 value as
+            // non-exclusive.
+            let raw = field("peak_rss_kib")?
+                .as_u64()
+                .ok_or("`peak_rss_kib` not a count")?;
+            (1, (raw > 0).then_some(raw), false)
+        } else {
+            let peak = match field("peak_rss_kib")? {
+                Json::Null => None,
+                other => Some(other.as_u64().ok_or("`peak_rss_kib` not a count or null")?),
+            };
+            (
+                field("cpus")?.as_u64().ok_or("`cpus` not a count")?,
+                peak,
+                field("rss_exclusive")?
+                    .as_bool()
+                    .ok_or("`rss_exclusive` not a bool")?,
+            )
+        };
         Ok(Self {
             id: field("id")?
                 .as_str()
@@ -240,13 +419,42 @@ impl ScenarioResult {
             trials_per_sec: field("trials_per_sec")?
                 .as_f64()
                 .ok_or("`trials_per_sec` not a number")?,
-            peak_rss_kib: field("peak_rss_kib")?
-                .as_u64()
-                .ok_or("`peak_rss_kib` not a count")?,
+            cpus,
+            peak_rss_kib,
+            rss_exclusive,
             checksum: field("checksum")?
                 .as_str()
                 .ok_or("`checksum` not a string")?
                 .to_string(),
+        })
+    }
+}
+
+impl ScalingPoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cpus", Json::Num(self.cpus as f64)),
+            ("wall_secs", Json::Num(self.wall_secs)),
+            ("slots_per_sec", Json::Num(self.slots_per_sec)),
+            ("speedup", Json::Num(self.speedup)),
+            ("efficiency", Json::Num(self.efficiency)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field `{key}`"));
+        Ok(Self {
+            cpus: field("cpus")?.as_u64().ok_or("`cpus` not a count")?,
+            wall_secs: field("wall_secs")?
+                .as_f64()
+                .ok_or("`wall_secs` not a number")?,
+            slots_per_sec: field("slots_per_sec")?
+                .as_f64()
+                .ok_or("`slots_per_sec` not a number")?,
+            speedup: field("speedup")?.as_f64().ok_or("`speedup` not a number")?,
+            efficiency: field("efficiency")?
+                .as_f64()
+                .ok_or("`efficiency` not a number")?,
         })
     }
 }
@@ -267,6 +475,10 @@ impl BenchReport {
                 "scenarios",
                 Json::Arr(self.scenarios.iter().map(ScenarioResult::to_json).collect()),
             ),
+            (
+                "scaling",
+                Json::Arr(self.scaling.iter().map(ScalingPoint::to_json).collect()),
+            ),
         ])
     }
 
@@ -275,12 +487,22 @@ impl BenchReport {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("missing `schema_version`")?;
-        if version != SCHEMA_VERSION {
+        if version == 0 || version > SCHEMA_VERSION {
             return Err(format!(
-                "schema version {version} unsupported (this build reads {SCHEMA_VERSION})"
+                "schema version {version} unsupported (this build reads 1..={SCHEMA_VERSION})"
             ));
         }
         let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field `{key}`"));
+        let scaling = if version == 1 {
+            Vec::new()
+        } else {
+            field("scaling")?
+                .as_arr()
+                .ok_or("`scaling` not an array")?
+                .iter()
+                .map(ScalingPoint::from_json)
+                .collect::<Result<_, _>>()?
+        };
         Ok(Self {
             schema_version: version,
             git_sha: field("git_sha")?
@@ -305,8 +527,9 @@ impl BenchReport {
                 .as_arr()
                 .ok_or("`scenarios` not an array")?
                 .iter()
-                .map(ScenarioResult::from_json)
+                .map(|s| ScenarioResult::from_json(s, version))
                 .collect::<Result<_, _>>()?,
+            scaling,
         })
     }
 
@@ -320,26 +543,51 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "perf grid @ {} (seed {}, scale {}, {} cpus)",
+            "perf grid @ {} (seed {}, scale {}, host {} cores)",
             self.git_sha, self.seed, self.scale, self.cpus
         );
         let _ = writeln!(
             out,
-            "| scenario | engine | trials | slots/sec | trials/sec | peak RSS (KiB) | checksum |"
+            "| scenario | engine | trials | cpus | slots/sec | trials/sec | peak RSS (KiB) | checksum |"
         );
-        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---|");
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---|");
         for s in &self.scenarios {
+            let rss = match (s.peak_rss_kib, s.rss_exclusive) {
+                (Some(kib), true) => kib.to_string(),
+                (Some(kib), false) => format!("{kib} (cumulative)"),
+                (None, _) => "—".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {:.3e} | {:.1} | {} | {} |",
+                "| {} | {} | {} | {} | {:.3e} | {:.1} | {} | {} |",
                 s.id,
                 s.engine,
                 s.trials,
+                s.cpus,
                 s.slots_per_sec,
                 s.trials_per_sec,
-                s.peak_rss_kib,
+                rss,
                 s.checksum
             );
+        }
+        if !self.scaling.is_empty() {
+            let _ = writeln!(out, "scaling (one full-grid pass per worker count):");
+            let _ = writeln!(
+                out,
+                "| cpus | wall (s) | slots/sec | speedup | efficiency |"
+            );
+            let _ = writeln!(out, "|---:|---:|---:|---:|---:|");
+            for p in &self.scaling {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.3} | {:.3e} | {:.2}× | {:.0}% |",
+                    p.cpus,
+                    p.wall_secs,
+                    p.slots_per_sec,
+                    p.speedup,
+                    p.efficiency * 100.0
+                );
+            }
         }
         out
     }
@@ -367,25 +615,31 @@ impl Comparison {
 }
 
 /// Compares `current` against `baseline`, scenario by scenario (matched by
-/// id). Throughput is judged on `slots_per_sec`; a drop past
-/// `1/(1+threshold)` regresses, a gain past `1+threshold` is reported as
-/// an improvement. Checksum drift at matching (seed, scale, trials) is
-/// reported as a warning — it means the engines' *outputs* changed, which
-/// an optimisation PR must explain.
+/// id). Throughput is judged on **per-core** `slots_per_sec` (divided by
+/// the scenario's recorded worker count), so a baseline measured at
+/// `--cpus 1` and a run at `--cpus 4` stay comparable — a mismatch is
+/// additionally called out, since contention still skews per-core numbers.
+/// A drop past `1/(1+threshold)` regresses, a gain past `1+threshold` is
+/// reported as an improvement. Checksum drift at matching (seed, scale,
+/// trials) is reported as a warning — it means the engines' *outputs*
+/// changed, which an optimisation PR must explain. Peak RSS is compared
+/// (advisory growth warning) only when **both** sides carry exclusive
+/// measurements; cumulative or absent readings are skipped and counted.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Comparison {
     use std::fmt::Write as _;
     let mut text = String::new();
     let mut regressions = Vec::new();
     let mut improvements = Vec::new();
+    let mut rss_skipped = 0usize;
     let _ = writeln!(
         text,
-        "comparing against baseline @ {} (threshold ±{:.0}%)",
+        "comparing against baseline @ {} (threshold ±{:.0}%, per-core slots/sec)",
         baseline.git_sha,
         threshold * 100.0
     );
     let _ = writeln!(
         text,
-        "| scenario | baseline slots/s | current slots/s | Δ | verdict |"
+        "| scenario | baseline slots/s·core | current slots/s·core | Δ | verdict |"
     );
     let _ = writeln!(text, "|---|---:|---:|---:|---|");
     for cur in &current.scenarios {
@@ -393,12 +647,15 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
             let _ = writeln!(
                 text,
                 "| {} | — | {:.3e} | — | new scenario |",
-                cur.id, cur.slots_per_sec
+                cur.id,
+                cur.slots_per_sec / cur.cpus.max(1) as f64
             );
             continue;
         };
-        let ratio = if base.slots_per_sec > 0.0 {
-            cur.slots_per_sec / base.slots_per_sec
+        let base_core = base.slots_per_sec / base.cpus.max(1) as f64;
+        let cur_core = cur.slots_per_sec / cur.cpus.max(1) as f64;
+        let ratio = if base_core > 0.0 {
+            cur_core / base_core
         } else {
             1.0
         };
@@ -415,11 +672,19 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
             text,
             "| {} | {:.3e} | {:.3e} | {:+.1}% | {} |",
             cur.id,
-            base.slots_per_sec,
-            cur.slots_per_sec,
+            base_core,
+            cur_core,
             (ratio - 1.0) * 100.0,
             verdict
         );
+        if base.cpus != cur.cpus {
+            let _ = writeln!(
+                text,
+                "  warning: `{}` measured at {} cpus vs baseline's {} — per-core comparison \
+                 only approximates contention effects",
+                cur.id, cur.cpus, base.cpus
+            );
+        }
         let comparable = baseline.seed == current.seed
             && baseline.scale == current.scale
             && base.trials == cur.trials;
@@ -430,15 +695,40 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
                 cur.id, base.checksum, cur.checksum
             );
         }
+        match (
+            base.rss_exclusive,
+            cur.rss_exclusive,
+            base.peak_rss_kib,
+            cur.peak_rss_kib,
+        ) {
+            (true, true, Some(b), Some(c)) => {
+                if b > 0 && c as f64 > b as f64 * (1.0 + threshold) {
+                    let _ = writeln!(
+                        text,
+                        "  warning: `{}` peak RSS grew {} → {} KiB (advisory, not gated)",
+                        cur.id, b, c
+                    );
+                }
+            }
+            _ => rss_skipped += 1,
+        }
     }
     for base in &baseline.scenarios {
         if !current.scenarios.iter().any(|c| c.id == base.id) {
             let _ = writeln!(
                 text,
                 "| {} | {:.3e} | — | — | missing from current run |",
-                base.id, base.slots_per_sec
+                base.id,
+                base.slots_per_sec / base.cpus.max(1) as f64
             );
         }
+    }
+    if rss_skipped > 0 {
+        let _ = writeln!(
+            text,
+            "RSS comparison skipped for {rss_skipped} scenario(s): cumulative or absent \
+             measurements on at least one side"
+        );
     }
     let _ = writeln!(
         text,
@@ -476,19 +766,85 @@ mod tests {
                     wall_secs: 1000.0 / rate,
                     slots_per_sec: *rate,
                     trials_per_sec: 10.0 * rate / 1000.0,
-                    peak_rss_kib: 4096,
+                    cpus: 1,
+                    peak_rss_kib: Some(4096),
+                    rss_exclusive: true,
                     checksum: "00000000000000aa".into(),
                 })
                 .collect(),
+            scaling: Vec::new(),
         }
     }
 
     #[test]
     fn schema_round_trips() {
-        let report = report_with(&[("duel_clean", 1.5e8), ("bcast_n8_jammed", 3.25e7)]);
+        let mut report = report_with(&[("duel_clean", 1.5e8), ("bcast_n8_jammed", 3.25e7)]);
+        report.scenarios[1].peak_rss_kib = None;
+        report.scenarios[1].rss_exclusive = false;
+        report.scaling = vec![
+            ScalingPoint {
+                cpus: 1,
+                wall_secs: 2.0,
+                slots_per_sec: 1.0e8,
+                speedup: 1.0,
+                efficiency: 1.0,
+            },
+            ScalingPoint {
+                cpus: 4,
+                wall_secs: 0.75,
+                slots_per_sec: 2.67e8,
+                speedup: 2.67,
+                efficiency: 0.67,
+            },
+        ];
         let text = report.to_json().render();
         let back = BenchReport::parse(&text).expect("parse");
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn v1_reports_parse_with_compat_defaults() {
+        // A pre-scaling baseline: no per-scenario cpus/rss_exclusive, RSS
+        // as a bare number with 0 for "unavailable", no scaling array.
+        let v1_scenario = |id: &str, rss: f64| {
+            Json::obj(vec![
+                ("id", Json::Str(id.into())),
+                ("engine", Json::Str("duel-fast".into())),
+                ("trials", Json::Num(10.0)),
+                ("slots", Json::Num(1000.0)),
+                ("wall_secs", Json::Num(0.5)),
+                ("slots_per_sec", Json::Num(2000.0)),
+                ("trials_per_sec", Json::Num(20.0)),
+                ("peak_rss_kib", Json::Num(rss)),
+                ("checksum", Json::Str("00000000000000aa".into())),
+            ])
+        };
+        let v1 = Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("git_sha", Json::Str("deadbee".into())),
+            ("seed", Json::Str("2014".into())),
+            ("scale", Json::Str("smoke".into())),
+            ("repeats", Json::Num(2.0)),
+            ("cpus", Json::Num(8.0)),
+            ("notes", Json::Str(String::new())),
+            (
+                "scenarios",
+                Json::Arr(vec![
+                    v1_scenario("duel_no_probe", 0.0),
+                    v1_scenario("duel_probed", 4096.0),
+                ]),
+            ),
+        ]);
+        let report = BenchReport::parse(&v1.render()).expect("v1 parses");
+        assert_eq!(report.schema_version, 1);
+        assert!(report.scaling.is_empty());
+        let a = &report.scenarios[0];
+        assert_eq!((a.cpus, a.peak_rss_kib, a.rss_exclusive), (1, None, false));
+        let b = &report.scenarios[1];
+        assert_eq!(
+            (b.cpus, b.peak_rss_kib, b.rss_exclusive),
+            (1, Some(4096), false)
+        );
     }
 
     #[test]
@@ -529,6 +885,19 @@ mod tests {
     }
 
     #[test]
+    fn cpus_mismatch_is_judged_per_core_with_warning() {
+        let baseline = report_with(&[("duel_clean", 1.0e8)]); // 1 cpu
+        let mut current = report_with(&[("duel_clean", 3.2e8)]);
+        current.scenarios[0].cpus = 4; // per-core 0.8e8: −20%, inside gate
+        let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        assert!(cmp.passed(), "{}", cmp.text);
+        // Raw 3.2e8 vs 1.0e8 would read as a 3.2× improvement; per-core
+        // normalisation must see through it.
+        assert!(cmp.improvements.is_empty(), "{}", cmp.text);
+        assert!(cmp.text.contains("measured at 4 cpus"), "{}", cmp.text);
+    }
+
+    #[test]
     fn checksum_drift_at_matching_config_warns() {
         let baseline = report_with(&[("duel_clean", 1.0e8)]);
         let mut drifted = report_with(&[("duel_clean", 1.0e8)]);
@@ -536,6 +905,38 @@ mod tests {
         let cmp = compare(&baseline, &drifted, DEFAULT_THRESHOLD);
         assert!(cmp.passed(), "drift warns but does not gate");
         assert!(cmp.text.contains("checksum drift"));
+    }
+
+    #[test]
+    fn exclusive_rss_growth_warns_without_gating() {
+        let baseline = report_with(&[("duel_clean", 1.0e8)]);
+        let mut grown = report_with(&[("duel_clean", 1.0e8)]);
+        grown.scenarios[0].peak_rss_kib = Some(4096 * 3);
+        let cmp = compare(&baseline, &grown, DEFAULT_THRESHOLD);
+        assert!(cmp.passed());
+        assert!(cmp.text.contains("peak RSS grew"), "{}", cmp.text);
+        assert!(!cmp.text.contains("skipped"), "{}", cmp.text);
+    }
+
+    #[test]
+    fn rss_comparison_skips_cumulative_and_absent_measurements() {
+        // A cumulative reading 100× the baseline must not warn: it is an
+        // upper bound over the whole process, not this scenario's peak.
+        let baseline = report_with(&[("duel_clean", 1.0e8), ("duel_jammed", 1.0e8)]);
+        let mut current = report_with(&[("duel_clean", 1.0e8), ("duel_jammed", 1.0e8)]);
+        current.scenarios[0].peak_rss_kib = Some(4096 * 100);
+        current.scenarios[0].rss_exclusive = false;
+        current.scenarios[1].peak_rss_kib = None;
+        current.scenarios[1].rss_exclusive = false;
+        let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD);
+        assert!(cmp.passed());
+        assert!(!cmp.text.contains("peak RSS grew"), "{}", cmp.text);
+        assert!(
+            cmp.text
+                .contains("RSS comparison skipped for 2 scenario(s)"),
+            "{}",
+            cmp.text
+        );
     }
 
     #[test]
@@ -552,8 +953,8 @@ mod tests {
     fn smoke_grid_runs_and_is_deterministic() {
         // The real grid at smoke scale: a few seconds, and two runs at the
         // same seed must produce identical checksums and slot counts.
-        let a = run_perf(2014, PerfScale::Smoke, "test", "");
-        let b = run_perf(2014, PerfScale::Smoke, "test", "");
+        let a = run_perf(2014, PerfScale::Smoke, "test", "", &[1]);
+        let b = run_perf(2014, PerfScale::Smoke, "test", "", &[1]);
         assert_eq!(a.scenarios.len(), b.scenarios.len());
         for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
             assert_eq!(x.id, y.id);
@@ -561,7 +962,21 @@ mod tests {
             assert_eq!(x.checksum, y.checksum, "{}", x.id);
             assert!(x.slots > 0, "{} simulated nothing", x.id);
             assert!(x.slots_per_sec > 0.0);
+            assert_eq!(x.cpus, 1);
         }
+        // A serial pass on Linux attributes RSS exclusively (probe + reset
+        // both available); elsewhere the states degrade honestly.
+        for s in &a.scenarios {
+            if s.rss_exclusive {
+                assert!(
+                    s.peak_rss_kib.is_some(),
+                    "{}: exclusive without value",
+                    s.id
+                );
+            }
+        }
+        assert_eq!(a.scaling.len(), 1);
+        assert!((a.scaling[0].speedup - 1.0).abs() < 1e-12);
         // And a re-run of the same binary passes its own comparator. The
         // timing threshold is loosened here: this test shares the machine
         // with the rest of the (parallel, unoptimised) suite, where the
@@ -571,6 +986,23 @@ mod tests {
         let cmp = compare(&a, &b, 2.0);
         assert!(cmp.passed(), "{}", cmp.text);
         assert!(!cmp.text.contains("checksum drift"));
+    }
+
+    #[test]
+    fn multi_cpu_passes_agree_and_record_a_scaling_curve() {
+        // run_perf itself panics if the 2-worker pass produces different
+        // slots or checksums than the serial pass, so completing at all is
+        // the schedule-independence assertion.
+        let r = run_perf(2014, PerfScale::Smoke, "test", "", &[1, 2]);
+        assert_eq!(r.scaling.len(), 2);
+        assert_eq!((r.scaling[0].cpus, r.scaling[1].cpus), (1, 2));
+        assert!((r.scaling[0].speedup - 1.0).abs() < 1e-12);
+        assert!(r.scaling[1].speedup > 0.0);
+        assert!(r.scaling[1].efficiency > 0.0);
+        // Per-scenario stats come from the first (serial) pass.
+        for s in &r.scenarios {
+            assert_eq!(s.cpus, 1, "{}", s.id);
+        }
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! `VmHWM` in `/proc/self/status` is the process-wide high-water mark of
 //! resident memory. Writing `5` to `/proc/self/clear_refs` resets it, which
 //! lets the harness attribute a peak to each scenario instead of reporting
-//! one cumulative maximum. On platforms (or sandboxes) where either file is
-//! unavailable the probes return `None` and the JSON records 0 — a missing
-//! measurement, never a crash.
+//! one cumulative maximum. A measurement is therefore in one of three
+//! states the harness must keep distinct (see `ScenarioResult` in the
+//! parent module):
+//!
+//! 1. **exclusive** — the reset succeeded before the scenario ran and the
+//!    probe read back afterwards: the value is this scenario's own peak;
+//! 2. **cumulative** — the probe works but the reset is denied (sandboxed
+//!    `/proc/self/clear_refs`): the value is the process-wide high-water
+//!    mark up to this point, an upper bound only;
+//! 3. **absent** — no probe at all (non-Linux): there is no value, which
+//!    the JSON records as `null`, never as a fake `0`.
 
 /// Current peak resident set size in KiB, if the platform exposes it.
 pub fn peak_rss_kib() -> Option<u64> {

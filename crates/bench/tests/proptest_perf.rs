@@ -1,7 +1,10 @@
 //! Property tests for the perf telemetry schema and comparator.
 
 use proptest::prelude::*;
-use rcb_bench::perf::{compare, BenchReport, ScenarioResult, DEFAULT_THRESHOLD, SCHEMA_VERSION};
+use rcb_bench::perf::json::Json;
+use rcb_bench::perf::{
+    compare, BenchReport, ScalingPoint, ScenarioResult, DEFAULT_THRESHOLD, SCHEMA_VERSION,
+};
 
 /// Builds a valid Unicode string from arbitrary code points, exercising
 /// escapes and multi-byte characters.
@@ -32,6 +35,9 @@ fn report_from(
             .map(|(i, &(trials, rate, rss))| {
                 let trials = trials % (1 << 20);
                 let rate = rate.abs().max(1e-6);
+                // Cycle through the three RSS states so every serialised
+                // shape (null / cumulative / exclusive) gets exercised.
+                let peak_rss_kib = (rss % 3 != 0).then_some(rss % (1 << 30));
                 ScenarioResult {
                     id: format!("cell_{i}"),
                     engine: "duel-fast".into(),
@@ -40,11 +46,20 @@ fn report_from(
                     wall_secs: (trials * 17) as f64 / rate,
                     slots_per_sec: rate,
                     trials_per_sec: trials as f64 / ((trials * 17) as f64 / rate),
-                    peak_rss_kib: rss % (1 << 30),
+                    cpus: 1,
+                    peak_rss_kib,
+                    rss_exclusive: peak_rss_kib.is_some() && rss % 3 == 2,
                     checksum: format!("{:016x}", trials ^ rss),
                 }
             })
             .collect(),
+        scaling: vec![ScalingPoint {
+            cpus: (seed % 8) + 1,
+            wall_secs: (seed % 1000) as f64 / 100.0 + 0.01,
+            slots_per_sec: (seed % 997) as f64 + 1.0,
+            speedup: (seed % 7) as f64 + 0.5,
+            efficiency: ((seed % 7) as f64 + 0.5) / ((seed % 8) + 1) as f64,
+        }],
     }
 }
 
@@ -63,6 +78,40 @@ proptest! {
         let back = BenchReport::parse(&text);
         prop_assert!(back.is_ok(), "reparse failed: {:?}", back.err());
         prop_assert_eq!(report, back.unwrap());
+    }
+
+    /// `Json::Str` survives render → parse for every Unicode scalar,
+    /// including astral-plane characters the renderer emits raw.
+    #[test]
+    fn json_strings_round_trip_over_the_full_char_range(
+        codes in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let s = string_from(&codes);
+        let text = Json::Str(s.clone()).render();
+        let back = Json::parse(&text);
+        prop_assert!(back.is_ok(), "reparse failed: {:?}", back.err());
+        let parsed = back.unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    /// The same strings forced through `\uXXXX` escaping — every char
+    /// encoded as its UTF-16 units, so non-BMP characters arrive as
+    /// surrogate pairs the parser must recombine.
+    #[test]
+    fn json_forced_utf16_escapes_round_trip(
+        codes in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let s = string_from(&codes);
+        let mut text = String::from("[\"");
+        for unit in s.encode_utf16() {
+            text.push_str(&format!("\\u{unit:04x}"));
+        }
+        text.push_str("\"]");
+        let back = Json::parse(&text);
+        prop_assert!(back.is_ok(), "reparse failed: {:?}", back.err());
+        let arr = back.unwrap();
+        let items = arr.as_arr().expect("array document");
+        prop_assert_eq!(items[0].as_str(), Some(s.as_str()));
     }
 
     /// Throughput wiggle inside the noise threshold never regresses; a

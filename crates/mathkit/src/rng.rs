@@ -94,6 +94,30 @@ impl RcbRng {
         (m >> 64) as u64
     }
 
+    /// Fills `out` with the generator's next `out.len()` raw outputs.
+    ///
+    /// **Stream-order invariant:** element `j` is exactly the value the
+    /// `j`-th call to [`next_u64`](RngCore::next_u64) would have returned,
+    /// so a call site may switch between the loop form and the batched form
+    /// without perturbing any downstream draw — recorded checksums depend
+    /// on this. Batch consumers (block samplers, the scenario executor's
+    /// chunked trial claiming) use it to hoist RNG access out of their hot
+    /// loops.
+    pub fn fill_u64s(&mut self, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = self.next();
+        }
+    }
+
+    /// Fills `out` with uniform `[0, 1)` doubles. Same stream-order
+    /// invariant as [`fill_u64s`](Self::fill_u64s): element `j` is
+    /// bit-identical to the `j`-th [`f64`](Self::f64) call.
+    pub fn fill_f64s(&mut self, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.f64();
+        }
+    }
+
     /// A fresh generator whose stream is independent of `self`'s future
     /// output (derived by hashing the current state through SplitMix64).
     pub fn split(&mut self) -> RcbRng {
@@ -177,6 +201,16 @@ impl SeedSequence {
     pub fn rng(&self, index: u64) -> RcbRng {
         RcbRng::new(self.child(index))
     }
+
+    /// Batched child derivation: writes children `start .. start + out.len()`
+    /// into `out`, so `out[j] == self.child(start + j)`. The scenario
+    /// executor derives a claimed chunk's trial seeds in one pass with this
+    /// instead of re-entering [`child`](Self::child) per trial.
+    pub fn children_into(&self, start: u64, out: &mut [u64]) {
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = self.child(start.wrapping_add(j as u64));
+        }
+    }
 }
 
 /// Convenience: the `index`-th independent generator for `master`.
@@ -254,6 +288,47 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn fill_u64s_matches_elementwise_stream() {
+        let mut batched = RcbRng::new(21);
+        let mut looped = RcbRng::new(21);
+        let mut buf = [0u64; 37];
+        batched.fill_u64s(&mut buf);
+        for (j, &v) in buf.iter().enumerate() {
+            assert_eq!(v, looped.next_u64(), "element {j} diverged");
+        }
+        // The generators are in identical states afterwards.
+        assert_eq!(batched.next_u64(), looped.next_u64());
+    }
+
+    #[test]
+    fn fill_f64s_matches_elementwise_stream() {
+        let mut batched = RcbRng::new(22);
+        let mut looped = RcbRng::new(22);
+        let mut buf = [0.0f64; 19];
+        batched.fill_f64s(&mut buf);
+        for (j, &v) in buf.iter().enumerate() {
+            assert_eq!(v.to_bits(), looped.f64().to_bits(), "element {j} diverged");
+        }
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn children_into_matches_child() {
+        let seq = SeedSequence::new(2014);
+        let mut buf = [0u64; 16];
+        for start in [0u64, 1, 7, u64::MAX - 3] {
+            seq.children_into(start, &mut buf);
+            for (j, &s) in buf.iter().enumerate() {
+                assert_eq!(
+                    s,
+                    seq.child(start.wrapping_add(j as u64)),
+                    "start {start}, j {j}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -543,19 +543,32 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
     (duels, broadcasts)
 }
 
-/// Runs a grid of cells and collects the verdicts.
+/// Runs a grid of cells and collects the verdicts. Cells are sharded
+/// across cores by the deterministic executor
+/// ([`run_cells`](crate::executor::run_cells)) at `cfg.parallelism` —
+/// duels first, then broadcasts, report order unchanged. Inside a worker
+/// the cells' own `Auto` batches degrade to sequential, so the grid keeps
+/// one parallel tier; with `Fixed(1)` the whole run is sequential and
+/// byte-identical to the historical serial loop (each cell's per-trial
+/// streams are seed-derived either way).
 pub fn run_grid(
     duels: &[DuelCell],
     broadcasts: &[BroadcastCell],
     cfg: &ConformanceConfig,
 ) -> GridReport {
-    let mut cells = Vec::new();
-    for cell in duels {
-        cells.push(run_duel_cell(cell, cfg));
+    enum GridCell<'a> {
+        Duel(&'a DuelCell),
+        Broadcast(&'a BroadcastCell),
     }
-    for cell in broadcasts {
-        cells.push(run_broadcast_cell(cell, cfg));
-    }
+    let work: Vec<GridCell> = duels
+        .iter()
+        .map(GridCell::Duel)
+        .chain(broadcasts.iter().map(GridCell::Broadcast))
+        .collect();
+    let cells = crate::executor::run_cells(&work, cfg.parallelism, |_, cell| match cell {
+        GridCell::Duel(c) => run_duel_cell(c, cfg),
+        GridCell::Broadcast(c) => run_broadcast_cell(c, cfg),
+    });
     GridReport {
         alpha: cfg.alpha,
         cells,
@@ -721,6 +734,53 @@ mod tests {
         for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
             assert_eq!(ma.mw_p, mb.mw_p, "{}", ma.metric);
             assert_eq!(ma.ks_d, mb.ks_d, "{}", ma.metric);
+        }
+    }
+
+    #[test]
+    fn grid_verdicts_are_identical_across_parallelism() {
+        // The executor shards cells, not trials; every cell's trial
+        // streams are seed-derived, so the grid's statistics must be
+        // bit-identical at any thread count.
+        let duels = vec![DuelCell::new(
+            0.05,
+            6,
+            AdversarySpec::Budgeted {
+                budget: 256,
+                fraction: 1.0,
+            },
+        )];
+        let broadcasts = vec![BroadcastCell::new(5, 4, AdversarySpec::NoJam)];
+        let cfg = ConformanceConfig {
+            trials: 15,
+            ..small_cfg()
+        };
+        let grid = |parallelism| {
+            run_grid(
+                &duels,
+                &broadcasts,
+                &ConformanceConfig { parallelism, ..cfg },
+            )
+        };
+        let one = grid(Parallelism::Fixed(1));
+        let four = grid(Parallelism::Fixed(4));
+        let auto = grid(Parallelism::Auto);
+        assert_eq!(one.cells.len(), 2);
+        for (a, b, c) in one
+            .cells
+            .iter()
+            .zip(&four.cells)
+            .zip(&auto.cells)
+            .map(|((a, b), c)| (a, b, c))
+        {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.name, c.name);
+            for (ma, (mb, mc)) in a.metrics.iter().zip(b.metrics.iter().zip(&c.metrics)) {
+                assert_eq!(ma.mw_p, mb.mw_p, "{}: {}", a.name, ma.metric);
+                assert_eq!(ma.ks_d, mc.ks_d, "{}: {}", a.name, ma.metric);
+                assert_eq!(ma.exact_mean, mb.exact_mean, "{}: {}", a.name, ma.metric);
+                assert_eq!(ma.fast_mean, mc.fast_mean, "{}: {}", a.name, ma.metric);
+            }
         }
     }
 

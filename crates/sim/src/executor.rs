@@ -1,0 +1,394 @@
+//! Deterministic work-stealing scenario executor.
+//!
+//! [`run_trials`](crate::runner::run_trials) shards the *trials* of one
+//! batch across cores; this module generalises the same atomic-cursor
+//! pattern to heterogeneous work lists, which is what the serial consumers
+//! (experiment sweeps, the conformance grid, the perf grid) actually hold:
+//!
+//! * [`run_cells`] — cell-granular: a deterministic parallel map over any
+//!   slice. The shard unit is one list element; results come back in list
+//!   order regardless of thread count or scheduling.
+//! * [`run_specs`] — trial-granular: flattens a `ScenarioSpec` list into
+//!   one global trial work list (prefix sums over per-spec trial counts),
+//!   so stealing crosses cell boundaries and a long tail cell cannot
+//!   serialise the sweep. Workers claim fixed-size chunks of consecutive
+//!   global indices and derive each chunk's trial seeds in one batched
+//!   [`SeedSequence::children_into`] pass.
+//!
+//! ## Seed-fold invariant
+//!
+//! Trial `i` of spec `s` always runs on
+//! `SeedSequence::new(s.seeds.master).rng(i)` — byte-identical to
+//! [`ScenarioSpec::run_batch_raw`]'s derivation — and seeded adversaries
+//! still receive `master ^ i`. Work distribution therefore only reorders
+//! *wall-clock execution*, never any RNG stream: results are bit-identical
+//! across `Fixed(1)`, `Fixed(8)`, and `Auto` (certified by the tests
+//! below).
+//!
+//! ## Nested parallelism
+//!
+//! Executor workers mark their thread with the runner's `IN_WORKER` flag,
+//! so `Parallelism::Auto` *inside* a cell (e.g. a conformance cell's
+//! `run_batch_raw`) degrades to sequential instead of spawning cores²
+//! threads. `Fixed(n > 1)` at both tiers is honoured by name and therefore
+//! oversubscribes — callers that nest must pick one parallel tier
+//! (DESIGN.md §11).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rcb_mathkit::rng::{RcbRng, SeedSequence};
+
+use crate::error::SimError;
+use crate::runner::{enter_worker, panic_payload, Parallelism};
+use crate::scenario::{fnv1a, Outcome, ScenarioSpec, FNV_OFFSET};
+
+/// Trials claimed per cursor bump in [`run_specs`]. Small enough that a
+/// sweep of a few hundred trials still balances across workers, large
+/// enough to amortise the atomic traffic and the batched seed derivation.
+const TRIAL_CHUNK: u64 = 16;
+
+/// One trial's result paired with its global index, pre-merge.
+type IndexedTrial = (u64, (Outcome, Option<SimError>));
+
+/// Deterministic parallel map over a heterogeneous work list: applies `f`
+/// to every element of `items` and returns the results **in list order**,
+/// independent of thread count or scheduling.
+///
+/// The shard unit is one element (a conformance cell, a perf scenario);
+/// distribution is dynamic via an atomic cursor, so expensive cells next
+/// to cheap ones balance across workers exactly like heterogeneous trials
+/// do in [`run_trials`](crate::runner::run_trials). Workers set the
+/// runner's `IN_WORKER` flag, so `Parallelism::Auto` inside `f` degrades
+/// to sequential. A panic in `f` propagates and aborts the map.
+pub fn run_cells<I, T, F>(items: &[I], parallelism: Parallelism, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = parallelism.threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let cursor = AtomicU64::new(0);
+    let worker = |collected: &mut Vec<(usize, T)>| {
+        enter_worker();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            if i >= items.len() {
+                return;
+            }
+            collected.push((i, f(i, &items[i])));
+        }
+    };
+
+    let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+    per_worker.resize_with(threads, Vec::new);
+    std::thread::scope(|scope| {
+        for collected in &mut per_worker {
+            scope.spawn(|| worker(collected));
+        }
+    });
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, value) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "cell {i} claimed twice");
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every cell index was claimed exactly once"))
+        .collect()
+}
+
+/// Runs every trial of every spec through one global work-stealing pool
+/// and returns the tolerant per-trial results grouped by spec, in spec and
+/// trial order.
+///
+/// The work list is the disjoint union of all specs' trial ranges (prefix
+/// sums map a global index back to `(spec, trial)`), so workers steal
+/// across cell boundaries: a sweep whose last cell is 10× the others keeps
+/// every core busy until the true end of the work, which cell-granular
+/// sharding cannot. Each trial runs with the exact
+/// [`run_batch_raw`](ScenarioSpec::run_batch_raw) seed derivation, so the
+/// grouped output is bit-identical to calling `run_batch_raw` per spec —
+/// at any thread count.
+pub fn run_specs(
+    specs: &[ScenarioSpec],
+    parallelism: Parallelism,
+) -> Vec<Vec<(Outcome, Option<SimError>)>> {
+    // offsets[k] = first global index of spec k; offsets[len] = total.
+    let mut offsets: Vec<u64> = Vec::with_capacity(specs.len() + 1);
+    let mut total = 0u64;
+    for spec in specs {
+        offsets.push(total);
+        total += spec.trials;
+    }
+    offsets.push(total);
+
+    let run_chunk = |start: u64, end: u64, sink: &mut Vec<IndexedTrial>| {
+        let mut g = start;
+        // A chunk of consecutive global indices may straddle spec
+        // boundaries; split it into per-spec sub-ranges.
+        while g < end {
+            let cell = offsets.partition_point(|&o| o <= g) - 1;
+            let spec = &specs[cell];
+            let sub_end = end.min(offsets[cell + 1]);
+            let first_trial = g - offsets[cell];
+            let len = (sub_end - g) as usize;
+            let mut child_seeds = vec![0u64; len];
+            SeedSequence::new(spec.seeds.master).children_into(first_trial, &mut child_seeds);
+            for (j, &seed) in child_seeds.iter().enumerate() {
+                let trial = first_trial + j as u64;
+                let mut rng = RcbRng::new(seed);
+                let result = catch_unwind(AssertUnwindSafe(|| spec.run_trial_raw(trial, &mut rng)))
+                    .unwrap_or_else(|payload| {
+                        panic!("spec {cell}, trial {trial}: {}", panic_payload(payload))
+                    });
+                sink.push((g + j as u64, result));
+            }
+            g = sub_end;
+        }
+    };
+
+    let threads = parallelism
+        .threads()
+        .min(total.div_ceil(TRIAL_CHUNK).max(1) as usize);
+    let mut flat: Vec<IndexedTrial> = Vec::with_capacity(total as usize);
+    if threads <= 1 {
+        run_chunk(0, total, &mut flat);
+    } else {
+        let cursor = AtomicU64::new(0);
+        let worker = |collected: &mut Vec<IndexedTrial>| {
+            enter_worker();
+            loop {
+                let start = cursor.fetch_add(TRIAL_CHUNK, Ordering::Relaxed);
+                if start >= total {
+                    return;
+                }
+                run_chunk(start, (start + TRIAL_CHUNK).min(total), collected);
+            }
+        };
+        let mut per_worker: Vec<Vec<IndexedTrial>> = Vec::with_capacity(threads);
+        per_worker.resize_with(threads, Vec::new);
+        std::thread::scope(|scope| {
+            for collected in &mut per_worker {
+                scope.spawn(|| worker(collected));
+            }
+        });
+        flat = per_worker.into_iter().flatten().collect();
+    }
+
+    let mut slots: Vec<Option<(Outcome, Option<SimError>)>> = Vec::with_capacity(total as usize);
+    slots.resize_with(total as usize, || None);
+    for (g, value) in flat {
+        debug_assert!(slots[g as usize].is_none(), "trial {g} claimed twice");
+        slots[g as usize] = Some(value);
+    }
+    let mut slots = slots.into_iter();
+    specs
+        .iter()
+        .map(|spec| {
+            (0..spec.trials)
+                .map(|_| {
+                    slots
+                        .next()
+                        .flatten()
+                        .expect("every global trial index was claimed exactly once")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-spec FNV-1a batch checksums over [`run_specs`] results: each spec's
+/// per-trial [`outcome_checksum`](ScenarioSpec::outcome_checksum)s folded
+/// in trial order from [`FNV_OFFSET`] — the exact fold the perf grid
+/// records, so these values are comparable with `BENCH_*.json` history.
+pub fn batch_checksums(
+    specs: &[ScenarioSpec],
+    results: &[Vec<(Outcome, Option<SimError>)>],
+) -> Vec<u64> {
+    specs
+        .iter()
+        .zip(results)
+        .map(|(spec, batch)| {
+            batch.iter().fold(FNV_OFFSET, |h, (outcome, _)| {
+                fnv1a(h, &[spec.outcome_checksum(outcome)])
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::scenario::{AdversarySpec, DuelProtocol, Engine};
+
+    /// A heterogeneous spec list: jammed fast duel, faulted duel, fast
+    /// broadcast, exact-engine duel — mixed workloads, engines, fault
+    /// plans, trial counts, and masters, so chunks straddle cell
+    /// boundaries (trial counts are not multiples of `TRIAL_CHUNK`).
+    fn mixed_specs() -> Vec<ScenarioSpec> {
+        let jammed = AdversarySpec::Budgeted {
+            budget: 1024,
+            fraction: 1.0,
+        };
+        vec![
+            ScenarioSpec::duel(DuelProtocol::fig1(0.1, 7))
+                .with_adversary(jammed)
+                .with_trials(19)
+                .with_seed(11),
+            ScenarioSpec::duel(DuelProtocol::fig1(0.1, 7))
+                .with_adversary(jammed)
+                .with_faults(FaultPlan::none().with_loss(0.1).with_skew(1, 1))
+                .with_trials(7)
+                .with_seed(12),
+            ScenarioSpec::broadcast(5)
+                .with_adversary(AdversarySpec::Budgeted {
+                    budget: 256,
+                    fraction: 1.0,
+                })
+                .with_trials(6)
+                .with_seed(13),
+            ScenarioSpec::duel(DuelProtocol::fig1(0.05, 6))
+                .with_engine(Engine::Exact)
+                .with_adversary(AdversarySpec::Budgeted {
+                    budget: 512,
+                    fraction: 1.0,
+                })
+                .with_trials(3)
+                .with_seed(14),
+        ]
+    }
+
+    #[test]
+    fn run_specs_is_bit_identical_across_parallelism() {
+        let specs = mixed_specs();
+        let one = run_specs(&specs, Parallelism::Fixed(1));
+        let eight = run_specs(&specs, Parallelism::Fixed(8));
+        let auto = run_specs(&specs, Parallelism::Auto);
+        assert_eq!(one, eight, "Fixed(8) diverged from Fixed(1)");
+        assert_eq!(one, auto, "Auto diverged from Fixed(1)");
+        let sums = batch_checksums(&specs, &one);
+        assert_eq!(sums, batch_checksums(&specs, &eight));
+        assert_eq!(sums, batch_checksums(&specs, &auto));
+        // Distinct cells folded distinct outcomes.
+        let mut dedup = sums.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            sums.len(),
+            "cell checksums collided: {sums:x?}"
+        );
+    }
+
+    #[test]
+    fn run_specs_matches_per_spec_run_batch_raw() {
+        let specs = mixed_specs();
+        let stolen = run_specs(&specs, Parallelism::Fixed(4));
+        for (spec, batch) in specs.iter().zip(&stolen) {
+            let direct = spec
+                .clone()
+                .with_parallelism(Parallelism::Fixed(1))
+                .run_batch_raw();
+            assert_eq!(batch, &direct, "executor perturbed a trial stream");
+        }
+    }
+
+    #[test]
+    fn run_specs_handles_empty_and_zero_trial_specs() {
+        assert!(run_specs(&[], Parallelism::Fixed(4)).is_empty());
+        let specs = vec![
+            ScenarioSpec::duel(DuelProtocol::fig1(0.1, 7)).with_trials(0),
+            ScenarioSpec::duel(DuelProtocol::fig1(0.1, 7))
+                .with_trials(2)
+                .with_seed(5),
+        ];
+        let out = run_specs(&specs, Parallelism::Fixed(4));
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].len(), 2);
+    }
+
+    #[test]
+    fn run_cells_preserves_order_and_thread_count_independence() {
+        let items: Vec<u64> = (0..37).collect();
+        let square = |_, &x: &u64| x * x;
+        let seq = run_cells(&items, Parallelism::Fixed(1), square);
+        let par = run_cells(&items, Parallelism::Fixed(8), square);
+        let auto = run_cells(&items, Parallelism::Auto, square);
+        assert_eq!(seq, (0..37).map(|x| x * x).collect::<Vec<u64>>());
+        assert_eq!(seq, par);
+        assert_eq!(seq, auto);
+    }
+
+    #[test]
+    fn run_cells_on_empty_list_is_empty() {
+        let out = run_cells(&[] as &[u64], Parallelism::Auto, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_auto_degrades_inside_cell_workers() {
+        // A cell body that runs an Auto batch must stay on the worker's own
+        // thread — the executor's workers carry the runner's IN_WORKER flag.
+        let spec = ScenarioSpec::duel(DuelProtocol::fig1(0.1, 7))
+            .with_trials(4)
+            .with_seed(3)
+            .with_parallelism(Parallelism::Auto);
+        let cells = [0u64, 1, 2, 3];
+        let ok = run_cells(&cells, Parallelism::Fixed(2), |_, _| {
+            let outer = std::thread::current().id();
+            let batch = crate::runner::run_trials(4, 9, Parallelism::Auto, |_, _| {
+                std::thread::current().id()
+            });
+            let inner_stayed = batch.into_iter().all(|id| id == outer);
+            // And the batch result itself is unperturbed by the degrade.
+            let degraded = spec.run_batch_raw();
+            let reference = spec
+                .clone()
+                .with_parallelism(Parallelism::Fixed(1))
+                .run_batch_raw();
+            inner_stayed && degraded == reference
+        });
+        assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn uneven_cells_still_merge_in_order() {
+        let items: Vec<u64> = (0..24).collect();
+        let out = run_cells(&items, Parallelism::Fixed(4), |i, &x| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn cell_panics_propagate() {
+        let items = [0u64, 1, 2];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_cells(&items, Parallelism::Fixed(1), |i, _| {
+                if i == 1 {
+                    panic!("boom in cell {i}");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("the panic must propagate");
+        let msg = panic_payload(payload);
+        assert!(msg.contains("boom in cell 1"), "got: {msg}");
+    }
+}

@@ -18,8 +18,11 @@
 //!   cross-validate them.
 //!
 //! [`runner`] fans trials out over threads (std scoped threads, one
-//! deterministic RNG stream per trial), and [`lowerbound`] packages the
-//! Theorem 2 / Theorem 5 measurement games.
+//! deterministic RNG stream per trial); [`executor`] generalises the same
+//! deterministic work-stealing pattern to heterogeneous work lists —
+//! cell-granular ([`executor::run_cells`]) and trial-granular across a
+//! whole `ScenarioSpec` sweep ([`executor::run_specs`]) — and
+//! [`lowerbound`] packages the Theorem 2 / Theorem 5 measurement games.
 //!
 //! [`faults`] layers deterministic, seeded *non-adversarial* failures —
 //! lossy reception, crash–restart, clock skew, battery brownout — under
@@ -38,6 +41,7 @@ pub mod conformance;
 pub mod duel;
 pub mod error;
 pub mod exact;
+pub mod executor;
 pub mod fast;
 pub mod faults;
 pub mod lowerbound;
@@ -52,6 +56,7 @@ pub use conformance::{
 pub use duel::{run_duel, run_duel_checked, run_duel_faulted, DuelConfig};
 pub use error::{SimError, TrialFailure};
 pub use exact::{run_exact, run_exact_checked, run_exact_faulted, ExactConfig, ExactOutcome};
+pub use executor::{batch_checksums, run_cells, run_specs};
 pub use fast::{
     run_broadcast, run_broadcast_checked, run_broadcast_faulted, run_broadcast_from,
     run_broadcast_observed, BroadcastObserver, FastConfig,

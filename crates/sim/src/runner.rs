@@ -22,6 +22,20 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Marks the current thread as a worker for the rest of its lifetime.
+/// Worker threads are short-lived scoped threads, so there is no paired
+/// exit: the flag dies with the thread. The cell-granular executor
+/// ([`crate::executor`]) shares the runner's flag so nested `Auto`
+/// parallelism degrades identically whichever tier spawned the worker.
+pub(crate) fn enter_worker() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
+/// Whether the current thread is a runner/executor worker.
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
 /// Thread-count policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
@@ -36,10 +50,10 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    fn threads(self) -> usize {
+    pub(crate) fn threads(self) -> usize {
         match self {
             Parallelism::Auto => {
-                if IN_WORKER.with(Cell::get) {
+                if in_worker() {
                     1
                 } else {
                     std::thread::available_parallelism()
@@ -108,7 +122,7 @@ where
 
     let cursor = AtomicU64::new(0);
     let worker = |collected: &mut Vec<(u64, Result<T, TrialFailure>)>| {
-        IN_WORKER.with(|w| w.set(true));
+        enter_worker();
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= trials {
@@ -140,7 +154,7 @@ where
 
 /// Renders a panic payload the way the default hook does: `&str` and
 /// `String` payloads verbatim, anything else opaquely.
-fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(payload) => match payload.downcast::<&'static str>() {
