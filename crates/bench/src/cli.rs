@@ -15,17 +15,23 @@
 //! grammar is trivial.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::time::Duration;
 
-use crate::experiments::common::split_truncated;
+use crate::experiments::common::{parse_trial_payload, split_truncated, trial_payload};
 use crate::perf::{self, PerfScale};
 use rcb_analysis::table::{num, TableBuilder};
 use rcb_mathkit::rng::SeedSequence;
 use rcb_mathkit::stats::RunningStats;
 use rcb_mathkit::PHI_MINUS_ONE;
 use rcb_sim::conformance::{default_grid, run_grid, ConformanceConfig};
+use rcb_sim::deadline::{install_sigint_handler, interrupted, Deadline};
 use rcb_sim::error::SimError;
+use rcb_sim::executor::{run_specs_ctl, SpecsControl};
 use rcb_sim::faults::FaultPlan;
+use rcb_sim::journal::{Journal, JournalHeader};
+use rcb_sim::json::Json;
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
 use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
 use rcb_sim::runner::Parallelism;
@@ -184,7 +190,8 @@ COMMANDS:
              worker count, recorded as a scaling curve; per-scenario
              stats and RSS come from the first pass)
              --out PATH (default BENCH_<sha>.json; `-` skips the write)
-             --against FILE (compare to a recorded baseline)
+             --against FILE (compare to a recorded baseline; warnings go
+             to stderr)   --strict true (warnings fail the gate too)
              --threshold F (default 0.35)   --report-only true
              --notes TEXT   --seed N (default 2014)
   scenario   named declarative scenarios (the perf grid's registry)
@@ -193,6 +200,19 @@ COMMANDS:
              scenario run <NAME>    run one entry
                --trials N   --seed N  (override the registry defaults)
   help       this text
+
+CRASH SAFETY (perf and scenario run):
+  --journal PATH     checkpoint completed cells to an FNV-1a-checksummed
+                     JSONL journal (flushed atomically as the run goes)
+  --resume PATH      skip the journal's completed cells and continue; a
+                     journal from different work is refused, and resumed
+                     results are bit-identical to an uninterrupted run
+  --deadline SECS    cooperative wall-clock budget: in-flight work
+                     finishes, the journal is flushed, and the exact
+                     --resume invocation is printed
+  While any of these is active, the first Ctrl-C (SIGINT) is graceful —
+  finish in-flight cells, flush, print the resume command; a second
+  Ctrl-C force-kills.
 
 FAULT INJECTION (duel and broadcast):
   --fault-loss F                       drop decodable receptions w.p. F
@@ -476,7 +496,8 @@ fn cmd_scenario(args: &Args) -> Result<String, String> {
                 spec = spec.with_seed(seed);
             }
             spec.validate()?;
-            let raw = spec.run_batch_raw();
+            let rc = run_control_args(args)?;
+            let raw = run_scenario_trials(name, &spec, args, &rc)?;
             let mut checksum = FNV_OFFSET;
             for (outcome, _) in &raw {
                 checksum = fnv1a(checksum, &[spec.outcome_checksum(outcome)]);
@@ -503,14 +524,110 @@ fn cmd_scenario(args: &Args) -> Result<String, String> {
                 Workload::Duel(_) => render_duel(spec.trials, results),
                 Workload::Broadcast(_) => render_broadcast(spec.trials, results),
             };
-            Ok(format!(
-                "{header}\n{body}\ndeterminism checksum: {checksum:016x}\n"
-            ))
+            let mut out = format!("{header}\n{body}\ndeterminism checksum: {checksum:016x}\n");
+            if let Some(from) = &rc.resume {
+                out.push_str(&format!("resumed journal: {}\n", from.display()));
+            }
+            Ok(out)
         }
         Some(other) => Err(format!(
             "unknown scenario action `{other}`; expected list, names, or run"
         )),
     }
+}
+
+/// Runs one scenario's trial batch under the crash-safety flags. With no
+/// flags this is exactly [`ScenarioSpec::run_batch_raw`] — a byte-identical
+/// no-op relative to the uncontrolled path. With a journal, completed
+/// trials are checkpointed (`trial/<i>` cells) and a resume skips them;
+/// the seed fold per trial is untouched, so resumed runs are bit-identical
+/// to uninterrupted ones.
+fn run_scenario_trials(
+    name: &str,
+    spec: &ScenarioSpec,
+    args: &Args,
+    rc: &RunControlArgs,
+) -> Result<Vec<(Outcome, Option<SimError>)>, String> {
+    if !rc.active() {
+        return Ok(spec.run_batch_raw());
+    }
+    let fingerprint = spec.fingerprint();
+    let mut journal = match (&rc.resume, &rc.journal) {
+        (Some(path), _) => {
+            Some(Journal::open_resume(path, "scenario", fingerprint).map_err(|e| e.to_string())?)
+        }
+        (None, Some(path)) => Some(Journal::create(
+            path,
+            JournalHeader::new(
+                "scenario",
+                fingerprint,
+                Json::obj(vec![("scenario", Json::Str(name.to_string()))]),
+            ),
+        )),
+        (None, None) => None,
+    };
+
+    let trial_key = |i: u64| format!("trial/{i}");
+    let done: Vec<bool> = (0..spec.trials)
+        .map(|i| journal.as_ref().is_some_and(|j| j.contains(&trial_key(i))))
+        .collect();
+    let skip = |_spec: usize, trial: u64| done[trial as usize];
+    let ctl = SpecsControl {
+        deadline: rc.deadline(),
+        trial_deadline: None,
+        max_attempts: 1,
+        skip: Some(&skip),
+    };
+    let specs = [spec.clone()];
+    let run = run_specs_ctl(&specs, spec.parallelism, &ctl);
+    let fresh = &run.results[0];
+
+    if let Some(j) = journal.as_mut() {
+        for (i, slot) in fresh.iter().enumerate() {
+            if let Some((outcome, err)) = slot {
+                if !matches!(err, Some(SimError::DeadlineExceeded { .. })) {
+                    j.append(trial_key(i as u64), trial_payload(outcome, err));
+                }
+            }
+        }
+        j.flush().map_err(|e| e.to_string())?;
+    }
+
+    if let Some(q) = run.quarantined.first() {
+        return Err(format!(
+            "scenario `{name}`: trial {} quarantined: {}",
+            q.trial, q.failure
+        ));
+    }
+    if run.deadline_hit {
+        let mut base = format!("rcbsim scenario run {name}");
+        if args.get_opt::<u64>("trials").ok().flatten().is_some() {
+            base.push_str(&format!(" --trials {}", spec.trials));
+        }
+        if args.get_opt::<u64>("seed").ok().flatten().is_some() {
+            base.push_str(&format!(" --seed {}", spec.seeds.master));
+        }
+        return Err(cut_report(
+            &format!("scenario `{name}`"),
+            journal.as_ref().map(Journal::path),
+            &base,
+        ));
+    }
+
+    (0..spec.trials as usize)
+        .map(|i| {
+            if done[i] {
+                let j = journal.as_ref().expect("done trials imply a journal");
+                let payload = j.get(&trial_key(i as u64)).expect("done implies journaled");
+                parse_trial_payload(payload)
+                    .map_err(|e| format!("{}: trial {i}: {e}", j.path().display()))
+            } else {
+                Ok(fresh[i]
+                    .clone()
+                    .expect("neither skipped nor deadline-cut: the trial ran"))
+            }
+        })
+        .collect()
 }
 
 fn cmd_product(args: &Args) -> Result<String, String> {
@@ -583,6 +700,81 @@ fn cmd_conformance(args: &Args) -> Result<String, String> {
     }
 }
 
+/// The shared crash-safety flags (`perf` and `scenario run`):
+/// `--journal PATH` checkpoints, `--resume PATH` continues a previous
+/// journal, `--deadline SECS` bounds the run's wall clock.
+struct RunControlArgs {
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    deadline_budget: Option<Duration>,
+}
+
+fn run_control_args(args: &Args) -> Result<RunControlArgs, String> {
+    let journal = args.get_opt::<String>("journal")?.map(PathBuf::from);
+    let resume = args.get_opt::<String>("resume")?.map(PathBuf::from);
+    if journal.is_some() && resume.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive; --resume keeps \
+             checkpointing into the journal it continues"
+                .into(),
+        );
+    }
+    let deadline_budget = match args.get_opt::<f64>("deadline")? {
+        None => None,
+        Some(secs) if secs.is_finite() && secs >= 0.0 => Some(Duration::from_secs_f64(secs)),
+        Some(_) => return Err("--deadline must be a non-negative number of seconds".into()),
+    };
+    Ok(RunControlArgs {
+        journal,
+        resume,
+        deadline_budget,
+    })
+}
+
+impl RunControlArgs {
+    fn active(&self) -> bool {
+        self.journal.is_some() || self.resume.is_some() || self.deadline_budget.is_some()
+    }
+
+    /// The run deadline. When any crash-safety flag is active the SIGINT
+    /// latch is folded in, so Ctrl-C finishes in-flight cells, flushes
+    /// the journal, and surfaces the resume invocation instead of killing
+    /// the process mid-write. With no flags this is [`Deadline::NONE`]
+    /// and the default SIGINT disposition is left untouched.
+    fn deadline(&self) -> Deadline {
+        let base = match self.deadline_budget {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::NONE,
+        };
+        if self.active() {
+            base.with_cancel(install_sigint_handler())
+        } else {
+            base
+        }
+    }
+}
+
+/// The message for a deadline- or SIGINT-cut run: what stopped it, where
+/// the checkpoints went, and the exact invocation that resumes it.
+fn cut_report(what: &str, journal: Option<&Path>, base_invocation: &str) -> String {
+    let why = if interrupted() {
+        "interrupted (SIGINT)"
+    } else {
+        "wall-clock deadline exceeded"
+    };
+    match journal {
+        Some(path) => format!(
+            "{what}: {why}; completed cells are journaled in {path}\nresume with:\n  \
+             {base_invocation} --resume {path}",
+            path = path.display()
+        ),
+        None => format!(
+            "{what}: {why}; no --journal was given, so partial progress was not \
+             persisted — re-run with --journal PATH to make the run resumable"
+        ),
+    }
+}
+
 /// `--cpus 1,2,4` → worker counts for the perf scaling passes.
 fn parse_cpus_list(raw: &str) -> Result<Vec<u64>, String> {
     let cpus = raw
@@ -610,13 +802,44 @@ fn cmd_perf(args: &Args) -> Result<String, String> {
         return Err("--threshold must be a positive number".into());
     }
     let report_only: bool = args.get("report-only", false)?;
+    let strict: bool = args.get("strict", false)?;
     let notes = args.get_str("notes", "");
-    let cpus = parse_cpus_list(&args.get_str("cpus", "1"))?;
+    let cpus_raw = args.get_str("cpus", "1");
+    let cpus = parse_cpus_list(&cpus_raw)?;
     let sha = perf::git_short_sha();
     let out_path = args.get_str("out", &format!("BENCH_{sha}.json"));
 
-    let report = perf::run_perf(seed, scale, &sha, &notes, &cpus);
-    let mut text = report.render();
+    let rc = run_control_args(args)?;
+    let ctl = perf::PerfControl {
+        journal: rc.journal.clone(),
+        resume: rc.resume.clone(),
+        deadline: rc.deadline(),
+    };
+    let run =
+        perf::run_perf_ctl(seed, scale, &sha, &notes, &cpus, &ctl).map_err(|e| e.to_string())?;
+    let report = match run.report {
+        Some(report) => report,
+        None => {
+            // A cut grid is a nonzero exit (no report was produced), but a
+            // typed one: say why, and how to pick the run back up.
+            let base = format!(
+                "rcbsim perf --scale {} --seed {seed} --cpus {cpus_raw}",
+                scale.label()
+            );
+            return Err(cut_report("perf grid", run.journal_path.as_deref(), &base));
+        }
+    };
+
+    let mut text = String::new();
+    if run.resumed_cells > 0 {
+        let from = rc.resume.as_ref().expect("resumed cells imply --resume");
+        text.push_str(&format!(
+            "resumed {} journaled cell(s) from {}\n\n",
+            run.resumed_cells,
+            from.display()
+        ));
+    }
+    text.push_str(&report.render());
     if out_path != "-" {
         std::fs::write(&out_path, report.to_json().render())
             .map_err(|e| format!("cannot write {out_path}: {e}"))?;
@@ -629,9 +852,18 @@ fn cmd_perf(args: &Args) -> Result<String, String> {
         let baseline = perf::BenchReport::parse(&baseline_text)
             .map_err(|e| format!("{baseline_path}: {e}"))?;
         let cmp = perf::compare(&baseline, &report, threshold);
+        // Warnings are advisory diagnostics, not report content: stderr.
+        for warning in &cmp.warnings {
+            eprintln!("warning: {warning}");
+        }
         text.push('\n');
         text.push_str(&cmp.text);
-        if !cmp.passed() && !report_only {
+        let gate_failed = if strict {
+            !cmp.passed_strict()
+        } else {
+            !cmp.passed()
+        };
+        if gate_failed && !report_only {
             // Nonzero exit so CI can gate on `rcbsim perf --against`.
             return Err(text);
         }
@@ -792,6 +1024,99 @@ mod tests {
         // No flags → the empty plan.
         let none = fault_plan_from_args(&parse(&["duel"]).expect("parse")).expect("plan");
         assert!(none.is_none());
+    }
+
+    fn tmp_journal(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("rcb_cli_test_{}_{name}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn crash_safety_flags_parse_and_reject_conflicts() {
+        let a = parse(&["perf", "--journal", "j.jsonl", "--deadline", "1.5"]).expect("parse");
+        let rc = run_control_args(&a).expect("valid flags");
+        assert!(rc.active());
+        assert_eq!(rc.journal.as_deref(), Some(Path::new("j.jsonl")));
+        assert_eq!(rc.deadline_budget, Some(Duration::from_millis(1500)));
+
+        let none = run_control_args(&parse(&["perf"]).expect("parse")).expect("no flags");
+        assert!(!none.active());
+        assert!(
+            none.deadline().is_unbounded(),
+            "no flags → unbounded, handler-free"
+        );
+
+        let both = parse(&["perf", "--journal", "a", "--resume", "b"]).expect("parse");
+        assert!(run_control_args(&both).is_err(), "journal+resume conflict");
+        let neg = parse(&["perf", "--deadline", "-1"]).expect("parse");
+        assert!(run_control_args(&neg).is_err(), "negative deadline");
+    }
+
+    #[test]
+    fn perf_deadline_cut_exits_nonzero_with_a_resume_hint() {
+        let journal = tmp_journal("perf_cut");
+        let a = parse(&[
+            "perf",
+            "--scale",
+            "smoke",
+            "--cpus",
+            "1",
+            "--out",
+            "-",
+            "--deadline",
+            "0",
+            "--journal",
+            &journal,
+        ])
+        .expect("parse");
+        let err = run_cli(&a).expect_err("a cut grid produces no report");
+        assert!(err.contains("deadline exceeded"), "{err}");
+        assert!(
+            err.contains(&format!("--resume {journal}")),
+            "the exact resume invocation must be printed: {err}"
+        );
+        assert!(err.contains("--scale smoke"), "{err}");
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn scenario_run_journals_and_resumes_with_the_same_checksum() {
+        let journal = tmp_journal("scenario_resume");
+        let name = registry()[0].name;
+        let base_args = |extra: &[&str]| {
+            let mut v = vec!["scenario", "run", name, "--trials", "6", "--seed", "9"];
+            v.extend_from_slice(extra);
+            parse(&v).expect("parse")
+        };
+        let checksum_line = |report: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with("determinism checksum"))
+                .expect("checksum line")
+                .to_string()
+        };
+
+        let straight = run_cli(&base_args(&[])).expect("straight run");
+        let journaled = run_cli(&base_args(&["--journal", &journal])).expect("journaled run");
+        assert_eq!(
+            straight, journaled,
+            "a journal must not perturb the report (byte-identical no-op)"
+        );
+
+        // The journal now holds every trial: a resume skips them all and
+        // reconstructs the identical checksum from the records alone.
+        let resumed = run_cli(&base_args(&["--resume", &journal])).expect("resume");
+        assert_eq!(checksum_line(&straight), checksum_line(&resumed));
+        assert!(resumed.contains("resumed journal:"), "{resumed}");
+
+        // A different seed is different work: typed refusal.
+        let mut v = vec!["scenario", "run", name, "--trials", "6", "--seed", "10"];
+        v.extend_from_slice(&["--resume", &journal]);
+        let err = run_cli(&parse(&v).expect("parse")).expect_err("wrong fingerprint");
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_file(&journal).ok();
     }
 
     #[test]

@@ -5,15 +5,29 @@
 //! re-stamps the adversary budget and the per-cell seed for each point.
 //! All per-budget specs are built up front and executed through the
 //! trial-granular work-stealing executor
-//! ([`run_specs`](rcb_sim::executor::run_specs)), so cores stay busy
-//! across cell boundaries; the per-cell seed folds (and therefore every
-//! trial's RNG stream) are unchanged from the historical serial loop.
+//! ([`run_specs_ctl`](rcb_sim::executor::run_specs_ctl)), so cores stay
+//! busy across cell boundaries; the per-cell seed folds (and therefore
+//! every trial's RNG stream) are unchanged from the historical serial
+//! loop. Crash safety rides on the environment — [`SWEEP_JOURNAL_DIR_ENV`]
+//! checkpoints (and auto-resumes) per-trial journals,
+//! [`SWEEP_DEADLINE_ENV`] bounds the wall clock — so every experiment
+//! binary is resumable without per-binary flag plumbing.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
 
 use rcb_analysis::report::{Cell, SweepSeries};
+use rcb_sim::deadline::{install_sigint_handler, Deadline};
 use rcb_sim::error::SimError;
-use rcb_sim::executor::run_specs;
+use rcb_sim::executor::{run_specs_ctl, QuarantinedTrial, SpecsControl};
+use rcb_sim::journal::{Journal, JournalHeader};
+use rcb_sim::json::Json;
 use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
-use rcb_sim::scenario::{AdversarySpec, DuelProtocol, ScenarioSpec, Workload};
+use rcb_sim::runner::Parallelism;
+use rcb_sim::scenario::{
+    fnv1a, AdversarySpec, DuelProtocol, Outcome, ScenarioSpec, Workload, FNV_OFFSET,
+};
 
 /// Base duel spec for budget sweeps: the canonical full-phase blocker at
 /// fraction `q`, budget re-stamped per sweep point.
@@ -75,6 +89,250 @@ pub fn split_truncated<T>(results: Vec<Result<T, SimError>>) -> (Vec<T>, u64) {
     (out, truncated)
 }
 
+/// Environment variable naming a directory for sweep checkpoint journals.
+/// When set, every budget sweep journals completed trials to
+/// `<dir>/sweep_<fingerprint>.jsonl` and automatically resumes an existing
+/// journal for the same work (a journal from *different* work is refused
+/// via its header fingerprint, never silently spliced).
+pub const SWEEP_JOURNAL_DIR_ENV: &str = "RCB_JOURNAL_DIR";
+
+/// Environment variable bounding a sweep's wall clock in (fractional)
+/// seconds. In-flight trials finish, the journal (if any) is flushed, and
+/// the process exits with a message naming the resume mechanism — partial
+/// statistics are never reported as if they were complete.
+pub const SWEEP_DEADLINE_ENV: &str = "RCB_DEADLINE_SECS";
+
+/// Crash-safety knobs for the budget sweeps, normally read from the
+/// environment ([`sweep_control_from_env`]) so the experiment binaries
+/// need no per-binary flag plumbing.
+#[derive(Debug, Clone, Default)]
+pub struct SweepControl {
+    pub journal_dir: Option<PathBuf>,
+    pub deadline_secs: Option<f64>,
+}
+
+impl SweepControl {
+    fn active(&self) -> bool {
+        self.journal_dir.is_some() || self.deadline_secs.is_some()
+    }
+
+    fn deadline(&self) -> Deadline {
+        let base = match self.deadline_secs {
+            Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                Deadline::after(Duration::from_secs_f64(secs))
+            }
+            Some(secs) => panic!("{SWEEP_DEADLINE_ENV} must be non-negative seconds, got {secs}"),
+            None => Deadline::NONE,
+        };
+        if self.active() {
+            base.with_cancel(install_sigint_handler())
+        } else {
+            base
+        }
+    }
+}
+
+/// Reads [`SWEEP_JOURNAL_DIR_ENV`] / [`SWEEP_DEADLINE_ENV`].
+pub fn sweep_control_from_env() -> SweepControl {
+    SweepControl {
+        journal_dir: std::env::var(SWEEP_JOURNAL_DIR_ENV).ok().map(PathBuf::from),
+        deadline_secs: std::env::var(SWEEP_DEADLINE_ENV).ok().map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                panic!("{SWEEP_DEADLINE_ENV} must be a number of seconds, got `{raw}`")
+            })
+        }),
+    }
+}
+
+/// Grid-level identity of a sweep: FNV-1a fold of every cell spec's
+/// fingerprint, in cell order. This is what the journal header records.
+pub fn sweep_fingerprint(specs: &[ScenarioSpec]) -> u64 {
+    specs
+        .iter()
+        .fold(FNV_OFFSET, |h, s| fnv1a(h, &[s.fingerprint()]))
+}
+
+fn trial_cell(spec: usize, trial: u64) -> String {
+    format!("spec{spec}/trial{trial}")
+}
+
+/// One journaled trial record: the outcome plus any typed engine error.
+/// Deadline-cut trials (wall-clock dependent) are never journaled.
+pub fn trial_payload(outcome: &Outcome, err: &Option<SimError>) -> Json {
+    Json::obj(vec![
+        ("outcome", outcome.to_json()),
+        (
+            "err",
+            match err {
+                Some(e) => e.to_json(),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Inverse of [`trial_payload`].
+pub fn parse_trial_payload(payload: &Json) -> Result<(Outcome, Option<SimError>), String> {
+    let outcome = payload
+        .get("outcome")
+        .ok_or("journal record missing `outcome`")?;
+    let outcome = Outcome::from_json(outcome)?;
+    let err = match payload.get("err") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(SimError::from_json(value)?),
+    };
+    Ok((outcome, err))
+}
+
+/// Renders quarantined trials with **identical panic messages deduped**:
+/// one line per distinct message with its multiplicity and first site, so
+/// a bug that kills 500 trials the same way reads as one fact, not 500.
+pub fn quarantine_report(quarantined: &[QuarantinedTrial]) -> String {
+    let mut order: Vec<&str> = Vec::new();
+    let mut counts: HashMap<&str, (u64, usize, u64, u32)> = HashMap::new();
+    for q in quarantined {
+        counts
+            .entry(q.failure.payload.as_str())
+            .and_modify(|e| e.0 += 1)
+            .or_insert_with(|| {
+                order.push(q.failure.payload.as_str());
+                (1, q.spec, q.trial, q.failure.attempts)
+            });
+    }
+    let mut s = format!(
+        "{} trial(s) quarantined after same-seed retries:\n",
+        quarantined.len()
+    );
+    for msg in order {
+        let (count, spec, trial, attempts) = counts[msg];
+        s.push_str(&format!(
+            "  {count} × `{msg}` (first at spec {spec}, trial {trial}; {attempts} attempt(s) each)\n"
+        ));
+    }
+    s
+}
+
+/// Same-seed retry budget for sweep trials before quarantine.
+const SWEEP_MAX_ATTEMPTS: u32 = 2;
+
+/// The sweep execution core: [`run_specs_ctl`] with the crash-safety
+/// environment wired in. With no journal dir and no deadline this returns
+/// exactly what [`run_specs`](rcb_sim::executor::run_specs) would (every
+/// trial still runs on its unchanged seed fold; the bounded same-seed
+/// retry policy cannot alter a successful trial's stream), so the default
+/// path stays byte-identical. Quarantined trials abort the sweep with a
+/// deduped report — statistics with silent holes are worse than no
+/// statistics.
+pub fn run_sweep_specs(
+    specs: &[ScenarioSpec],
+    parallelism: Parallelism,
+) -> Vec<Vec<(Outcome, Option<SimError>)>> {
+    run_sweep_specs_with(specs, parallelism, &sweep_control_from_env())
+}
+
+/// [`run_sweep_specs`] with explicit knobs (tests use this; binaries go
+/// through the environment).
+pub fn run_sweep_specs_with(
+    specs: &[ScenarioSpec],
+    parallelism: Parallelism,
+    sweep_ctl: &SweepControl,
+) -> Vec<Vec<(Outcome, Option<SimError>)>> {
+    let mut journal = sweep_ctl.journal_dir.as_ref().map(|dir| {
+        let fingerprint = sweep_fingerprint(specs);
+        let path = dir.join(format!("sweep_{fingerprint:016x}.jsonl"));
+        if path.exists() {
+            Journal::open_resume(&path, "sweep", fingerprint)
+                .unwrap_or_else(|e| panic!("cannot resume {}: {e}", path.display()))
+        } else {
+            Journal::create(
+                path,
+                JournalHeader::new(
+                    "sweep",
+                    fingerprint,
+                    Json::obj(vec![("cells", Json::Num(specs.len() as f64))]),
+                ),
+            )
+        }
+    });
+
+    let done: Vec<Vec<bool>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            (0..spec.trials)
+                .map(|t| {
+                    journal
+                        .as_ref()
+                        .is_some_and(|j| j.contains(&trial_cell(i, t)))
+                })
+                .collect()
+        })
+        .collect();
+    let skip = |spec: usize, trial: u64| done[spec][trial as usize];
+    let ctl = SpecsControl {
+        deadline: sweep_ctl.deadline(),
+        trial_deadline: None,
+        max_attempts: SWEEP_MAX_ATTEMPTS,
+        skip: Some(&skip),
+    };
+    let run = run_specs_ctl(specs, parallelism, &ctl);
+
+    if let Some(j) = journal.as_mut() {
+        for (i, batch) in run.results.iter().enumerate() {
+            for (t, slot) in batch.iter().enumerate() {
+                if let Some((outcome, err)) = slot {
+                    if !matches!(err, Some(SimError::DeadlineExceeded { .. })) {
+                        j.append(trial_cell(i, t as u64), trial_payload(outcome, err));
+                    }
+                }
+            }
+        }
+        j.flush()
+            .unwrap_or_else(|e| panic!("sweep journal flush failed: {e}"));
+    }
+
+    if !run.quarantined.is_empty() {
+        panic!("{}", quarantine_report(&run.quarantined));
+    }
+    if run.deadline_hit {
+        let total: u64 = specs.iter().map(|s| s.trials).sum();
+        match &journal {
+            Some(j) => panic!(
+                "sweep wall-clock budget exceeded: {} of {total} trials journaled in {}; \
+                 re-run with {SWEEP_JOURNAL_DIR_ENV} set to the same directory to resume \
+                 (completed trials are skipped; results stay bit-identical)",
+                j.len(),
+                j.path().display()
+            ),
+            None => panic!(
+                "sweep wall-clock budget exceeded with no {SWEEP_JOURNAL_DIR_ENV} set: \
+                 partial progress was not persisted"
+            ),
+        }
+    }
+
+    run.results
+        .into_iter()
+        .enumerate()
+        .map(|(i, batch)| {
+            batch
+                .into_iter()
+                .enumerate()
+                .map(|(t, slot)| match slot {
+                    Some(result) => result,
+                    None => {
+                        let j = journal.as_ref().expect("skipped trials imply a journal");
+                        let cell = trial_cell(i, t as u64);
+                        let payload = j.get(&cell).expect("skipped implies journaled");
+                        parse_trial_payload(payload)
+                            .unwrap_or_else(|e| panic!("{}: {cell}: {e}", j.path().display()))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Sweeps a base duel scenario over adversary budgets. The base spec fixes
 /// the protocol, the adversary family (its blocking fraction survives the
 /// re-budgeting), the trial count, and the master seed; each point runs the
@@ -95,7 +353,7 @@ pub fn duel_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<DuelSweepP
         .collect();
     budgets
         .iter()
-        .zip(run_specs(&specs, base.parallelism))
+        .zip(run_sweep_specs(&specs, base.parallelism))
         .map(|(&budget, batch)| {
             let results: Vec<Result<DuelOutcome, SimError>> = batch
                 .into_iter()
@@ -172,7 +430,7 @@ pub fn broadcast_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<Broad
         .collect();
     budgets
         .iter()
-        .zip(run_specs(&specs, base.parallelism))
+        .zip(run_sweep_specs(&specs, base.parallelism))
         .map(|(&budget, batch)| {
             let results: Vec<Result<BroadcastOutcome, SimError>> = batch
                 .into_iter()
@@ -387,5 +645,77 @@ mod tests {
         let s = series_from("s", vec![(7.0, c)]);
         assert_eq!(s.cells[0].x, 7.0);
         assert!((s.cells[0].mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("rcb_sweep_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let base = duel_sweep_base(DuelProtocol::fig1(0.1, 7), 1.0, 6, 21);
+        let budgets = [512u64, 1024];
+        let specs: Vec<ScenarioSpec> = budgets
+            .iter()
+            .map(|&b| {
+                base.clone()
+                    .with_adversary(base.adversary.with_budget(b))
+                    .with_seed(base.seeds.master ^ b)
+            })
+            .collect();
+
+        let straight =
+            run_sweep_specs_with(&specs, Parallelism::Fixed(1), &SweepControl::default());
+        let ctl = SweepControl {
+            journal_dir: Some(dir.clone()),
+            deadline_secs: None,
+        };
+        let journaled = run_sweep_specs_with(&specs, Parallelism::Fixed(2), &ctl);
+        assert_eq!(straight, journaled, "the journal must not perturb results");
+
+        // Second run with the same dir: everything is resumed from the
+        // journal (no trial re-runs) and the batch is still identical.
+        let resumed = run_sweep_specs_with(&specs, Parallelism::Fixed(1), &ctl);
+        assert_eq!(
+            straight, resumed,
+            "a full resume must round-trip the records"
+        );
+
+        let fingerprint = sweep_fingerprint(&specs);
+        let path = dir.join(format!("sweep_{fingerprint:016x}.jsonl"));
+        let journal = Journal::load(&path).expect("sweep journal exists");
+        assert_eq!(journal.header().kind, "sweep");
+        assert_eq!(journal.len() as u64, 12, "every trial journaled once");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_report_dedupes_identical_messages() {
+        use rcb_sim::error::TrialFailure;
+        let mut failure = TrialFailure::new(0, "index out of bounds".to_string());
+        failure.attempts = 2;
+        let quarantined: Vec<QuarantinedTrial> = (0..5)
+            .map(|t| QuarantinedTrial {
+                spec: t / 3,
+                trial: t as u64,
+                failure: TrialFailure {
+                    trial: t as u64,
+                    ..failure.clone()
+                },
+            })
+            .chain(std::iter::once(QuarantinedTrial {
+                spec: 1,
+                trial: 9,
+                failure: TrialFailure::new(9, "a different panic".to_string()),
+            }))
+            .collect();
+        let report = quarantine_report(&quarantined);
+        assert!(report.starts_with("6 trial(s) quarantined"), "{report}");
+        assert_eq!(
+            report.matches("index out of bounds").count(),
+            1,
+            "identical messages must collapse to one line: {report}"
+        );
+        assert!(report.contains("5 × `index out of bounds`"), "{report}");
+        assert!(report.contains("first at spec 0, trial 0"), "{report}");
+        assert!(report.contains("1 × `a different panic`"), "{report}");
     }
 }

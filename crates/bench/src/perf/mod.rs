@@ -33,12 +33,15 @@
 pub mod json;
 pub mod rss;
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use rcb_mathkit::rng::SeedSequence;
-use rcb_sim::executor::run_cells;
+use rcb_sim::deadline::Deadline;
+use rcb_sim::executor::run_cells_ctl;
+use rcb_sim::journal::{Journal, JournalError, JournalHeader};
 use rcb_sim::runner::Parallelism;
-use rcb_sim::scenario::{fnv1a, registry, NamedScenario, FNV_OFFSET};
+use rcb_sim::scenario::{fnv1a, fnv1a_bytes, registry, NamedScenario, FNV_OFFSET};
 
 use json::Json;
 
@@ -159,12 +162,57 @@ pub struct BenchReport {
 // ---------------------------------------------------------------------------
 
 /// Raw per-scenario measurement from one pass, before report assembly.
+#[derive(Debug, Clone, PartialEq)]
 struct Measured {
     slots: u64,
     checksum: u64,
     wall_secs: f64,
     peak_rss_kib: Option<u64>,
     rss_exclusive: bool,
+}
+
+impl Measured {
+    /// Journal payload shape. `slots`/`checksum` are decimal/hex strings:
+    /// JSON numbers are doubles and cannot carry a full u64.
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("slots", Json::Str(self.slots.to_string())),
+            ("checksum", Json::Str(format!("{:016x}", self.checksum))),
+            ("wall_secs", Json::Num(self.wall_secs)),
+            (
+                "peak_rss_kib",
+                match self.peak_rss_kib {
+                    Some(kib) => Json::Num(kib as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("rss_exclusive", Json::Bool(self.rss_exclusive)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Measured, String> {
+        let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field `{key}`"));
+        Ok(Measured {
+            slots: field("slots")?
+                .as_str()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or("`slots` not a u64 string")?,
+            checksum: field("checksum")?
+                .as_str()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or("`checksum` not a hex string")?,
+            wall_secs: field("wall_secs")?
+                .as_f64()
+                .ok_or("`wall_secs` not a number")?,
+            peak_rss_kib: match field("peak_rss_kib")? {
+                Json::Null => None,
+                other => Some(other.as_u64().ok_or("`peak_rss_kib` not a count or null")?),
+            },
+            rss_exclusive: field("rss_exclusive")?
+                .as_bool()
+                .ok_or("`rss_exclusive` not a bool")?,
+        })
+    }
 }
 
 /// Times one scenario: `repeats` runs, fastest wall recorded, outcomes
@@ -240,12 +288,97 @@ pub fn run_perf(
     notes: &str,
     cpus: &[u64],
 ) -> BenchReport {
+    run_perf_ctl(seed, scale, git_sha, notes, cpus, &PerfControl::default())
+        .expect("journal-free runs cannot fail on journal errors")
+        .report
+        .expect("deadline-free runs complete the whole grid")
+}
+
+/// Crash-safety knobs for [`run_perf_ctl`]. The default — no journal, no
+/// resume, no deadline — reproduces [`run_perf`] byte-for-byte.
+#[derive(Default)]
+pub struct PerfControl {
+    /// Write a `perf`-kind journal here: one record per `(pass, scenario)`
+    /// cell, flushed atomically after every pass (and after a deadline
+    /// cut), so an interrupted grid can resume.
+    pub journal: Option<PathBuf>,
+    /// Resume from this journal (continues writing to the same file).
+    /// A kind or fingerprint mismatch is a typed refusal
+    /// ([`JournalError::FingerprintMismatch`]), never a silent splice.
+    pub resume: Option<PathBuf>,
+    /// Run-level wall-clock budget / SIGINT cancellation token. Checked
+    /// between cells: the in-flight scenario finishes and is journaled.
+    pub deadline: Deadline,
+}
+
+/// Result of a controlled perf run.
+#[derive(Debug)]
+pub struct PerfRun {
+    /// The assembled report; `None` when the deadline (or Ctrl-C) cut the
+    /// grid short — completed cells are in the journal, not a report.
+    pub report: Option<BenchReport>,
+    /// The deadline or cancellation flag fired.
+    pub deadline_hit: bool,
+    /// Where the journal lives, when one was requested.
+    pub journal_path: Option<PathBuf>,
+    /// Cells skipped because the resume journal already held them.
+    pub resumed_cells: usize,
+}
+
+/// Identity of a perf-grid run for journal fingerprinting: a fold of
+/// every registry spec's fingerprint plus the harness seed and scale —
+/// exactly the inputs that determine cell payloads. Worker counts are
+/// deliberately excluded: seed folds make outcomes thread-count-invariant
+/// and cell keys carry the pass's cpus, so any `--cpus` run may share a
+/// journal.
+pub fn perf_fingerprint(seed: u64, scale: PerfScale) -> u64 {
+    let mut h = FNV_OFFSET;
+    for entry in registry() {
+        h = fnv1a(h, &[entry.spec.fingerprint()]);
+    }
+    h = fnv1a(h, &[seed]);
+    fnv1a_bytes(h, scale.label().as_bytes())
+}
+
+/// [`run_perf`] under a [`PerfControl`]: journaled checkpoints, resume,
+/// and cooperative deadlines. Completed cells are flushed (atomic
+/// tmp-file + rename) after every pass; resumed cells are skipped and
+/// their journaled measurements — including wall times — reused, so a
+/// resumed run's checksums are bit-identical to an uninterrupted one.
+pub fn run_perf_ctl(
+    seed: u64,
+    scale: PerfScale,
+    git_sha: &str,
+    notes: &str,
+    cpus: &[u64],
+    ctl: &PerfControl,
+) -> Result<PerfRun, JournalError> {
     let cpus_list: Vec<u64> = if cpus.is_empty() {
         vec![1]
     } else {
         cpus.iter().map(|&k| k.max(1)).collect()
     };
     let entries = registry();
+    let fingerprint = perf_fingerprint(seed, scale);
+
+    let mut journal: Option<Journal> = match (&ctl.resume, &ctl.journal) {
+        (Some(path), _) => Some(Journal::open_resume(path, "perf", fingerprint)?),
+        (None, Some(path)) => Some(Journal::create(
+            path,
+            JournalHeader::new(
+                "perf",
+                fingerprint,
+                Json::obj(vec![
+                    ("seed", Json::Str(seed.to_string())),
+                    ("scale", Json::Str(scale.label().to_string())),
+                ]),
+            ),
+        )),
+        (None, None) => None,
+    };
+    let journal_path = journal.as_ref().map(|j| j.path().to_path_buf());
+    let resumed_cells = journal.as_ref().map_or(0, Journal::len);
+    let cell_key = |k: u64, name: &str| format!("pass{k}/{name}");
 
     struct Pass {
         cpus: u64,
@@ -253,15 +386,81 @@ pub fn run_perf(
         measured: Vec<Measured>,
     }
     let mut passes: Vec<Pass> = Vec::new();
+    let mut deadline_hit = false;
     for &k in &cpus_list {
+        let done: Vec<bool> = entries
+            .iter()
+            .map(|e| {
+                journal
+                    .as_ref()
+                    .is_some_and(|j| j.contains(&cell_key(k, e.name)))
+            })
+            .collect();
+        let resumed_any = done.iter().any(|&d| d);
+        let skip = |i: usize| done[i];
         let start = Instant::now();
-        let measured = run_cells(&entries, Parallelism::Fixed(k as usize), |_, entry| {
-            measure_scenario(entry, seed, scale, k <= 1)
-        });
+        let run = run_cells_ctl(
+            &entries,
+            Parallelism::Fixed(k as usize),
+            &ctl.deadline,
+            Some(&skip),
+            |_, entry| measure_scenario(entry, seed, scale, k <= 1),
+        );
+        let timed = start.elapsed().as_secs_f64().max(1e-9);
+
+        // Checkpoint every freshly completed cell. Deadline-cut cells are
+        // `None` and simply absent — a resumed run re-measures them.
+        if let Some(j) = &mut journal {
+            for (entry, m) in entries.iter().zip(&run.results) {
+                if let Some(m) = m {
+                    j.append(cell_key(k, entry.name), m.to_json());
+                }
+            }
+            j.flush()?;
+        }
+        if run.deadline_hit {
+            deadline_hit = true;
+            break;
+        }
+
+        let measured = entries
+            .iter()
+            .zip(run.results)
+            .map(|(entry, m)| match m {
+                Some(m) => Ok(m),
+                None => {
+                    let j = journal.as_ref().expect("skips only come from a journal");
+                    let payload = j
+                        .get(&cell_key(k, entry.name))
+                        .expect("skipped cells are journaled");
+                    Measured::from_json(payload).map_err(|reason| JournalError::Corrupt {
+                        line: 0,
+                        reason: format!("cell {}: {reason}", cell_key(k, entry.name)),
+                    })
+                }
+            })
+            .collect::<Result<Vec<Measured>, JournalError>>()?;
+        // A resumed pass's own wall time covers only the re-run cells;
+        // approximate the full pass by the sum of per-cell walls instead
+        // (exact for serial passes, an upper bound for concurrent ones).
+        let wall_secs = if resumed_any {
+            measured.iter().map(|m| m.wall_secs).sum::<f64>().max(1e-9)
+        } else {
+            timed
+        };
         passes.push(Pass {
             cpus: k,
-            wall_secs: start.elapsed().as_secs_f64().max(1e-9),
+            wall_secs,
             measured,
+        });
+    }
+
+    if deadline_hit {
+        return Ok(PerfRun {
+            report: None,
+            deadline_hit: true,
+            journal_path,
+            resumed_cells,
         });
     }
 
@@ -320,7 +519,7 @@ pub fn run_perf(
         })
         .collect();
 
-    BenchReport {
+    let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         git_sha: git_sha.to_string(),
         seed,
@@ -332,7 +531,13 @@ pub fn run_perf(
         notes: notes.to_string(),
         scenarios,
         scaling,
-    }
+    };
+    Ok(PerfRun {
+        report: Some(report),
+        deadline_hit: false,
+        journal_path,
+        resumed_cells,
+    })
 }
 
 /// The current commit's short SHA, or `unknown` outside a git checkout.
@@ -606,11 +811,22 @@ pub struct Comparison {
     pub regressions: Vec<String>,
     /// Scenario ids whose throughput improved beyond the threshold.
     pub improvements: Vec<String>,
+    /// Advisory findings (cpus mismatches, checksum drift, RSS growth,
+    /// skipped RSS comparisons) — kept out of [`text`](Comparison::text)
+    /// so the CLI can route them to stderr, and promotable to a gate via
+    /// `rcbsim perf --strict`.
+    pub warnings: Vec<String>,
 }
 
 impl Comparison {
     pub fn passed(&self) -> bool {
         self.regressions.is_empty()
+    }
+
+    /// Whether the comparison passes under `--strict`, where any warning
+    /// is treated as a failure alongside real regressions.
+    pub fn passed_strict(&self) -> bool {
+        self.passed() && self.warnings.is_empty()
     }
 }
 
@@ -625,11 +841,13 @@ impl Comparison {
 /// changed, which an optimisation PR must explain. Peak RSS is compared
 /// (advisory growth warning) only when **both** sides carry exclusive
 /// measurements; cumulative or absent readings are skipped and counted.
+/// Warnings land in [`Comparison::warnings`], not the table text.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Comparison {
     use std::fmt::Write as _;
     let mut text = String::new();
     let mut regressions = Vec::new();
     let mut improvements = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
     let mut rss_skipped = 0usize;
     let _ = writeln!(
         text,
@@ -678,22 +896,20 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
             verdict
         );
         if base.cpus != cur.cpus {
-            let _ = writeln!(
-                text,
-                "  warning: `{}` measured at {} cpus vs baseline's {} — per-core comparison \
+            warnings.push(format!(
+                "`{}` measured at {} cpus vs baseline's {} — per-core comparison \
                  only approximates contention effects",
                 cur.id, cur.cpus, base.cpus
-            );
+            ));
         }
         let comparable = baseline.seed == current.seed
             && baseline.scale == current.scale
             && base.trials == cur.trials;
         if comparable && base.checksum != cur.checksum {
-            let _ = writeln!(
-                text,
-                "  warning: `{}` checksum drift ({} → {}): outputs changed at identical seeds",
+            warnings.push(format!(
+                "`{}` checksum drift ({} → {}): outputs changed at identical seeds",
                 cur.id, base.checksum, cur.checksum
-            );
+            ));
         }
         match (
             base.rss_exclusive,
@@ -703,11 +919,10 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
         ) {
             (true, true, Some(b), Some(c)) => {
                 if b > 0 && c as f64 > b as f64 * (1.0 + threshold) {
-                    let _ = writeln!(
-                        text,
-                        "  warning: `{}` peak RSS grew {} → {} KiB (advisory, not gated)",
+                    warnings.push(format!(
+                        "`{}` peak RSS grew {} → {} KiB (advisory unless --strict)",
                         cur.id, b, c
-                    );
+                    ));
                 }
             }
             _ => rss_skipped += 1,
@@ -724,22 +939,23 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
         }
     }
     if rss_skipped > 0 {
-        let _ = writeln!(
-            text,
+        warnings.push(format!(
             "RSS comparison skipped for {rss_skipped} scenario(s): cumulative or absent \
              measurements on at least one side"
-        );
+        ));
     }
     let _ = writeln!(
         text,
-        "{} regression(s), {} improvement(s)",
+        "{} regression(s), {} improvement(s), {} warning(s)",
         regressions.len(),
-        improvements.len()
+        improvements.len(),
+        warnings.len()
     );
     Comparison {
         text,
         regressions,
         improvements,
+        warnings,
     }
 }
 
@@ -894,7 +1110,14 @@ mod tests {
         // Raw 3.2e8 vs 1.0e8 would read as a 3.2× improvement; per-core
         // normalisation must see through it.
         assert!(cmp.improvements.is_empty(), "{}", cmp.text);
-        assert!(cmp.text.contains("measured at 4 cpus"), "{}", cmp.text);
+        assert!(
+            cmp.warnings
+                .iter()
+                .any(|w| w.contains("measured at 4 cpus")),
+            "{:?}",
+            cmp.warnings
+        );
+        assert!(!cmp.passed_strict(), "warnings must gate under --strict");
     }
 
     #[test]
@@ -904,7 +1127,15 @@ mod tests {
         drifted.scenarios[0].checksum = "00000000000000bb".into();
         let cmp = compare(&baseline, &drifted, DEFAULT_THRESHOLD);
         assert!(cmp.passed(), "drift warns but does not gate");
-        assert!(cmp.text.contains("checksum drift"));
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("checksum drift")),
+            "{:?}",
+            cmp.warnings
+        );
+        assert!(
+            !cmp.text.contains("checksum drift"),
+            "warnings stay out of the stdout table"
+        );
     }
 
     #[test]
@@ -914,8 +1145,16 @@ mod tests {
         grown.scenarios[0].peak_rss_kib = Some(4096 * 3);
         let cmp = compare(&baseline, &grown, DEFAULT_THRESHOLD);
         assert!(cmp.passed());
-        assert!(cmp.text.contains("peak RSS grew"), "{}", cmp.text);
-        assert!(!cmp.text.contains("skipped"), "{}", cmp.text);
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("peak RSS grew")),
+            "{:?}",
+            cmp.warnings
+        );
+        assert!(
+            !cmp.warnings.iter().any(|w| w.contains("skipped")),
+            "{:?}",
+            cmp.warnings
+        );
     }
 
     #[test]
@@ -930,12 +1169,17 @@ mod tests {
         current.scenarios[1].rss_exclusive = false;
         let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD);
         assert!(cmp.passed());
-        assert!(!cmp.text.contains("peak RSS grew"), "{}", cmp.text);
         assert!(
-            cmp.text
-                .contains("RSS comparison skipped for 2 scenario(s)"),
-            "{}",
-            cmp.text
+            !cmp.warnings.iter().any(|w| w.contains("peak RSS grew")),
+            "{:?}",
+            cmp.warnings
+        );
+        assert!(
+            cmp.warnings
+                .iter()
+                .any(|w| w.contains("RSS comparison skipped for 2 scenario(s)")),
+            "{:?}",
+            cmp.warnings
         );
     }
 
@@ -985,7 +1229,11 @@ mod tests {
         // above; what must hold on a re-run is zero checksum drift.
         let cmp = compare(&a, &b, 2.0);
         assert!(cmp.passed(), "{}", cmp.text);
-        assert!(!cmp.text.contains("checksum drift"));
+        assert!(
+            !cmp.warnings.iter().any(|w| w.contains("checksum drift")),
+            "{:?}",
+            cmp.warnings
+        );
     }
 
     #[test]
@@ -1009,5 +1257,128 @@ mod tests {
     fn git_sha_probe_does_not_crash() {
         let sha = git_short_sha();
         assert!(!sha.is_empty());
+    }
+
+    fn tmp_journal(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rcb_perf_test_{}_{name}.jsonl", std::process::id()))
+    }
+
+    /// Copies the first `keep` records of a journal — the state a killed
+    /// run leaves behind.
+    fn truncated_copy(src: &std::path::Path, dst: &std::path::Path, keep: usize) {
+        let full = Journal::load(src).expect("source journal");
+        let mut part = Journal::create(dst, full.header().clone());
+        let cells: Vec<String> = full.cells().take(keep).map(str::to_string).collect();
+        for cell in cells {
+            let payload = full.get(&cell).expect("listed cell").clone();
+            part.append(cell, payload);
+        }
+        part.flush().expect("flush partial journal");
+    }
+
+    #[test]
+    fn interrupted_grid_resumes_bit_identically_across_cpus() {
+        let full = tmp_journal("resume_full");
+        let part = tmp_journal("resume_part");
+        let ctl = PerfControl {
+            journal: Some(full.clone()),
+            ..PerfControl::default()
+        };
+        let a = run_perf_ctl(2014, PerfScale::Smoke, "test", "", &[1, 2], &ctl)
+            .expect("journaled run")
+            .report
+            .expect("no deadline: the grid completes");
+
+        // Kill-and-resume simulation: only the first 5 cells survived.
+        truncated_copy(&full, &part, 5);
+        let ctl = PerfControl {
+            resume: Some(part.clone()),
+            ..PerfControl::default()
+        };
+        let run = run_perf_ctl(2014, PerfScale::Smoke, "test", "", &[1, 2], &ctl)
+            .expect("resume accepted: same fingerprint");
+        assert_eq!(run.resumed_cells, 5);
+        let b = run.report.expect("resumed run completes");
+
+        assert_eq!(a.scenarios.len(), b.scenarios.len());
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.slots, y.slots, "{}: slots drifted under resume", x.id);
+            assert_eq!(
+                x.checksum, y.checksum,
+                "{}: resume must be bit-identical to an uninterrupted run",
+                x.id
+            );
+        }
+        // The journaled wall times of resumed cells are reused verbatim.
+        let journaled = Journal::load(&part).expect("resume journal grew");
+        assert_eq!(journaled.len(), full_cell_count(&a, &[1, 2]));
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&part).ok();
+    }
+
+    fn full_cell_count(report: &BenchReport, cpus: &[u64]) -> usize {
+        report.scenarios.len() * cpus.len()
+    }
+
+    #[test]
+    fn an_elapsed_deadline_cuts_the_grid_with_the_journal_flushed() {
+        let path = tmp_journal("deadline_cut");
+        let ctl = PerfControl {
+            journal: Some(path.clone()),
+            resume: None,
+            deadline: Deadline::after(std::time::Duration::ZERO),
+        };
+        let run = run_perf_ctl(2014, PerfScale::Smoke, "test", "", &[1], &ctl)
+            .expect("a deadline cut is not an error");
+        assert!(run.deadline_hit);
+        assert!(run.report.is_none(), "a cut grid yields no report");
+        assert_eq!(run.journal_path.as_deref(), Some(path.as_path()));
+        let j = Journal::load(&path).expect("the journal was flushed on the cut");
+        assert_eq!(j.header().kind, "perf");
+        assert_eq!(
+            j.header().fingerprint,
+            perf_fingerprint(2014, PerfScale::Smoke)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_refuses_a_journal_from_different_work() {
+        let path = tmp_journal("wrong_seed");
+        let j = Journal::create(
+            &path,
+            JournalHeader::new("perf", perf_fingerprint(1, PerfScale::Smoke), Json::Null),
+        );
+        j.flush().expect("flush");
+        let ctl = PerfControl {
+            resume: Some(path.clone()),
+            ..PerfControl::default()
+        };
+        let err = run_perf_ctl(2014, PerfScale::Smoke, "test", "", &[1], &ctl)
+            .expect_err("seed 1 journal must not resume a seed 2014 run");
+        assert!(
+            matches!(err, JournalError::FingerprintMismatch { .. }),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn measured_payload_round_trips() {
+        let m = Measured {
+            slots: u64::MAX - 7,
+            checksum: 0x0123_4567_89ab_cdef,
+            wall_secs: 1.25,
+            peak_rss_kib: Some(4096),
+            rss_exclusive: true,
+        };
+        assert_eq!(Measured::from_json(&m.to_json()).unwrap(), m);
+        let none = Measured {
+            peak_rss_kib: None,
+            rss_exclusive: false,
+            ..m
+        };
+        assert_eq!(Measured::from_json(&none.to_json()).unwrap(), none);
     }
 }

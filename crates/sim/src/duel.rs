@@ -26,6 +26,7 @@ use rcb_mathkit::rng::RcbRng;
 use rcb_mathkit::sample::{bernoulli, sample_slots_into};
 use serde::{Deserialize, Serialize};
 
+use crate::deadline::Deadline;
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 use crate::outcome::DuelOutcome;
@@ -85,7 +86,15 @@ pub fn run_duel<P: DuelProfile>(
     rng: &mut RcbRng,
     config: DuelConfig,
 ) -> DuelOutcome {
-    run_duel_core(profile, adversary, rng, config, &FaultPlan::none()).0
+    run_duel_core(
+        profile,
+        adversary,
+        rng,
+        config,
+        &FaultPlan::none(),
+        &Deadline::NONE,
+    )
+    .0
 }
 
 /// [`run_duel`] with a fault-injection plan (see [`crate::faults`]).
@@ -103,7 +112,7 @@ pub fn run_duel_faulted<P: DuelProfile>(
     config: DuelConfig,
     faults: &FaultPlan,
 ) -> DuelOutcome {
-    run_duel_core(profile, adversary, rng, config, faults).0
+    run_duel_core(profile, adversary, rng, config, faults, &Deadline::NONE).0
 }
 
 /// [`run_duel_faulted`] that reports budget exhaustion (the slot cap or
@@ -116,7 +125,7 @@ pub fn run_duel_checked<P: DuelProfile>(
     config: DuelConfig,
     faults: &FaultPlan,
 ) -> Result<DuelOutcome, SimError> {
-    match run_duel_core(profile, adversary, rng, config, faults) {
+    match run_duel_core(profile, adversary, rng, config, faults, &Deadline::NONE) {
         (outcome, None) => Ok(outcome),
         (_, Some(err)) => Err(err),
     }
@@ -128,6 +137,7 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
     rng: &mut RcbRng,
     config: DuelConfig,
     faults: &FaultPlan,
+    deadline: &Deadline,
 ) -> (DuelOutcome, Option<SimError>) {
     debug_assert!(faults.validate().is_ok(), "invalid fault plan");
     let mut alice = AliceState::new(profile.start_epoch());
@@ -169,6 +179,11 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
     let mut sends_buf: Vec<u64> = Vec::new();
     let mut listens_buf: Vec<u64> = Vec::new();
 
+    // The deadline checkpoint consumes no RNG, so an unbounded deadline
+    // (the default on every legacy path) stays byte-identical; the
+    // `is_unbounded` gate keeps even the clock read off the default path.
+    let bounded = !deadline.is_unbounded();
+
     while !((alice.is_done() || alice_dead) && (bob.is_done() || bob_dead)) {
         if slots >= config.max_slots {
             truncated = true;
@@ -176,6 +191,11 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
                 max_slots: config.max_slots,
                 slots,
             });
+            break;
+        }
+        if bounded && deadline.exceeded() {
+            truncated = true;
+            error = Some(SimError::DeadlineExceeded { slots });
             break;
         }
         let len = profile.phase_len(epoch);
@@ -785,6 +805,48 @@ mod tests {
         assert!(!out.delivered);
         assert!(out.bob_premature);
         assert!(!out.truncated);
+    }
+
+    #[test]
+    fn an_elapsed_deadline_truncates_with_a_typed_error() {
+        let mut rng = RcbRng::new(5);
+        let mut adv = NoJamRep;
+        let (out, err) = run_duel_core(
+            &NeverHaltProfile,
+            &mut adv,
+            &mut rng,
+            DuelConfig {
+                max_slots: u64::MAX,
+            },
+            &FaultPlan::none(),
+            &Deadline::after(std::time::Duration::ZERO),
+        );
+        assert!(out.truncated);
+        assert!(matches!(err, Some(SimError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn an_unbounded_deadline_is_bit_identical_to_the_legacy_path() {
+        let profile = Fig1Profile::with_start_epoch(0.1, 8);
+        for seed in 0..10 {
+            let mut rng_a = RcbRng::new(seed);
+            let mut adv_a = BudgetedRepBlocker::new(4096, 1.0);
+            let plain = run_duel(&profile, &mut adv_a, &mut rng_a, DuelConfig::default());
+            let mut rng_b = RcbRng::new(seed);
+            let mut adv_b = BudgetedRepBlocker::new(4096, 1.0);
+            let far = Deadline::after(std::time::Duration::from_secs(3600));
+            let (timed, err) = run_duel_core(
+                &profile,
+                &mut adv_b,
+                &mut rng_b,
+                DuelConfig::default(),
+                &FaultPlan::none(),
+                &far,
+            );
+            assert_eq!(plain, timed, "seed {seed}");
+            assert_eq!(rng_a, rng_b, "seed {seed}: no extra randomness drawn");
+            assert!(err.is_none());
+        }
     }
 
     #[test]

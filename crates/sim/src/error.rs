@@ -29,6 +29,17 @@ pub enum SimError {
         /// Slots executed before giving up.
         slots: u64,
     },
+    /// A cooperative wall-clock deadline (or cancellation flag) fired
+    /// before the run finished. Unlike the budget variants this is *not*
+    /// deterministic — where the cut lands depends on machine speed — so
+    /// results carrying it are reported but never journaled; a resumed run
+    /// re-executes them from the seed fold.
+    DeadlineExceeded {
+        /// Slots executed before the cancellation checkpoint fired (0 when
+        /// the deadline was already exceeded between trials, i.e. the
+        /// trial never started).
+        slots: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +55,63 @@ impl fmt::Display for SimError {
                 "epoch budget exhausted: reached epoch cap {max_epoch} after {slots} slots \
                  with nodes still running"
             ),
+            SimError::DeadlineExceeded { slots } => write!(
+                f,
+                "deadline exceeded: cooperative cancellation after {slots} slots \
+                 with nodes still running"
+            ),
+        }
+    }
+}
+
+impl SimError {
+    /// Serializes for journal payloads; [`SimError::from_json`] inverts.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        match *self {
+            SimError::SlotBudgetExhausted { max_slots, slots } => Json::obj(vec![
+                ("kind", Json::Str("slot_budget".into())),
+                ("max_slots", Json::Str(max_slots.to_string())),
+                ("slots", Json::Str(slots.to_string())),
+            ]),
+            SimError::EpochBudgetExhausted { max_epoch, slots } => Json::obj(vec![
+                ("kind", Json::Str("epoch_budget".into())),
+                ("max_epoch", Json::Num(f64::from(max_epoch))),
+                ("slots", Json::Str(slots.to_string())),
+            ]),
+            SimError::DeadlineExceeded { slots } => Json::obj(vec![
+                ("kind", Json::Str("deadline".into())),
+                ("slots", Json::Str(slots.to_string())),
+            ]),
+        }
+    }
+
+    /// Inverse of [`SimError::to_json`].
+    pub fn from_json(value: &crate::json::Json) -> Result<SimError, String> {
+        let u64_field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("SimError json missing `{key}`"))?
+                .parse::<u64>()
+                .map_err(|e| format!("SimError `{key}`: {e}"))
+        };
+        match value.get("kind").and_then(|k| k.as_str()) {
+            Some("slot_budget") => Ok(SimError::SlotBudgetExhausted {
+                max_slots: u64_field("max_slots")?,
+                slots: u64_field("slots")?,
+            }),
+            Some("epoch_budget") => Ok(SimError::EpochBudgetExhausted {
+                max_epoch: value
+                    .get("max_epoch")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("SimError json missing `max_epoch`")? as u32,
+                slots: u64_field("slots")?,
+            }),
+            Some("deadline") => Ok(SimError::DeadlineExceeded {
+                slots: u64_field("slots")?,
+            }),
+            other => Err(format!("unknown SimError kind {other:?}")),
         }
     }
 }
@@ -56,13 +124,31 @@ impl std::error::Error for SimError {}
 pub struct TrialFailure {
     /// The trial index whose closure panicked.
     pub trial: u64,
-    /// The stringified panic payload.
+    /// The stringified panic payload; non-string payloads are rendered as
+    /// `TypeName: value` for the probed types (see `runner::panic_payload`).
     pub payload: String,
+    /// Same-seed attempts made before giving up (1 = no retry policy).
+    pub attempts: u32,
+}
+
+impl TrialFailure {
+    /// A failure recorded on the first and only attempt.
+    pub fn new(trial: u64, payload: String) -> TrialFailure {
+        TrialFailure {
+            trial,
+            payload,
+            attempts: 1,
+        }
+    }
 }
 
 impl fmt::Display for TrialFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trial {} panicked: {}", self.trial, self.payload)
+        write!(f, "trial {} panicked: {}", self.trial, self.payload)?;
+        if self.attempts > 1 {
+            write!(f, " ({} same-seed attempts)", self.attempts)?;
+        }
+        Ok(())
     }
 }
 
@@ -84,11 +170,35 @@ mod tests {
             slots: 99,
         };
         assert!(e.to_string().contains("62"));
-        let t = TrialFailure {
-            trial: 3,
-            payload: "boom".into(),
-        };
+        let e = SimError::DeadlineExceeded { slots: 7 };
+        assert!(e.to_string().contains("deadline"));
+        let t = TrialFailure::new(3, "boom".into());
         assert!(t.to_string().contains("trial 3"));
         assert!(t.to_string().contains("boom"));
+        assert!(!t.to_string().contains("attempts"), "no retry note at 1");
+        let t = TrialFailure {
+            attempts: 3,
+            ..TrialFailure::new(3, "boom".into())
+        };
+        assert!(t.to_string().contains("3 same-seed attempts"));
+    }
+
+    #[test]
+    fn sim_errors_round_trip_through_json() {
+        for e in [
+            SimError::SlotBudgetExhausted {
+                max_slots: 1 << 40,
+                slots: u64::MAX - 1,
+            },
+            SimError::EpochBudgetExhausted {
+                max_epoch: 62,
+                slots: 12345,
+            },
+            SimError::DeadlineExceeded { slots: 0 },
+        ] {
+            let back = SimError::from_json(&e.to_json()).expect("round trip");
+            assert_eq!(e, back);
+        }
+        assert!(SimError::from_json(&crate::json::Json::Null).is_err());
     }
 }

@@ -15,6 +15,7 @@ use rcb_core::protocol::{Schedule, SlotProtocol};
 use rcb_mathkit::rng::RcbRng;
 use serde::{Deserialize, Serialize};
 
+use crate::deadline::Deadline;
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 
@@ -65,6 +66,7 @@ pub fn run_exact(
         config,
         trace,
         &FaultPlan::none(),
+        &Deadline::NONE,
     )
     .0
 }
@@ -89,7 +91,15 @@ pub fn run_exact_faulted(
     faults: &FaultPlan,
 ) -> ExactOutcome {
     run_exact_core(
-        protocols, adversary, schedule, partition, rng, config, trace, faults,
+        protocols,
+        adversary,
+        schedule,
+        partition,
+        rng,
+        config,
+        trace,
+        faults,
+        &Deadline::NONE,
     )
     .0
 }
@@ -108,12 +118,24 @@ pub fn run_exact_checked(
     faults: &FaultPlan,
 ) -> Result<ExactOutcome, SimError> {
     match run_exact_core(
-        protocols, adversary, schedule, partition, rng, config, trace, faults,
+        protocols,
+        adversary,
+        schedule,
+        partition,
+        rng,
+        config,
+        trace,
+        faults,
+        &Deadline::NONE,
     ) {
         (outcome, None) => Ok(outcome),
         (_, Some(err)) => Err(err),
     }
 }
+
+/// Slots between deadline checkpoints in the exact engine's hot loop: the
+/// per-slot work is small, so reading the clock every slot would dominate.
+const DEADLINE_CHECK_MASK: u64 = 0xFFF;
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_exact_core(
@@ -125,6 +147,7 @@ pub(crate) fn run_exact_core(
     config: ExactConfig,
     mut trace: Option<&mut Trace>,
     faults: &FaultPlan,
+    deadline: &Deadline,
 ) -> (ExactOutcome, Option<SimError>) {
     assert_eq!(
         protocols.len(),
@@ -151,8 +174,23 @@ pub(crate) fn run_exact_core(
     let mut dead = vec![false; protocols.len()];
     let mut pending_reboot = faults.reboot_at();
 
+    // Deadline checkpoints consume no RNG; the `is_unbounded` gate keeps
+    // even the cadenced clock read off the default (unbounded) path.
+    let bounded = !deadline.is_unbounded();
+
     let mut slot = 0u64;
     while slot < config.max_slots {
+        if bounded && slot & DEADLINE_CHECK_MASK == 0 && deadline.exceeded() {
+            let completed = protocols.iter().zip(&dead).all(|(p, &d)| p.is_done() || d);
+            return (
+                ExactOutcome {
+                    ledger,
+                    slots: slot,
+                    completed,
+                },
+                (!completed).then_some(SimError::DeadlineExceeded { slots: slot }),
+            );
+        }
         let loc = schedule.locate(slot);
         if loc.offset == 0 {
             // Period-boundary bookkeeping: the battery gauge is sampled
@@ -389,6 +427,29 @@ mod tests {
                 slots: 10
             }
         );
+    }
+
+    #[test]
+    fn an_elapsed_deadline_stops_the_slot_loop_with_a_typed_error() {
+        let (mut alice, mut bob, schedule) = fig1_pair(8);
+        let mut rng = RcbRng::new(9);
+        let mut adv = NoJam;
+        let partition = Partition::pair();
+        let (out, err) = run_exact_core(
+            &mut [&mut alice, &mut bob],
+            &mut adv,
+            &schedule,
+            &partition,
+            &mut rng,
+            ExactConfig::default(),
+            None,
+            &FaultPlan::none(),
+            &Deadline::after(std::time::Duration::ZERO),
+        );
+        // The checkpoint at slot 0 fires before any work happens.
+        assert_eq!(out.slots, 0);
+        assert!(!out.completed);
+        assert_eq!(err, Some(SimError::DeadlineExceeded { slots: 0 }));
     }
 
     #[test]

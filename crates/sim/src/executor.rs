@@ -33,13 +33,28 @@
 //! threads. `Fixed(n > 1)` at both tiers is honoured by name and therefore
 //! oversubscribes — callers that nest must pick one parallel tier
 //! (DESIGN.md §11).
+//!
+//! ## Crash-safe control ([`run_cells_ctl`] / [`run_specs_ctl`])
+//!
+//! The `_ctl` variants accept a [`SpecsControl`] (deadline, same-seed
+//! retry budget, resume-skip predicate) and report **partial** results:
+//! every completed unit is `Some`, everything the deadline cut off or the
+//! skip predicate elided is `None`, and the run's `deadline_hit` flag
+//! says why. The run-level deadline is checked *between* work units —
+//! an in-flight trial or cell always finishes, so every `Some` is a
+//! deterministic, journal-safe result. A panicking trial is retried on
+//! its **same** derived seed up to `max_attempts` times, then quarantined
+//! ([`QuarantinedTrial`]) instead of aborting the sweep; the seed streams
+//! of every other trial are untouched either way.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 use rcb_mathkit::rng::{RcbRng, SeedSequence};
 
-use crate::error::SimError;
+use crate::deadline::Deadline;
+use crate::error::{SimError, TrialFailure};
 use crate::runner::{enter_worker, panic_payload, Parallelism};
 use crate::scenario::{fnv1a, Outcome, ScenarioSpec, FNV_OFFSET};
 
@@ -48,8 +63,88 @@ use crate::scenario::{fnv1a, Outcome, ScenarioSpec, FNV_OFFSET};
 /// enough to amortise the atomic traffic and the batched seed derivation.
 const TRIAL_CHUNK: u64 = 16;
 
-/// One trial's result paired with its global index, pre-merge.
-type IndexedTrial = (u64, (Outcome, Option<SimError>));
+/// One trial's result (or quarantined failure) paired with its global
+/// index, pre-merge.
+type IndexedTrial = (u64, Result<(Outcome, Option<SimError>), TrialFailure>);
+
+/// One spec's per-trial slots: `None` for skipped/never-started trials,
+/// `Some` for completed deterministic results.
+pub type TrialSlots = Vec<Option<(Outcome, Option<SimError>)>>;
+
+/// Crash-safety knobs for [`run_specs_ctl`]. [`SpecsControl::DEFAULT`]
+/// reproduces the uncontrolled [`run_specs`] behaviour exactly.
+pub struct SpecsControl<'a> {
+    /// Run-level wall-clock budget / cancellation token, checked *between*
+    /// trials: in-flight trials finish, so partial results stay
+    /// deterministic and journal-safe.
+    pub deadline: Deadline,
+    /// Optional per-trial wall budget: each trial (and each retry attempt)
+    /// gets a fresh [`Deadline::after`] this long, threaded into the
+    /// engine slot loops. Deadline-cut trials report
+    /// [`SimError::DeadlineExceeded`] and are wall-clock dependent —
+    /// resume paths must re-run them, never journal them.
+    pub trial_deadline: Option<Duration>,
+    /// Same-seed attempts before a panicking trial is quarantined
+    /// (`1` = no retry; `0` is treated as `1`).
+    pub max_attempts: u32,
+    /// Resume predicate: `skip(spec, trial) == true` elides the trial
+    /// (its result slot stays `None`). Seed derivation for every other
+    /// trial is untouched, so a resumed run is bit-identical to an
+    /// uninterrupted one.
+    pub skip: Option<&'a (dyn Fn(usize, u64) -> bool + Sync)>,
+}
+
+impl SpecsControl<'static> {
+    /// No deadline, no retries, no skips — [`run_specs`] semantics.
+    pub const DEFAULT: SpecsControl<'static> = SpecsControl {
+        deadline: Deadline::NONE,
+        trial_deadline: None,
+        max_attempts: 1,
+        skip: None,
+    };
+}
+
+impl Default for SpecsControl<'static> {
+    fn default() -> Self {
+        SpecsControl::DEFAULT
+    }
+}
+
+/// A trial that kept panicking on its own seed and was set aside so the
+/// rest of the sweep could finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTrial {
+    /// Index into the spec list passed to [`run_specs_ctl`].
+    pub spec: usize,
+    /// The trial index within that spec.
+    pub trial: u64,
+    /// The recorded failure (message + attempt count).
+    pub failure: TrialFailure,
+}
+
+/// Partial, typed result of [`run_specs_ctl`].
+#[derive(Debug)]
+pub struct SpecsRun {
+    /// Per-spec, per-trial results in spec/trial order. `None` means the
+    /// trial was skipped (resume) or never started (deadline/quarantine);
+    /// every `Some` is a completed, deterministic result.
+    pub results: Vec<TrialSlots>,
+    /// Trials that exhausted their same-seed retry budget, in
+    /// (spec, trial) order.
+    pub quarantined: Vec<QuarantinedTrial>,
+    /// The run-level deadline (or cancellation flag) fired and cut the
+    /// sweep short. Partial results were reported, never silently clipped.
+    pub deadline_hit: bool,
+}
+
+/// Partial, typed result of [`run_cells_ctl`].
+#[derive(Debug)]
+pub struct CellsRun<T> {
+    /// Per-cell results in list order; `None` = skipped or cut off.
+    pub results: Vec<Option<T>>,
+    /// The deadline (or cancellation flag) fired before all cells ran.
+    pub deadline_hit: bool,
+}
 
 /// Deterministic parallel map over a heterogeneous work list: applies `f`
 /// to every element of `items` and returns the results **in list order**,
@@ -67,22 +162,69 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    run_cells_ctl(items, parallelism, &Deadline::NONE, None, f)
+        .results
+        .into_iter()
+        .map(|v| v.expect("unbounded, skip-free run: every cell completed"))
+        .collect()
+}
+
+/// [`run_cells`] with a cooperative deadline and a resume-skip predicate.
+///
+/// The deadline is checked before *starting* each cell — an in-flight
+/// cell always finishes, so every `Some` in the result is a complete,
+/// deterministic value safe to journal. `skip(i) == true` elides cell `i`
+/// entirely (its slot stays `None`); remaining cells are unperturbed.
+pub fn run_cells_ctl<I, T, F>(
+    items: &[I],
+    parallelism: Parallelism,
+    deadline: &Deadline,
+    skip: Option<&(dyn Fn(usize) -> bool + Sync)>,
+    f: F,
+) -> CellsRun<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let bounded = !deadline.is_unbounded();
+    let hit = AtomicBool::new(false);
     let threads = parallelism.threads().min(items.len().max(1));
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
     if threads <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
+        for (i, item) in items.iter().enumerate() {
+            if bounded && deadline.exceeded() {
+                hit.store(true, Ordering::Relaxed);
+                break;
+            }
+            if skip.is_some_and(|s| s(i)) {
+                continue;
+            }
+            slots[i] = Some(f(i, item));
+        }
+        return CellsRun {
+            results: slots,
+            deadline_hit: hit.load(Ordering::Relaxed),
+        };
     }
 
     let cursor = AtomicU64::new(0);
     let worker = |collected: &mut Vec<(usize, T)>| {
         enter_worker();
         loop {
+            if bounded && (hit.load(Ordering::Relaxed) || deadline.exceeded()) {
+                hit.store(true, Ordering::Relaxed);
+                return;
+            }
             let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
             if i >= items.len() {
                 return;
+            }
+            if skip.is_some_and(|s| s(i)) {
+                continue;
             }
             collected.push((i, f(i, &items[i])));
         }
@@ -96,16 +238,14 @@ where
         }
     });
 
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
     for (i, value) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "cell {i} claimed twice");
         slots[i] = Some(value);
     }
-    slots
-        .into_iter()
-        .map(|v| v.expect("every cell index was claimed exactly once"))
-        .collect()
+    CellsRun {
+        results: slots,
+        deadline_hit: hit.load(Ordering::Relaxed),
+    }
 }
 
 /// Runs every trial of every spec through one global work-stealing pool
@@ -124,6 +264,36 @@ pub fn run_specs(
     specs: &[ScenarioSpec],
     parallelism: Parallelism,
 ) -> Vec<Vec<(Outcome, Option<SimError>)>> {
+    let run = run_specs_ctl(specs, parallelism, &SpecsControl::DEFAULT);
+    if let Some(q) = run.quarantined.first() {
+        panic!("spec {}, trial {}: {}", q.spec, q.trial, q.failure.payload);
+    }
+    run.results
+        .into_iter()
+        .map(|batch| {
+            batch
+                .into_iter()
+                .map(|t| t.expect("unbounded, skip-free run: every trial completed"))
+                .collect()
+        })
+        .collect()
+}
+
+/// [`run_specs`] under a [`SpecsControl`]: cooperative deadlines, resume
+/// skips, and a bounded same-seed retry-then-quarantine policy for
+/// panicking trials — with **partial results reported**, never a silent
+/// clip.
+///
+/// Every completed trial still runs on the exact
+/// [`run_batch_raw`](ScenarioSpec::run_batch_raw) seed derivation
+/// (retries re-create the RNG from the *same* child seed), so whatever
+/// subset completes is bit-identical to the corresponding trials of an
+/// uninterrupted run at any thread count.
+pub fn run_specs_ctl(
+    specs: &[ScenarioSpec],
+    parallelism: Parallelism,
+    ctl: &SpecsControl<'_>,
+) -> SpecsRun {
     // offsets[k] = first global index of spec k; offsets[len] = total.
     let mut offsets: Vec<u64> = Vec::with_capacity(specs.len() + 1);
     let mut total = 0u64;
@@ -132,6 +302,9 @@ pub fn run_specs(
         total += spec.trials;
     }
     offsets.push(total);
+
+    let bounded = !ctl.deadline.is_unbounded();
+    let hit = AtomicBool::new(false);
 
     let run_chunk = |start: u64, end: u64, sink: &mut Vec<IndexedTrial>| {
         let mut g = start;
@@ -147,11 +320,20 @@ pub fn run_specs(
             SeedSequence::new(spec.seeds.master).children_into(first_trial, &mut child_seeds);
             for (j, &seed) in child_seeds.iter().enumerate() {
                 let trial = first_trial + j as u64;
-                let mut rng = RcbRng::new(seed);
-                let result = catch_unwind(AssertUnwindSafe(|| spec.run_trial_raw(trial, &mut rng)))
-                    .unwrap_or_else(|payload| {
-                        panic!("spec {cell}, trial {trial}: {}", panic_payload(payload))
-                    });
+                if bounded && ctl.deadline.exceeded() {
+                    hit.store(true, Ordering::Relaxed);
+                    return;
+                }
+                if ctl.skip.is_some_and(|s| s(cell, trial)) {
+                    continue;
+                }
+                let result = run_with_retries(seed, trial, ctl.max_attempts, |rng| {
+                    let trial_dl = ctl
+                        .trial_deadline
+                        .map(Deadline::after)
+                        .unwrap_or(Deadline::NONE);
+                    spec.run_trial_ctl(trial, rng, &trial_dl)
+                });
                 sink.push((g + j as u64, result));
             }
             g = sub_end;
@@ -163,12 +345,20 @@ pub fn run_specs(
         .min(total.div_ceil(TRIAL_CHUNK).max(1) as usize);
     let mut flat: Vec<IndexedTrial> = Vec::with_capacity(total as usize);
     if threads <= 1 {
-        run_chunk(0, total, &mut flat);
+        let mut start = 0;
+        while start < total && !hit.load(Ordering::Relaxed) {
+            let end = (start + TRIAL_CHUNK).min(total);
+            run_chunk(start, end, &mut flat);
+            start = end;
+        }
     } else {
         let cursor = AtomicU64::new(0);
         let worker = |collected: &mut Vec<IndexedTrial>| {
             enter_worker();
             loop {
+                if hit.load(Ordering::Relaxed) {
+                    return;
+                }
                 let start = cursor.fetch_add(TRIAL_CHUNK, Ordering::Relaxed);
                 if start >= total {
                     return;
@@ -188,24 +378,69 @@ pub fn run_specs(
 
     let mut slots: Vec<Option<(Outcome, Option<SimError>)>> = Vec::with_capacity(total as usize);
     slots.resize_with(total as usize, || None);
+    let mut quarantined_flat: Vec<(u64, TrialFailure)> = Vec::new();
     for (g, value) in flat {
         debug_assert!(slots[g as usize].is_none(), "trial {g} claimed twice");
-        slots[g as usize] = Some(value);
+        match value {
+            Ok(result) => slots[g as usize] = Some(result),
+            Err(failure) => quarantined_flat.push((g, failure)),
+        }
     }
+    quarantined_flat.sort_unstable_by_key(|(g, _)| *g);
+    let quarantined = quarantined_flat
+        .into_iter()
+        .map(|(g, failure)| {
+            let spec = offsets.partition_point(|&o| o <= g) - 1;
+            QuarantinedTrial {
+                spec,
+                trial: g - offsets[spec],
+                failure,
+            }
+        })
+        .collect();
+
     let mut slots = slots.into_iter();
-    specs
+    let results = specs
         .iter()
         .map(|spec| {
             (0..spec.trials)
-                .map(|_| {
-                    slots
-                        .next()
-                        .flatten()
-                        .expect("every global trial index was claimed exactly once")
-                })
+                .map(|_| slots.next().expect("slot per global index"))
                 .collect()
         })
-        .collect()
+        .collect();
+    SpecsRun {
+        results,
+        quarantined,
+        deadline_hit: hit.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs one trial with a bounded **same-seed** retry policy: each attempt
+/// re-creates the RNG from the same derived child seed, so a success on
+/// any attempt is byte-identical to a first-try success and no other
+/// trial's stream moves. After `max_attempts` panics (`0` treated as
+/// `1`), the trial is given up with the attempt count recorded.
+fn run_with_retries<T>(
+    seed: u64,
+    trial: u64,
+    max_attempts: u32,
+    run: impl Fn(&mut RcbRng) -> T,
+) -> Result<T, TrialFailure> {
+    let max_attempts = max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut rng = RcbRng::new(seed);
+        match catch_unwind(AssertUnwindSafe(|| run(&mut rng))) {
+            Ok(value) => return Ok(value),
+            Err(payload) if attempt >= max_attempts => {
+                let mut failure = TrialFailure::new(trial, panic_payload(payload));
+                failure.attempts = attempt;
+                return Err(failure);
+            }
+            Err(_) => {}
+        }
+    }
 }
 
 /// Per-spec FNV-1a batch checksums over [`run_specs`] results: each spec's
@@ -374,6 +609,152 @@ mod tests {
             x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn an_elapsed_run_deadline_reports_partials_not_a_clip() {
+        let specs = mixed_specs();
+        let ctl = SpecsControl {
+            deadline: Deadline::after(Duration::ZERO),
+            trial_deadline: None,
+            max_attempts: 1,
+            skip: None,
+        };
+        let run = run_specs_ctl(&specs, Parallelism::Fixed(1), &ctl);
+        assert!(run.deadline_hit, "the elapsed deadline must be reported");
+        assert!(run.quarantined.is_empty());
+        assert_eq!(run.results.len(), specs.len(), "shape is preserved");
+        assert!(
+            run.results.iter().flatten().all(|t| t.is_none()),
+            "no trial starts after an already-elapsed deadline"
+        );
+    }
+
+    #[test]
+    fn a_latched_cancel_flag_stops_the_sweep_between_trials() {
+        static FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        FLAG.store(true, Ordering::Relaxed);
+        let specs = mixed_specs();
+        let ctl = SpecsControl {
+            deadline: Deadline::NONE.with_cancel(&FLAG),
+            trial_deadline: None,
+            max_attempts: 1,
+            skip: None,
+        };
+        let run = run_specs_ctl(&specs, Parallelism::Fixed(2), &ctl);
+        assert!(run.deadline_hit);
+        assert!(run.results.iter().flatten().all(|t| t.is_none()));
+    }
+
+    #[test]
+    fn skip_predicate_resumes_bit_identically_to_a_straight_run() {
+        let specs = mixed_specs();
+        let straight = run_specs(&specs, Parallelism::Fixed(2));
+        // Simulate a resume where every even trial is already journaled.
+        let skip = |_spec: usize, trial: u64| trial.is_multiple_of(2);
+        let ctl = SpecsControl {
+            deadline: Deadline::NONE,
+            trial_deadline: None,
+            max_attempts: 1,
+            skip: Some(&skip),
+        };
+        let run = run_specs_ctl(&specs, Parallelism::Fixed(2), &ctl);
+        assert!(!run.deadline_hit);
+        for (s, batch) in run.results.iter().enumerate() {
+            for (t, slot) in batch.iter().enumerate() {
+                if t % 2 == 0 {
+                    assert!(slot.is_none(), "spec {s} trial {t} was journaled");
+                } else {
+                    assert_eq!(
+                        slot.as_ref().expect("unjournaled trial ran"),
+                        &straight[s][t],
+                        "spec {s} trial {t}: resume perturbed the seed fold"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_trial_deadline_yields_typed_deadline_errors() {
+        let specs = vec![ScenarioSpec::duel(DuelProtocol::fig1(0.1, 7))
+            .with_trials(3)
+            .with_seed(1)];
+        let ctl = SpecsControl {
+            deadline: Deadline::NONE,
+            trial_deadline: Some(Duration::ZERO),
+            max_attempts: 1,
+            skip: None,
+        };
+        let run = run_specs_ctl(&specs, Parallelism::Fixed(1), &ctl);
+        assert!(!run.deadline_hit, "the run-level deadline never fired");
+        for slot in &run.results[0] {
+            let (_, err) = slot.as_ref().expect("deadline-cut trials still report");
+            assert!(
+                matches!(err, Some(SimError::DeadlineExceeded { .. })),
+                "expected a typed deadline error, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retries_rerun_the_same_seed_then_quarantine() {
+        use std::sync::atomic::AtomicU32;
+        // Flaky once: the second attempt must replay the identical stream.
+        let calls = AtomicU32::new(0);
+        let ok = run_with_retries(77, 3, 3, |rng| {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("flaky once");
+            }
+            rng.below(1 << 30)
+        })
+        .expect("the second same-seed attempt succeeds");
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            ok,
+            RcbRng::new(77).below(1 << 30),
+            "a retry must not advance the trial's RNG stream"
+        );
+
+        // Deterministic panic: exhaust the budget, then quarantine.
+        let always: Result<u64, TrialFailure> =
+            run_with_retries(77, 3, 3, |_| panic!("always broken"));
+        let failure = always.expect_err("every attempt panicked");
+        assert_eq!(failure.trial, 3);
+        assert_eq!(failure.attempts, 3);
+        assert!(failure.payload.contains("always broken"));
+        assert!(failure.to_string().contains("3 same-seed attempts"));
+    }
+
+    #[test]
+    fn run_cells_ctl_skips_and_deadlines_report_partials() {
+        let items: Vec<u64> = (0..8).collect();
+        let skip = |i: usize| i.is_multiple_of(3);
+        let run = run_cells_ctl(
+            &items,
+            Parallelism::Fixed(2),
+            &Deadline::NONE,
+            Some(&skip),
+            |_, &x| x * 10,
+        );
+        assert!(!run.deadline_hit);
+        for (i, slot) in run.results.iter().enumerate() {
+            if i.is_multiple_of(3) {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(*slot, Some(i as u64 * 10));
+            }
+        }
+
+        let cut = run_cells_ctl(
+            &items,
+            Parallelism::Fixed(2),
+            &Deadline::after(Duration::ZERO),
+            None,
+            |_, &x| x,
+        );
+        assert!(cut.deadline_hit);
+        assert!(cut.results.iter().all(|s| s.is_none()));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use rcb_mathkit::rng::RcbRng;
 use rcb_mathkit::sample::{bernoulli, sample_slots_into};
 use serde::{Deserialize, Serialize};
 
+use crate::deadline::Deadline;
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 use crate::outcome::BroadcastOutcome;
@@ -126,6 +127,7 @@ pub fn run_broadcast_from(
         config,
         observer,
         &FaultPlan::none(),
+        &Deadline::NONE,
     )
     .0
 }
@@ -151,7 +153,18 @@ pub fn run_broadcast_faulted(
     observer: &mut dyn BroadcastObserver,
     faults: &FaultPlan,
 ) -> BroadcastOutcome {
-    run_broadcast_core(params, n, sources, adversary, rng, config, observer, faults).0
+    run_broadcast_core(
+        params,
+        n,
+        sources,
+        adversary,
+        rng,
+        config,
+        observer,
+        faults,
+        &Deadline::NONE,
+    )
+    .0
 }
 
 /// [`run_broadcast_faulted`] that reports budget exhaustion as a typed
@@ -167,7 +180,17 @@ pub fn run_broadcast_checked(
     observer: &mut dyn BroadcastObserver,
     faults: &FaultPlan,
 ) -> Result<BroadcastOutcome, SimError> {
-    match run_broadcast_core(params, n, sources, adversary, rng, config, observer, faults) {
+    match run_broadcast_core(
+        params,
+        n,
+        sources,
+        adversary,
+        rng,
+        config,
+        observer,
+        faults,
+        &Deadline::NONE,
+    ) {
         (outcome, None) => Ok(outcome),
         (_, Some(err)) => Err(err),
     }
@@ -183,6 +206,7 @@ pub(crate) fn run_broadcast_core(
     config: FastConfig,
     observer: &mut dyn BroadcastObserver,
     faults: &FaultPlan,
+    deadline: &Deadline,
 ) -> (BroadcastOutcome, Option<SimError>) {
     assert!(n >= 1, "need at least one node");
     assert!(!sources.is_empty(), "need at least one source");
@@ -221,11 +245,21 @@ pub(crate) fn run_broadcast_core(
     let mut clear_counts = vec![0u64; n];
     let mut msg_counts = vec![0u64; n];
 
+    // Deadline checkpoints sit at repetition boundaries (the granularity
+    // of all other bookkeeping) and consume no RNG; the `is_unbounded`
+    // gate keeps the clock read off the default path entirely.
+    let bounded = !deadline.is_unbounded();
+    let mut deadline_hit = false;
+
     let mut epoch = params.first_epoch;
     'epochs: while epoch <= config.max_epoch {
         let len = params.slots(epoch);
         let reps = params.reps(epoch);
         for _ in 0..reps {
+            if bounded && deadline.exceeded() {
+                deadline_hit = true;
+                break 'epochs;
+            }
             if has_faults {
                 // Repetition-boundary bookkeeping, mirroring the exact
                 // engine's period boundary: sample the battery gauge, fire
@@ -394,10 +428,14 @@ pub(crate) fn run_broadcast_core(
         .iter()
         .filter(|v| v.term_reason() == Some(rcb_core::one_to_n::TermReason::Safety))
         .count();
-    let err = truncated.then_some(SimError::EpochBudgetExhausted {
-        max_epoch: config.max_epoch,
-        slots: slots_total,
-    });
+    let err = if deadline_hit {
+        Some(SimError::DeadlineExceeded { slots: slots_total })
+    } else {
+        truncated.then_some(SimError::EpochBudgetExhausted {
+            max_epoch: config.max_epoch,
+            slots: slots_total,
+        })
+    };
     (
         BroadcastOutcome {
             n,
@@ -650,6 +688,26 @@ mod tests {
             err,
             SimError::EpochBudgetExhausted { max_epoch, .. } if max_epoch == p.first_epoch + 2
         ));
+    }
+
+    #[test]
+    fn an_elapsed_deadline_truncates_with_a_typed_error() {
+        let p = params();
+        let mut rng = RcbRng::new(7);
+        let (out, err) = run_broadcast_core(
+            &p,
+            16,
+            &[0],
+            &mut NoJamRep,
+            &mut rng,
+            FastConfig::default(),
+            &mut (),
+            &FaultPlan::none(),
+            &Deadline::after(std::time::Duration::ZERO),
+        );
+        assert!(out.truncated);
+        assert_eq!(out.slots, 0, "checkpoint fires before the first repetition");
+        assert_eq!(err, Some(SimError::DeadlineExceeded { slots: 0 }));
     }
 
     #[test]

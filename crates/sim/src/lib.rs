@@ -36,14 +36,25 @@
 //! `run_*`/`_faulted`/`_checked` entry-point matrix. New code should build
 //! a spec; the legacy entry points remain as thin wrappers over the same
 //! cores for callers that already hold protocol/adversary instances.
+//!
+//! The crash-safety layer rides on top: [`deadline`] threads a cooperative
+//! [`Deadline`]/cancellation token through the executor and the engine
+//! slot loops (wall-clock budgets end in a typed
+//! [`SimError::DeadlineExceeded`], never a silent clip), [`json`] is the
+//! dependency-free JSON layer, and [`journal`] persists per-cell results
+//! as an append-only, FNV-1a-checksummed JSONL file so interrupted sweeps
+//! resume bit-identical to uninterrupted ones.
 
 pub mod conformance;
+pub mod deadline;
 pub mod duel;
 pub mod error;
 pub mod exact;
 pub mod executor;
 pub mod fast;
 pub mod faults;
+pub mod journal;
+pub mod json;
 pub mod lowerbound;
 pub mod outcome;
 pub mod reduction;
@@ -53,19 +64,26 @@ pub mod scenario;
 pub use conformance::{
     default_grid, run_grid, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
 };
+pub use deadline::{install_sigint_handler, interrupted, Deadline};
 pub use duel::{run_duel, run_duel_checked, run_duel_faulted, DuelConfig};
 pub use error::{SimError, TrialFailure};
 pub use exact::{run_exact, run_exact_checked, run_exact_faulted, ExactConfig, ExactOutcome};
-pub use executor::{batch_checksums, run_cells, run_specs};
+pub use executor::{
+    batch_checksums, run_cells, run_cells_ctl, run_specs, run_specs_ctl, CellsRun,
+    QuarantinedTrial, SpecsControl, SpecsRun,
+};
 pub use fast::{
     run_broadcast, run_broadcast_checked, run_broadcast_faulted, run_broadcast_from,
     run_broadcast_observed, BroadcastObserver, FastConfig,
 };
 pub use faults::{BatteryFault, CrashFault, FaultConfigError, FaultPlan, LossFault, SkewFault};
+pub use journal::{Journal, JournalError, JournalHeader};
+pub use json::Json;
 pub use outcome::{BroadcastOutcome, DuelOutcome};
 pub use reduction::{simulate_reduction, ReductionOutcome};
 pub use runner::{run_trials, run_trials_isolated, Parallelism};
 pub use scenario::{
-    find_scenario, registry, AdversarySpec, BroadcastWorkload, DuelProtocol, DuelWorkload, Engine,
-    NamedScenario, Outcome, ScenarioSpec, SeedPolicy, Workload, FAST_STREAM_SALT,
+    find_scenario, fnv1a, fnv1a_bytes, registry, AdversarySpec, BroadcastWorkload, DuelProtocol,
+    DuelWorkload, Engine, NamedScenario, Outcome, ScenarioSpec, SeedPolicy, Workload,
+    FAST_STREAM_SALT, FNV_OFFSET,
 };

@@ -110,10 +110,8 @@ where
     let seeds = SeedSequence::new(master_seed);
     let run_one = |i: u64| -> Result<T, TrialFailure> {
         let mut rng = seeds.rng(i);
-        catch_unwind(AssertUnwindSafe(|| f(i, &mut rng))).map_err(|payload| TrialFailure {
-            trial: i,
-            payload: panic_payload(payload),
-        })
+        catch_unwind(AssertUnwindSafe(|| f(i, &mut rng)))
+            .map_err(|payload| TrialFailure::new(i, panic_payload(payload)))
     };
 
     if threads <= 1 {
@@ -153,15 +151,47 @@ where
 }
 
 /// Renders a panic payload the way the default hook does: `&str` and
-/// `String` payloads verbatim, anything else opaquely.
+/// `String` payloads verbatim. Non-string payloads are probed against the
+/// types a simulation harness plausibly throws — [`SimError`], I/O
+/// errors, numbers — and rendered as `TypeName: value` so the failure
+/// report names *what* was thrown instead of collapsing every typed
+/// payload to the same opaque line.
 pub(crate) fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
-    match payload.downcast::<String>() {
-        Ok(s) => *s,
-        Err(payload) => match payload.downcast::<&'static str>() {
-            Ok(s) => (*s).to_string(),
-            Err(_) => "non-string panic payload".to_string(),
-        },
+    let payload = match payload.downcast::<String>() {
+        Ok(s) => return *s,
+        Err(p) => p,
+    };
+    let payload = match payload.downcast::<&'static str>() {
+        Ok(s) => return (*s).to_string(),
+        Err(p) => p,
+    };
+    macro_rules! probe {
+        ($p:expr, $($ty:ty),+ $(,)?) => {{
+            let p = $p;
+            $(let p = match p.downcast::<$ty>() {
+                Ok(v) => return format!("{}: {}", stringify!($ty), *v),
+                Err(p) => p,
+            };)+
+            p
+        }};
     }
+    use crate::error::SimError;
+    use std::io::Error as IoError;
+    let _ = probe!(
+        payload,
+        SimError,
+        TrialFailure,
+        IoError,
+        i32,
+        u32,
+        i64,
+        u64,
+        usize,
+        f64,
+        bool,
+        char,
+    );
+    "non-string panic payload".to_string()
 }
 
 #[cfg(test)]
@@ -287,6 +317,30 @@ mod tests {
         let msg = super::panic_payload(payload);
         assert!(msg.contains("trial 2"), "got: {msg}");
         assert!(msg.contains("boom"), "got: {msg}");
+    }
+
+    #[test]
+    fn typed_panic_payloads_keep_their_type_names() {
+        use crate::error::SimError;
+        let results = run_trials_isolated(4, 9, Parallelism::Fixed(1), |i, _| match i {
+            0 => std::panic::panic_any(SimError::SlotBudgetExhausted {
+                max_slots: 8,
+                slots: 8,
+            }),
+            1 => std::panic::panic_any(42u64),
+            2 => std::panic::panic_any(vec![1u8]), // unprobed type stays opaque
+            _ => (),
+        });
+        let sim = &results[0].as_ref().expect_err("trial 0 panicked").payload;
+        assert!(
+            sim.starts_with("SimError: slot budget exhausted"),
+            "got: {sim}"
+        );
+        let num = &results[1].as_ref().expect_err("trial 1 panicked").payload;
+        assert_eq!(num, "u64: 42");
+        let opaque = &results[2].as_ref().expect_err("trial 2 panicked").payload;
+        assert_eq!(opaque, "non-string panic payload");
+        assert!(results[3].is_ok());
     }
 
     #[test]

@@ -49,11 +49,13 @@ use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
 use rcb_core::protocol::SlotProtocol;
 use rcb_mathkit::rng::RcbRng;
 
+use crate::deadline::Deadline;
 use crate::duel::{run_duel_core, DuelConfig};
 use crate::error::SimError;
 use crate::exact::{run_exact_core, ExactConfig};
 use crate::fast::{run_broadcast_core, BroadcastObserver, FastConfig};
 use crate::faults::FaultPlan;
+use crate::json::Json;
 use crate::outcome::{BroadcastOutcome, DuelOutcome};
 use crate::runner::{run_trials, Parallelism};
 
@@ -74,6 +76,16 @@ pub fn fnv1a(mut h: u64, words: &[u64]) -> u64 {
         for b in w.to_le_bytes() {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+    h
+}
+
+/// Byte-granular FNV-1a fold — the same hash as [`fnv1a`] applied to a raw
+/// byte stream. Used for spec fingerprints and journal record checksums,
+/// where the payload is canonical JSON text rather than a word sequence.
+pub fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
 }
@@ -442,6 +454,21 @@ impl ScenarioSpec {
     /// error. The conformance differ samples truncated runs too — a cap is
     /// data about the engine, not a failure of the comparison.
     pub fn run_trial_raw(&self, trial: u64, rng: &mut RcbRng) -> (Outcome, Option<SimError>) {
+        self.run_trial_ctl(trial, rng, &Deadline::NONE)
+    }
+
+    /// [`run_trial_raw`](Self::run_trial_raw) under a cooperative
+    /// [`Deadline`]: the engine's slot loop checks it (without consuming
+    /// RNG) and cuts the trial off with [`SimError::DeadlineExceeded`] and
+    /// a partial outcome. An unbounded deadline is byte-identical to the
+    /// raw path. Deadline-cut outcomes are wall-clock dependent and must
+    /// never be journaled.
+    pub fn run_trial_ctl(
+        &self,
+        trial: u64,
+        rng: &mut RcbRng,
+        deadline: &Deadline,
+    ) -> (Outcome, Option<SimError>) {
         debug_assert!(self.validate().is_ok(), "invalid scenario spec");
         match (&self.workload, self.engine) {
             (Workload::Duel(w), Engine::Fast) => {
@@ -459,6 +486,7 @@ impl ScenarioSpec {
                         rng,
                         config,
                         &self.faults,
+                        deadline,
                     ),
                     DuelProtocol::Ksy { start_epoch } => run_duel_core(
                         &KsyProfile::with_start_epoch(start_epoch),
@@ -466,6 +494,7 @@ impl ScenarioSpec {
                         rng,
                         config,
                         &self.faults,
+                        deadline,
                     ),
                 };
                 (Outcome::Duel(out), err)
@@ -481,10 +510,15 @@ impl ScenarioSpec {
                         w,
                         adv,
                         rng,
+                        deadline,
                     ),
-                    DuelProtocol::Ksy { start_epoch } => {
-                        self.exact_duel(KsyProfile::with_start_epoch(start_epoch), w, adv, rng)
-                    }
+                    DuelProtocol::Ksy { start_epoch } => self.exact_duel(
+                        KsyProfile::with_start_epoch(start_epoch),
+                        w,
+                        adv,
+                        rng,
+                        deadline,
+                    ),
                 }
             }
             (Workload::Broadcast(w), Engine::Fast) => {
@@ -500,12 +534,13 @@ impl ScenarioSpec {
                     },
                     &mut (),
                     &self.faults,
+                    deadline,
                 );
                 (Outcome::Broadcast(out), err)
             }
             (Workload::Broadcast(w), Engine::Exact) => {
                 let adv = self.adversary.build(self.seeds.adversary_seed(trial));
-                self.exact_broadcast(w, adv, rng)
+                self.exact_broadcast(w, adv, rng, deadline)
             }
         }
     }
@@ -520,6 +555,7 @@ impl ScenarioSpec {
         w: &DuelWorkload,
         adversary: Box<dyn RepetitionAdversary>,
         rng: &mut RcbRng,
+        deadline: &Deadline,
     ) -> (Outcome, Option<SimError>) {
         let mut alice = AliceProtocol::new(profile);
         let mut bob = BobProtocol::new(profile);
@@ -537,6 +573,7 @@ impl ScenarioSpec {
             },
             None,
             &self.faults,
+            deadline,
         );
         let delivered = bob.received_message();
         (
@@ -562,6 +599,7 @@ impl ScenarioSpec {
         w: &BroadcastWorkload,
         adversary: Box<dyn RepetitionAdversary>,
         rng: &mut RcbRng,
+        deadline: &Deadline,
     ) -> (Outcome, Option<SimError>) {
         let mut nodes: Vec<OneToNSlotNode> = (0..w.n)
             .map(|u| OneToNSlotNode::new(w.params, w.sources.contains(&u)))
@@ -584,6 +622,7 @@ impl ScenarioSpec {
             },
             None,
             &self.faults,
+            deadline,
         );
         let informed = nodes.iter().filter(|v| v.received_message()).count();
         (
@@ -653,6 +692,7 @@ impl ScenarioSpec {
                     },
                     observer,
                     &self.faults,
+                    &Deadline::NONE,
                 )
             }
             _ => panic!("run_observed: only the fast broadcast engine has an observer hook"),
@@ -703,6 +743,320 @@ impl ScenarioSpec {
             }
         }
     }
+
+    // -- serialization ------------------------------------------------------
+
+    /// Serializes everything that defines the scenario's *results* —
+    /// workload, engine, adversary, faults, seed policy, trials.
+    /// `parallelism` is deliberately excluded: the executor's seed folds
+    /// make outcomes thread-count-invariant, so two runs of the same spec
+    /// at different `--cpus` share a fingerprint and can resume each
+    /// other's journals. `u64` fields are written as decimal strings
+    /// (`Json::Num` is an `f64` and would round above 2^53).
+    pub fn to_json(&self) -> Json {
+        let workload = match &self.workload {
+            Workload::Duel(w) => {
+                let protocol = match w.protocol {
+                    DuelProtocol::Fig1 {
+                        epsilon,
+                        start_epoch,
+                    } => Json::obj(vec![
+                        ("kind", Json::Str("fig1".into())),
+                        ("epsilon", Json::Num(epsilon)),
+                        ("start_epoch", Json::Num(f64::from(start_epoch))),
+                    ]),
+                    DuelProtocol::Ksy { start_epoch } => Json::obj(vec![
+                        ("kind", Json::Str("ksy".into())),
+                        ("start_epoch", Json::Num(f64::from(start_epoch))),
+                    ]),
+                };
+                Json::obj(vec![
+                    ("kind", Json::Str("duel".into())),
+                    ("protocol", protocol),
+                    ("max_slots", ju64(w.max_slots)),
+                    ("exact_max_slots", ju64(w.exact_max_slots)),
+                ])
+            }
+            Workload::Broadcast(w) => Json::obj(vec![
+                ("kind", Json::Str("broadcast".into())),
+                ("params", params_to_json(&w.params)),
+                ("n", Json::Num(w.n as f64)),
+                (
+                    "sources",
+                    Json::Arr(w.sources.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ),
+                ("max_epoch", Json::Num(f64::from(w.max_epoch))),
+                ("exact_max_slots", ju64(w.exact_max_slots)),
+            ]),
+        };
+        let engine = Json::Str(
+            match self.engine {
+                Engine::Fast => "fast",
+                Engine::Exact => "exact",
+            }
+            .into(),
+        );
+        let adversary = match self.adversary {
+            AdversarySpec::NoJam => Json::obj(vec![("kind", Json::Str("nojam".into()))]),
+            AdversarySpec::Budgeted { budget, fraction } => Json::obj(vec![
+                ("kind", Json::Str("budgeted".into())),
+                ("budget", ju64(budget)),
+                ("fraction", Json::Num(fraction)),
+            ]),
+            AdversarySpec::KeepAlive { budget, fraction } => Json::obj(vec![
+                ("kind", Json::Str("keepalive".into())),
+                ("budget", ju64(budget)),
+                ("fraction", Json::Num(fraction)),
+            ]),
+            AdversarySpec::Random { budget, rate } => Json::obj(vec![
+                ("kind", Json::Str("random".into())),
+                ("budget", ju64(budget)),
+                ("rate", Json::Num(rate)),
+            ]),
+        };
+        Json::obj(vec![
+            ("workload", workload),
+            ("engine", engine),
+            ("adversary", adversary),
+            ("faults", faults_to_json(&self.faults)),
+            ("seed", ju64(self.seeds.master)),
+            ("trials", ju64(self.trials)),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json). The deserialized spec runs
+    /// at [`Parallelism::Auto`] (parallelism is not serialized).
+    pub fn from_json(value: &Json) -> Result<ScenarioSpec, String> {
+        let workload = value.get("workload").ok_or("spec missing `workload`")?;
+        let workload = match workload.get("kind").and_then(Json::as_str) {
+            Some("duel") => {
+                let protocol = workload.get("protocol").ok_or("duel missing `protocol`")?;
+                let start_epoch = pu32(protocol, "start_epoch")?;
+                let protocol = match protocol.get("kind").and_then(Json::as_str) {
+                    Some("fig1") => DuelProtocol::Fig1 {
+                        epsilon: pf64(protocol, "epsilon")?,
+                        start_epoch,
+                    },
+                    Some("ksy") => DuelProtocol::Ksy { start_epoch },
+                    other => return Err(format!("unknown duel protocol kind {other:?}")),
+                };
+                Workload::Duel(DuelWorkload {
+                    protocol,
+                    max_slots: pu64(workload, "max_slots")?,
+                    exact_max_slots: pu64(workload, "exact_max_slots")?,
+                })
+            }
+            Some("broadcast") => {
+                let sources = workload
+                    .get("sources")
+                    .and_then(Json::as_arr)
+                    .ok_or("broadcast missing `sources`")?
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .map(|v| v as usize)
+                            .ok_or_else(|| "bad source index".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Workload::Broadcast(BroadcastWorkload {
+                    params: params_from_json(
+                        workload.get("params").ok_or("broadcast missing `params`")?,
+                    )?,
+                    n: pu32(workload, "n")? as usize,
+                    sources,
+                    max_epoch: pu32(workload, "max_epoch")?,
+                    exact_max_slots: pu64(workload, "exact_max_slots")?,
+                })
+            }
+            other => return Err(format!("unknown workload kind {other:?}")),
+        };
+        let engine = match value.get("engine").and_then(Json::as_str) {
+            Some("fast") => Engine::Fast,
+            Some("exact") => Engine::Exact,
+            other => return Err(format!("unknown engine {other:?}")),
+        };
+        let adversary = value.get("adversary").ok_or("spec missing `adversary`")?;
+        let adversary = match adversary.get("kind").and_then(Json::as_str) {
+            Some("nojam") => AdversarySpec::NoJam,
+            Some("budgeted") => AdversarySpec::Budgeted {
+                budget: pu64(adversary, "budget")?,
+                fraction: pf64(adversary, "fraction")?,
+            },
+            Some("keepalive") => AdversarySpec::KeepAlive {
+                budget: pu64(adversary, "budget")?,
+                fraction: pf64(adversary, "fraction")?,
+            },
+            Some("random") => AdversarySpec::Random {
+                budget: pu64(adversary, "budget")?,
+                rate: pf64(adversary, "rate")?,
+            },
+            other => return Err(format!("unknown adversary kind {other:?}")),
+        };
+        let spec = ScenarioSpec {
+            workload,
+            engine,
+            adversary,
+            faults: faults_from_json(value.get("faults").ok_or("spec missing `faults`")?)?,
+            seeds: SeedPolicy::new(pu64(value, "seed")?),
+            trials: pu64(value, "trials")?,
+            parallelism: Parallelism::Auto,
+        };
+        spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+        Ok(spec)
+    }
+
+    /// FNV-1a over the canonical (compact) rendering of
+    /// [`to_json`](Self::to_json) — the identity a journal header records.
+    /// Two specs share a fingerprint iff they produce the same results.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a_bytes(FNV_OFFSET, self.to_json().render_compact().as_bytes())
+    }
+}
+
+// JSON field helpers shared by the spec and outcome (de)serializers. All
+// `u64` quantities travel as decimal strings — `Json::Num` is an `f64`,
+// which silently rounds past 2^53 (seeds and slot counts routinely exceed
+// that).
+fn ju64(x: u64) -> Json {
+    Json::Str(x.to_string())
+}
+
+fn pu64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing u64 field `{key}`"))?
+        .parse::<u64>()
+        .map_err(|e| format!("field `{key}`: {e}"))
+}
+
+fn pf64(value: &Json, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing f64 field `{key}`"))
+}
+
+fn pu32(value: &Json, key: &str) -> Result<u32, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| format!("missing u32 field `{key}`"))
+}
+
+fn pbool(value: &Json, key: &str) -> Result<bool, String> {
+    value
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing bool field `{key}`"))
+}
+
+fn params_to_json(p: &OneToNParams) -> Json {
+    Json::obj(vec![
+        ("b", Json::Num(p.b)),
+        ("rep_pow", Json::Num(f64::from(p.rep_pow))),
+        ("d", Json::Num(p.d)),
+        ("listen_pow", Json::Num(f64::from(p.listen_pow))),
+        ("s_init", Json::Num(p.s_init)),
+        ("helper_frac", Json::Num(p.helper_frac)),
+        ("growth_extra_pow", Json::Num(f64::from(p.growth_extra_pow))),
+        ("term_factor", Json::Num(p.term_factor)),
+        ("safety_factor", Json::Num(p.safety_factor)),
+        ("first_epoch", Json::Num(f64::from(p.first_epoch))),
+    ])
+}
+
+fn params_from_json(value: &Json) -> Result<OneToNParams, String> {
+    Ok(OneToNParams {
+        b: pf64(value, "b")?,
+        rep_pow: pu32(value, "rep_pow")?,
+        d: pf64(value, "d")?,
+        listen_pow: pu32(value, "listen_pow")?,
+        s_init: pf64(value, "s_init")?,
+        helper_frac: pf64(value, "helper_frac")?,
+        growth_extra_pow: pu32(value, "growth_extra_pow")?,
+        term_factor: pf64(value, "term_factor")?,
+        safety_factor: pf64(value, "safety_factor")?,
+        first_epoch: pu32(value, "first_epoch")?,
+    })
+}
+
+fn faults_to_json(plan: &FaultPlan) -> Json {
+    let loss = match &plan.loss {
+        None => Json::Null,
+        Some(l) => Json::obj(vec![("p", Json::Num(l.p))]),
+    };
+    let crash = match &plan.crash {
+        None => Json::Null,
+        Some(c) => Json::obj(vec![
+            ("node", Json::Num(c.node as f64)),
+            ("start_period", ju64(c.start_period)),
+            ("periods", ju64(c.periods)),
+            ("lose_state", Json::Bool(c.lose_state)),
+        ]),
+    };
+    let skew = match &plan.skew {
+        None => Json::Null,
+        Some(s) => Json::obj(vec![
+            ("node", Json::Num(s.node as f64)),
+            ("slots", ju64(s.slots)),
+        ]),
+    };
+    let battery = match &plan.battery {
+        None => Json::Null,
+        Some(b) => Json::obj(vec![("capacity", ju64(b.capacity))]),
+    };
+    Json::obj(vec![
+        ("loss", loss),
+        ("crash", crash),
+        ("skew", skew),
+        ("battery", battery),
+    ])
+}
+
+fn faults_from_json(value: &Json) -> Result<FaultPlan, String> {
+    let opt = |key: &str| -> Result<Option<&Json>, String> {
+        match value.get(key) {
+            None => Err(format!("faults missing `{key}`")),
+            Some(Json::Null) => Ok(None),
+            Some(v) => Ok(Some(v)),
+        }
+    };
+    let loss = opt("loss")?
+        .map(|l| Ok::<_, String>(crate::faults::LossFault { p: pf64(l, "p")? }))
+        .transpose()?;
+    let crash = opt("crash")?
+        .map(|c| {
+            Ok::<_, String>(crate::faults::CrashFault {
+                node: pu32(c, "node")? as usize,
+                start_period: pu64(c, "start_period")?,
+                periods: pu64(c, "periods")?,
+                lose_state: pbool(c, "lose_state")?,
+            })
+        })
+        .transpose()?;
+    let skew = opt("skew")?
+        .map(|s| {
+            Ok::<_, String>(crate::faults::SkewFault {
+                node: pu32(s, "node")? as usize,
+                slots: pu64(s, "slots")?,
+            })
+        })
+        .transpose()?;
+    let battery = opt("battery")?
+        .map(|b| {
+            Ok::<_, String>(crate::faults::BatteryFault {
+                capacity: pu64(b, "capacity")?,
+            })
+        })
+        .transpose()?;
+    Ok(FaultPlan {
+        loss,
+        crash,
+        skew,
+        battery,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -782,6 +1136,95 @@ impl Outcome {
         match self {
             Outcome::Broadcast(o) => o,
             Outcome::Duel(_) => panic!("expected a broadcast outcome"),
+        }
+    }
+
+    /// Serializes for journal record payloads; [`Outcome::from_json`]
+    /// inverts losslessly (`u64` fields travel as decimal strings).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Outcome::Duel(o) => Json::obj(vec![
+                ("kind", Json::Str("duel".into())),
+                ("delivered", Json::Bool(o.delivered)),
+                ("bob_premature", Json::Bool(o.bob_premature)),
+                ("alice_cost", ju64(o.alice_cost)),
+                ("bob_cost", ju64(o.bob_cost)),
+                ("adversary_cost", ju64(o.adversary_cost)),
+                ("slots", ju64(o.slots)),
+                (
+                    "delivery_slot",
+                    match o.delivery_slot {
+                        None => Json::Null,
+                        Some(t) => ju64(t),
+                    },
+                ),
+                ("last_epoch", Json::Num(f64::from(o.last_epoch))),
+                ("truncated", Json::Bool(o.truncated)),
+            ]),
+            Outcome::Broadcast(o) => Json::obj(vec![
+                ("kind", Json::Str("broadcast".into())),
+                ("n", Json::Num(o.n as f64)),
+                ("informed", Json::Num(o.informed as f64)),
+                ("all_informed", Json::Bool(o.all_informed)),
+                ("all_terminated", Json::Bool(o.all_terminated)),
+                (
+                    "safety_terminations",
+                    Json::Num(o.safety_terminations as f64),
+                ),
+                (
+                    "node_costs",
+                    Json::Arr(o.node_costs.iter().map(|&c| ju64(c)).collect()),
+                ),
+                ("adversary_cost", ju64(o.adversary_cost)),
+                ("slots", ju64(o.slots)),
+                ("last_epoch", Json::Num(f64::from(o.last_epoch))),
+                ("truncated", Json::Bool(o.truncated)),
+            ]),
+        }
+    }
+
+    /// Inverse of [`Outcome::to_json`].
+    pub fn from_json(value: &Json) -> Result<Outcome, String> {
+        match value.get("kind").and_then(Json::as_str) {
+            Some("duel") => Ok(Outcome::Duel(DuelOutcome {
+                delivered: pbool(value, "delivered")?,
+                bob_premature: pbool(value, "bob_premature")?,
+                alice_cost: pu64(value, "alice_cost")?,
+                bob_cost: pu64(value, "bob_cost")?,
+                adversary_cost: pu64(value, "adversary_cost")?,
+                slots: pu64(value, "slots")?,
+                delivery_slot: match value.get("delivery_slot") {
+                    Some(Json::Null) => None,
+                    Some(_) => Some(pu64(value, "delivery_slot")?),
+                    None => return Err("duel outcome missing `delivery_slot`".into()),
+                },
+                last_epoch: pu32(value, "last_epoch")?,
+                truncated: pbool(value, "truncated")?,
+            })),
+            Some("broadcast") => Ok(Outcome::Broadcast(BroadcastOutcome {
+                n: pu32(value, "n")? as usize,
+                informed: pu32(value, "informed")? as usize,
+                all_informed: pbool(value, "all_informed")?,
+                all_terminated: pbool(value, "all_terminated")?,
+                safety_terminations: pu32(value, "safety_terminations")? as usize,
+                node_costs: value
+                    .get("node_costs")
+                    .and_then(Json::as_arr)
+                    .ok_or("broadcast outcome missing `node_costs`")?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .ok_or_else(|| "bad node cost".to_string())?
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad node cost: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                adversary_cost: pu64(value, "adversary_cost")?,
+                slots: pu64(value, "slots")?,
+                last_epoch: pu32(value, "last_epoch")?,
+                truncated: pbool(value, "truncated")?,
+            })),
+            other => Err(format!("unknown outcome kind {other:?}")),
         }
     }
 }
@@ -1165,5 +1608,108 @@ mod tests {
         let (out, err) = spec.run_trial_raw(0, &mut rng);
         assert!(out.truncated());
         assert!(err.is_some());
+    }
+
+    #[test]
+    fn spec_json_round_trips_for_every_registry_scenario() {
+        for named in registry() {
+            let spec = named.spec.clone().with_parallelism(Parallelism::Auto);
+            let json = spec.to_json();
+            let back = ScenarioSpec::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", named.name, json.render()));
+            assert_eq!(back, spec, "{} drifted through JSON", named.name);
+            assert_eq!(
+                back.fingerprint(),
+                spec.fingerprint(),
+                "{}: fingerprint is not a pure function of the spec",
+                named.name
+            );
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips_the_exotic_branches() {
+        // Ksy protocol, seeded Random adversary, every fault kind — the
+        // branches the registry does not exercise.
+        let spec = ScenarioSpec::duel(DuelProtocol::ksy())
+            .with_engine(Engine::Exact)
+            .with_adversary(AdversarySpec::Random {
+                budget: 4096,
+                rate: 0.25,
+            })
+            .with_faults(
+                FaultPlan::none()
+                    .with_loss(0.125)
+                    .with_skew(1, 3)
+                    .with_battery(1 << 40),
+            )
+            .with_trials(17)
+            .with_seed(u64::MAX - 1);
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(back, spec.clone().with_parallelism(Parallelism::Auto));
+    }
+
+    #[test]
+    fn fingerprints_separate_specs_and_ignore_parallelism() {
+        let base = ScenarioSpec::duel(DuelProtocol::fig1(0.1, 8)).with_seed(7);
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_seed(8).fingerprint(),
+            "the seed is part of the work's identity"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_trials(2).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_parallelism(Parallelism::Fixed(4))
+                .fingerprint(),
+            "thread count is a runtime concern: seed folds make outcomes \
+             thread-count-invariant, so any --cpus run may share a journal"
+        );
+    }
+
+    #[test]
+    fn outcome_json_round_trips() {
+        let duel = Outcome::Duel(DuelOutcome {
+            delivered: true,
+            bob_premature: false,
+            alice_cost: 10,
+            bob_cost: 20,
+            adversary_cost: u64::MAX,
+            slots: 1 << 60,
+            delivery_slot: Some(12345),
+            last_epoch: 9,
+            truncated: false,
+        });
+        assert_eq!(Outcome::from_json(&duel.to_json()).unwrap(), duel);
+
+        let bcast = Outcome::Broadcast(BroadcastOutcome {
+            n: 3,
+            informed: 3,
+            all_informed: true,
+            all_terminated: false,
+            safety_terminations: 1,
+            node_costs: vec![5, 0, u64::MAX - 3],
+            adversary_cost: 7,
+            slots: 99,
+            last_epoch: 4,
+            truncated: true,
+        });
+        assert_eq!(Outcome::from_json(&bcast.to_json()).unwrap(), bcast);
+
+        let no_delivery = Outcome::Duel(DuelOutcome {
+            delivery_slot: None,
+            ..match duel {
+                Outcome::Duel(d) => d,
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(
+            Outcome::from_json(&no_delivery.to_json()).unwrap(),
+            no_delivery
+        );
     }
 }
