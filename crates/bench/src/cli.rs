@@ -194,6 +194,9 @@ COMMANDS:
              to stderr)   --strict true (warnings fail the gate too)
              --threshold F (default 0.35)   --report-only true
              --notes TEXT   --seed N (default 2014)
+             --only NAME[,NAME...] (restrict the grid to these registry
+             entries; overrides the smoke scale's exclusion of the
+             large-n cohort cells)
   scenario   named declarative scenarios (the perf grid's registry)
              scenario list          table of every registry entry
              scenario names         bare names, one per line
@@ -809,11 +812,27 @@ fn cmd_perf(args: &Args) -> Result<String, String> {
     let sha = perf::git_short_sha();
     let out_path = args.get_str("out", &format!("BENCH_{sha}.json"));
 
+    let only: Vec<String> = args
+        .get_str("only", "")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let unknown = perf::resolve_only(&only);
+    if !unknown.is_empty() {
+        return Err(format!(
+            "--only names not in the registry: {}; try `rcbsim scenario names`",
+            unknown.join(", ")
+        ));
+    }
+
     let rc = run_control_args(args)?;
     let ctl = perf::PerfControl {
         journal: rc.journal.clone(),
         resume: rc.resume.clone(),
         deadline: rc.deadline(),
+        only,
     };
     let run =
         perf::run_perf_ctl(seed, scale, &sha, &notes, &cpus, &ctl).map_err(|e| e.to_string())?;

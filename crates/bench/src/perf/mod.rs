@@ -2,7 +2,9 @@
 //!
 //! Measures engine throughput — slots-simulated/sec, trials/sec, and peak
 //! RSS — over a **pinned scenario grid** (duel clean/jammed/faulted,
-//! broadcast at n ∈ {8, 64, 256}, an exact-engine reference cell) and
+//! broadcast at n ∈ {8, 64, 256}, an exact-engine reference cell, and
+//! cohort-engine cells at n = 65536 and n = 10^6, which run at standard
+//! scale or under an explicit `--only` selection) and
 //! emits a schema-versioned `BENCH_<git-short-sha>.json` so the repo
 //! accumulates a perf trajectory instead of terminal output that vanishes.
 //! A comparator (`rcbsim perf --against <file>`) flags changes beyond a
@@ -41,7 +43,7 @@ use rcb_sim::deadline::Deadline;
 use rcb_sim::executor::run_cells_ctl;
 use rcb_sim::journal::{Journal, JournalError, JournalHeader};
 use rcb_sim::runner::Parallelism;
-use rcb_sim::scenario::{fnv1a, fnv1a_bytes, registry, NamedScenario, FNV_OFFSET};
+use rcb_sim::scenario::{fnv1a, fnv1a_bytes, registry, NamedScenario, Workload, FNV_OFFSET};
 
 use json::Json;
 
@@ -309,6 +311,49 @@ pub struct PerfControl {
     /// Run-level wall-clock budget / SIGINT cancellation token. Checked
     /// between cells: the in-flight scenario finishes and is journaled.
     pub deadline: Deadline,
+    /// `rcbsim perf --only a,b`: restrict the grid to these registry
+    /// entries (registry order preserved). Explicit selection overrides
+    /// the smoke scale's large-`n` exclusion, so CI can target
+    /// `bcast_n65536` without paying for the whole grid. Empty = the
+    /// scale's default grid. Validate names with [`resolve_only`] first —
+    /// unknown names are silently absent here.
+    pub only: Vec<String>,
+}
+
+/// Broadcast populations past this are excluded from the *default* smoke
+/// grid: the large-`n` cohort entries take tens of seconds (n = 65536) to
+/// minutes (n = 10^6) per trial batch, which would dominate every CI
+/// smoke pass and the perf test suite. Standard-scale baseline
+/// recordings still cover them, and `--only` selects them explicitly at
+/// any scale (the CI `cohort-smoke` job does exactly that for
+/// `bcast_n65536`).
+const SMOKE_MAX_BROADCAST_N: usize = 10_000;
+
+/// The grid a perf run executes: the whole [`registry`] at `Standard`;
+/// at `Smoke` the scale-ceiling broadcast entries are dropped. A
+/// non-empty `only` list overrides both.
+fn grid(scale: PerfScale, only: &[String]) -> Vec<NamedScenario> {
+    registry()
+        .into_iter()
+        .filter(|e| {
+            if !only.is_empty() {
+                return only.iter().any(|n| n == e.name);
+            }
+            match (&e.spec.workload, scale) {
+                (Workload::Broadcast(w), PerfScale::Smoke) => w.n <= SMOKE_MAX_BROADCAST_N,
+                _ => true,
+            }
+        })
+        .collect()
+}
+
+/// Validates a `--only` selection against the registry, returning the
+/// unknown names (empty = all valid).
+pub fn resolve_only(only: &[String]) -> Vec<String> {
+    only.iter()
+        .filter(|n| registry().iter().all(|e| e.name != n.as_str()))
+        .cloned()
+        .collect()
 }
 
 /// Result of a controlled perf run.
@@ -326,14 +371,20 @@ pub struct PerfRun {
 }
 
 /// Identity of a perf-grid run for journal fingerprinting: a fold of
-/// every registry spec's fingerprint plus the harness seed and scale —
-/// exactly the inputs that determine cell payloads. Worker counts are
-/// deliberately excluded: seed folds make outcomes thread-count-invariant
-/// and cell keys carry the pass's cpus, so any `--cpus` run may share a
-/// journal.
+/// every *executed* entry's spec fingerprint plus the harness seed and
+/// scale — exactly the inputs that determine cell payloads. A `--only`
+/// selection therefore gets its own fingerprint, so a partial-grid
+/// journal can never be spliced into a full-grid resume. Worker counts
+/// are deliberately excluded: seed folds make outcomes
+/// thread-count-invariant and cell keys carry the pass's cpus, so any
+/// `--cpus` run may share a journal.
 pub fn perf_fingerprint(seed: u64, scale: PerfScale) -> u64 {
+    fingerprint_entries(&grid(scale, &[]), seed, scale)
+}
+
+fn fingerprint_entries(entries: &[NamedScenario], seed: u64, scale: PerfScale) -> u64 {
     let mut h = FNV_OFFSET;
-    for entry in registry() {
+    for entry in entries {
         h = fnv1a(h, &[entry.spec.fingerprint()]);
     }
     h = fnv1a(h, &[seed]);
@@ -358,8 +409,8 @@ pub fn run_perf_ctl(
     } else {
         cpus.iter().map(|&k| k.max(1)).collect()
     };
-    let entries = registry();
-    let fingerprint = perf_fingerprint(seed, scale);
+    let entries = grid(scale, &ctl.only);
+    let fingerprint = fingerprint_entries(&entries, seed, scale);
 
     let mut journal: Option<Journal> = match (&ctl.resume, &ctl.journal) {
         (Some(path), _) => Some(Journal::open_resume(path, "perf", fingerprint)?),
@@ -1189,8 +1240,49 @@ mod tests {
         let current = report_with(&[("new_cell", 1.0e8)]);
         let cmp = compare(&baseline, &current, DEFAULT_THRESHOLD);
         assert!(cmp.passed());
+        // A scenario absent from the baseline (e.g. a freshly added
+        // registry entry measured against an older BENCH file) is
+        // reported as new — it must not gate even under `--strict`.
+        assert!(
+            cmp.passed_strict(),
+            "a new scenario must not fail --strict: {:?}",
+            cmp.warnings
+        );
         assert!(cmp.text.contains("new scenario"));
         assert!(cmp.text.contains("missing from current run"));
+    }
+
+    #[test]
+    fn smoke_grid_excludes_scale_ceiling_entries() {
+        let names = |scale, only: &[String]| {
+            grid(scale, only)
+                .iter()
+                .map(|e| e.name.to_string())
+                .collect::<Vec<_>>()
+        };
+        let standard = names(PerfScale::Standard, &[]);
+        assert!(standard.iter().any(|n| n == "bcast_n65536"), "{standard:?}");
+        assert!(standard.iter().any(|n| n == "bcast_n1e6"), "{standard:?}");
+        let smoke = names(PerfScale::Smoke, &[]);
+        assert!(!smoke.iter().any(|n| n == "bcast_n65536"), "{smoke:?}");
+        assert!(!smoke.iter().any(|n| n == "bcast_n1e6"), "{smoke:?}");
+        assert!(smoke.len() >= 6, "smoke grid gutted: {smoke:?}");
+        // Explicit selection overrides the smoke exclusion.
+        let only = vec!["bcast_n65536".to_string()];
+        assert_eq!(names(PerfScale::Smoke, &only), vec!["bcast_n65536"]);
+        // And gets its own journal fingerprint.
+        assert_ne!(
+            fingerprint_entries(&grid(PerfScale::Smoke, &only), 2014, PerfScale::Smoke),
+            perf_fingerprint(2014, PerfScale::Smoke)
+        );
+    }
+
+    #[test]
+    fn resolve_only_flags_unknown_names() {
+        assert!(resolve_only(&[]).is_empty());
+        assert!(resolve_only(&["bcast_n65536".to_string()]).is_empty());
+        let unknown = resolve_only(&["bcast_n65536".to_string(), "nope".to_string()]);
+        assert_eq!(unknown, vec!["nope".to_string()]);
     }
 
     #[test]
@@ -1328,6 +1420,7 @@ mod tests {
             journal: Some(path.clone()),
             resume: None,
             deadline: Deadline::after(std::time::Duration::ZERO),
+            only: Vec::new(),
         };
         let run = run_perf_ctl(2014, PerfScale::Smoke, "test", "", &[1], &ctl)
             .expect("a deadline cut is not an error");

@@ -25,7 +25,7 @@ pub enum Status {
 }
 
 /// Why a node terminated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TermReason {
     /// Case 1: `S_u > safety_factor·2^(i/2)` — some property was already
     /// violated; bail out to keep the expected cost finite (§3.4).

@@ -1,0 +1,288 @@
+//! Log-domain binomial pmf/cdf evaluation.
+//!
+//! The cohort engine classifies a repetition's slots by drawing from
+//! conditional binomial distributions whose parameters it derives from
+//! closed-form probabilities — "what fraction of slots are clear given the
+//! cohort histogram", "what is the chance a node hears more than the helper
+//! threshold". Those probabilities are products and tails of binomial pmfs
+//! over populations up to 10^6, so everything here works in log space and
+//! uses a Stirling-series `ln n!` that stays accurate (≤ 1e-12 relative)
+//! across the whole range.
+
+/// Exact `ln(n!)` for small n; Stirling's series beyond the table.
+///
+/// The series `n·ln n − n + ½·ln(2πn) + 1/(12n) − 1/(360n³)` has absolute
+/// error below 1e-13 for n ≥ 16, so the table covers 0..16 and the series
+/// the rest.
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE: [f64; 16] = [
+        0.0,
+        0.0,
+        std::f64::consts::LN_2, // ln 2!
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+    ];
+    if n < 16 {
+        return TABLE[n as usize];
+    }
+    let x = n as f64;
+    let x2 = x * x;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x2)
+}
+
+/// `ln C(n, k)` — the log binomial coefficient; `-inf` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln P(Binomial(n, p) = k)`.
+///
+/// `p` outside `(0, 1)` degenerates: the point mass sits at 0 (for
+/// `p ≤ 0`/NaN, matching the samplers' documented clamp) or at `n` (for
+/// `p ≥ 1`).
+pub fn ln_binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if p.is_nan() || p <= 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p >= 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p()
+}
+
+/// `P(Binomial(n, p) > k)` — the upper tail, evaluated from whichever end
+/// of the support is cheaper.
+///
+/// The helper-promotion rule compares messages heard against a threshold
+/// `7·i`, so the tail is always cut at a small `k` (≤ a few hundred) even
+/// when `n` is 10^6. Summing the pmf by the multiplicative recurrence from
+/// the nearer end keeps this `O(min(k, n·p) + 1)`-ish in practice and free
+/// of catastrophic cancellation: each term is computed in log space once,
+/// then accumulated in linear space relative to the largest term.
+pub fn binomial_tail_gt(n: u64, k: u64, p: f64) -> f64 {
+    if p.is_nan() || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return if k < n { 1.0 } else { 0.0 };
+    }
+    if k >= n {
+        return 0.0;
+    }
+    if (k as f64) < n as f64 * p {
+        // Cut below the mean: sum the *lower* tail P(X ≤ k) and subtract.
+        1.0 - lower_cdf_direct(n, k, p)
+    } else {
+        upper_tail_direct(n, k, p)
+    }
+}
+
+/// `P(Binomial(n, p) ≤ k)`, summed from whichever end of the support is
+/// numerically safe.
+pub fn binomial_cdf_le(n: u64, k: u64, p: f64) -> f64 {
+    if p.is_nan() || p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    if k >= n {
+        return 1.0;
+    }
+    if (k as f64) < n as f64 * p {
+        lower_cdf_direct(n, k, p)
+    } else {
+        1.0 - upper_tail_direct(n, k, p)
+    }
+}
+
+/// `P(X ≤ k)` for `k` below the mean, summed *downward* from `j = k`.
+///
+/// Anchoring the linear-space accumulator at the largest summed term —
+/// `pmf(k)`, since the pmf increases up to the mode — keeps every relative
+/// term in `[0, 1]` no matter how far the distribution's bulk sits from 0.
+/// (The previous anchor, `pmf(0)`, underflows once `n·ln(1−p) < −745`
+/// while the relative terms overflow, and `0·∞ = NaN` silently collapsed
+/// the whole tail; see the regression test.) Terms decay geometrically
+/// away from the mode, so the loop is `O(σ)`-ish, not `O(k)`.
+fn lower_cdf_direct(n: u64, k: u64, p: f64) -> f64 {
+    let ln_top = ln_binomial_pmf(n, k, p);
+    if ln_top == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let s = (1.0 - p) / p;
+    let mut rel = 1.0f64; // term / pmf(k)
+    let mut sum = 0.0f64;
+    let mut j = k;
+    loop {
+        sum += rel;
+        if j == 0 {
+            break;
+        }
+        rel *= s * j as f64 / (n - j + 1) as f64;
+        j -= 1;
+        if rel < 1e-18 * sum {
+            break;
+        }
+    }
+    (ln_top.exp() * sum).min(1.0)
+}
+
+/// `P(X > k)` for `k` at or above the mean, summed *upward* from
+/// `j = k + 1` — the largest term of the upper tail, so the same
+/// anchored-at-the-top argument applies.
+fn upper_tail_direct(n: u64, k: u64, p: f64) -> f64 {
+    let ln_first = ln_binomial_pmf(n, k + 1, p);
+    if ln_first == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let mut rel = 1.0f64; // term / pmf(k+1)
+    let mut sum = 0.0f64;
+    let s = p / (1.0 - p);
+    let mut j = k + 1;
+    loop {
+        sum += rel;
+        if j >= n {
+            break;
+        }
+        rel *= s * (n - j) as f64 / (j + 1) as f64;
+        j += 1;
+        if rel < 1e-18 * sum {
+            break;
+        }
+    }
+    (ln_first.exp() * sum).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_ln_factorial(n: u64) -> f64 {
+        (1..=n).map(|i| (i as f64).ln()).sum()
+    }
+
+    #[test]
+    fn ln_factorial_matches_brute_force() {
+        for n in 0..500u64 {
+            let got = ln_factorial(n);
+            let want = brute_ln_factorial(n);
+            let tol = 1e-10 * want.max(1.0);
+            assert!((got - want).abs() < tol, "n {n}: {got} vs {want}");
+        }
+        // Spot-check deep into the Stirling regime.
+        for &n in &[10_000u64, 1_000_000] {
+            let got = ln_factorial(n);
+            let want = brute_ln_factorial(n);
+            assert!((got - want).abs() < 1e-8 * want, "n {n}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.5f64), (10, 0.2), (100, 0.73), (257, 0.01)] {
+            let total: f64 = (0..=n).map(|k| ln_binomial_pmf(n, k, p).exp()).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n {n} p {p}: {total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_p_is_a_point_mass() {
+        assert_eq!(ln_binomial_pmf(10, 0, 0.0), 0.0);
+        assert_eq!(ln_binomial_pmf(10, 0, f64::NAN), 0.0);
+        assert_eq!(ln_binomial_pmf(10, 3, -0.0), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial_pmf(10, 10, 1.0), 0.0);
+        assert_eq!(ln_binomial_pmf(10, 9, 1.5), f64::NEG_INFINITY);
+        assert_eq!(binomial_tail_gt(10, 3, f64::NAN), 0.0);
+        assert_eq!(binomial_cdf_le(10, 3, f64::NAN), 1.0);
+        assert_eq!(binomial_tail_gt(10, 3, 1.0), 1.0);
+        assert_eq!(binomial_tail_gt(10, 10, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tail_and_cdf_are_complements() {
+        for &(n, p) in &[(20u64, 0.3f64), (100, 0.5), (1000, 0.007), (50, 0.9)] {
+            for k in [0u64, 1, n / 4, n / 2, n - 1] {
+                let tail = binomial_tail_gt(n, k, p);
+                let cdf = binomial_cdf_le(n, k, p);
+                assert!(
+                    (tail + cdf - 1.0).abs() < 1e-9,
+                    "n {n} p {p} k {k}: {tail} + {cdf}"
+                );
+                assert!((0.0..=1.0).contains(&tail));
+            }
+        }
+    }
+
+    #[test]
+    fn tail_matches_brute_force_summation() {
+        for &(n, p) in &[(30u64, 0.25f64), (200, 0.04), (64, 0.6)] {
+            for k in 0..n {
+                let want: f64 = (k + 1..=n).map(|j| ln_binomial_pmf(n, j, p).exp()).sum();
+                let got = binomial_tail_gt(n, k, p);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "n {n} p {p} k {k}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tails_survive_pmf_underflow_at_the_support_ends() {
+        // Regression: with n·ln(1−p) < −745, pmf(0) underflows to 0 while
+        // the term ratios up to the mode overflow; an accumulator anchored
+        // at pmf(0) produced 0·∞ = NaN, which `.min(1.0)` silently turned
+        // into cdf = 1 and tail = 0 — freezing every cohort whose clear
+        // channel was this wide. The threshold here cuts 5σ below the
+        // mean, so the true tail is ≈ 1.
+        let (n, p) = (8107u64, 0.12808f64);
+        let mean = n as f64 * p; // ≈ 1038, ln pmf(0) ≈ −1111
+        let sigma = (mean * (1.0 - p)).sqrt();
+        let k = (mean - 5.0 * sigma) as u64;
+        let tail = binomial_tail_gt(n, k, p);
+        assert!(tail > 1.0 - 1e-4, "k {k}: tail {tail}");
+        let cdf = binomial_cdf_le(n, k, p);
+        assert!(cdf < 1e-4 && cdf > 0.0, "k {k}: cdf {cdf}");
+        // And the mirrored regime: k far above a far-from-zero mean.
+        let hi = (mean + 5.0 * sigma) as u64;
+        let t_hi = binomial_tail_gt(n, hi, p);
+        assert!(t_hi < 1e-4 && t_hi > 0.0, "k {hi}: tail {t_hi}");
+        assert!(binomial_cdf_le(n, hi, p) > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn large_population_tails_stay_finite_and_monotone() {
+        // The helper rule at n = 10^6: threshold cuts far below the mean
+        // and far above it must both behave.
+        let n = 1_000_000u64;
+        let p = 2e-4; // mean 200
+        let mut prev = 1.0;
+        for k in [0u64, 50, 150, 200, 250, 400, 1000] {
+            let t = binomial_tail_gt(n, k, p);
+            assert!(t.is_finite() && (0.0..=1.0).contains(&t), "k {k}: {t}");
+            assert!(t <= prev + 1e-12, "tail must be non-increasing in k");
+            prev = t;
+        }
+        assert!(binomial_tail_gt(n, 0, p) > 1.0 - 1e-12);
+        assert!(binomial_tail_gt(n, 1000, p) < 1e-100);
+    }
+}

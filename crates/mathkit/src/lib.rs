@@ -11,6 +11,7 @@
 //! of the approved dependency set, so the binomial/geometric samplers are
 //! implemented from first principles and validated by property tests.
 
+pub mod binom;
 pub mod bounds;
 pub mod fit;
 pub mod gof;
@@ -20,6 +21,7 @@ pub mod rng;
 pub mod sample;
 pub mod stats;
 
+pub use binom::{binomial_cdf_le, binomial_tail_gt, ln_binomial_pmf, ln_choose, ln_factorial};
 pub use bounds::{chernoff_lower_tail, chernoff_upper_tail, concentration_radius};
 pub use fit::{
     linear_fit, power_law_fit, power_law_fit_with_offset, LinearFit, OffsetPowerLawFit, PowerLawFit,
@@ -28,7 +30,10 @@ pub use gof::{chi_square_gof, ks_two_sample, ChiSquare, KsTest};
 pub use histogram::LogHistogram;
 pub use hypothesis::{mann_whitney_u, normal_cdf, MannWhitney};
 pub use rng::{seed_stream, RcbRng, SeedSequence};
-pub use sample::{bernoulli, binomial, geometric_failures, sample_distinct, sample_slots, Sampler};
+pub use sample::{
+    bernoulli, binomial, binomial_fast, geometric_failures, multinomial_into, sample_distinct,
+    sample_slots, slot_capacity_hint_capped, Sampler,
+};
 pub use stats::{percentile, summarize, RunningStats, Summary};
 
 /// The golden ratio φ = (1 + √5)/2, used by the King–Saia–Young baseline and

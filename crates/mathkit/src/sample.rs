@@ -28,9 +28,19 @@ pub fn bernoulli(rng: &mut RcbRng, p: f64) -> bool {
 ///
 /// Returns `u64::MAX` when `p` is so small the skip overflows — callers use
 /// the value as "skip past the end of the block", so saturation is correct.
+/// Out-of-domain `p` (≤ 0, `−0.0`, or NaN) is clamped to the same saturated
+/// value in every build profile: a coin that never lands heads.
 #[inline]
 pub fn geometric_failures(rng: &mut RcbRng, p: f64) -> u64 {
-    debug_assert!(p > 0.0 && p <= 1.0, "geometric needs 0 < p <= 1, got {p}");
+    // Domain guard, active in every build profile (this used to be a
+    // debug_assert, which vanished in release and let NaN reach the
+    // inversion): a coin that never succeeds — p ≤ 0, −0.0, or NaN — skips
+    // past any block, which is what the saturated value means to every
+    // caller. NaN fails `p > 0.0`, so it cannot fall through and divide by
+    // ln(1) = 0.
+    if p.is_nan() || p <= 0.0 {
+        return u64::MAX;
+    }
     if p >= 1.0 {
         return 0;
     }
@@ -58,8 +68,15 @@ fn geometric_failures_with_denom(rng: &mut RcbRng, ln_one_minus_p: f64) -> u64 {
 /// Exact `Binomial(n, p)` sample in `O(np + 1)` expected time via geometric
 /// skips. This is exact (not an approximation): it counts the successes of
 /// `n` independent `p`-coins.
+///
+/// Out-of-domain `p` is clamped: anything that is not a positive
+/// probability — `p ≤ 0`, `−0.0`, or NaN — yields 0 successes, and `p ≥ 1`
+/// yields `n`. The NaN case matters: it used to fall through both guards
+/// (NaN fails `<=` and `>=` alike) into the skip loop, where `NaN as u64`
+/// is 0 and every skip landed on a "success" — a silent `n` from a
+/// poisoned probability.
 pub fn binomial(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
-    if n == 0 || p <= 0.0 {
+    if n == 0 || p.is_nan() || p <= 0.0 {
         return 0;
     }
     if p >= 1.0 {
@@ -82,6 +99,248 @@ pub fn binomial(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
     }
 }
 
+/// Below this expected count, [`binomial_fast`] uses BINV inversion; at or
+/// above it, the BTPE rejection sampler. The crossover follows
+/// Kachitvichyanukul & Schmeiser (1988): BTPE's setup cost only pays off
+/// once the distribution is wide enough for its triangle to catch most of
+/// the mass.
+const BTPE_THRESHOLD: f64 = 10.0;
+
+/// Exact `Binomial(n, p)` sample in **O(1) amortised** time, independent of
+/// `n` and `p`.
+///
+/// [`binomial`] costs `O(np)` — and, worse, stays `O(np)` when `p > ½`
+/// (`n = 10^6`, `p = 0.9` walks ~900k geometric skips). This sampler fixes
+/// both asymmetries without touching the existing function, so every RNG
+/// stream already pinned by committed BENCH checksums stays bit-identical:
+///
+/// * **Complement split:** for `p > ½` it draws `n − Binomial(n, 1 − p)`,
+///   which is the same distribution (count failures instead of successes).
+/// * **Small mean:** `n·min(p, 1−p) < 10` uses BINV — textbook CDF
+///   inversion from the `(1−p)^n` atom upward, `O(np)` but with `np < 10`.
+/// * **Large mean:** the BTPE rejection algorithm of Kachitvichyanukul &
+///   Schmeiser ("Binomial random variate generation", CACM 31(2), 1988):
+///   a triangle/parallelogram/exponential-tail envelope over the scaled
+///   pmf with a squeeze step, accepting in `O(1)` expected draws.
+///
+/// Both branches sample the exact binomial law (BTPE's final acceptance
+/// compares against the true pmf via a Stirling-series `ln n!`), so this is
+/// a faster sampler, not an approximation. For `n` beyond 2^53 the f64
+/// parameterisation of the pmf rounds `n`; the resulting relative error is
+/// ~1e-16, far below anything the engines can observe.
+///
+/// Out-of-domain `p` follows the same documented clamp as [`binomial`]:
+/// non-positive or NaN → 0, `p ≥ 1` → `n`.
+pub fn binomial_fast(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p.is_nan() || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Complement split: sample the rarer outcome.
+    if p > 0.5 {
+        return n - binomial_fast_half(rng, n, 1.0 - p);
+    }
+    binomial_fast_half(rng, n, p)
+}
+
+/// [`binomial_fast`] after the complement split: `0 < p ≤ ½`.
+fn binomial_fast_half(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
+    if (n as f64) * p < BTPE_THRESHOLD {
+        binomial_binv(rng, n, p)
+    } else {
+        binomial_btpe(rng, n, p)
+    }
+}
+
+/// BINV: CDF inversion from the zero atom upward (`np < 10`, `p ≤ ½`).
+fn binomial_binv(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let s = p / q;
+    let f0 = (nf * q.ln()).exp(); // P(X = 0); np < 10 keeps this ≫ f64::MIN
+    loop {
+        let mut u = rng.f64();
+        let mut f = f0;
+        let mut x = 0u64;
+        loop {
+            if u < f {
+                return x;
+            }
+            if x >= n {
+                break; // f64 rounding ate the tail mass: redraw
+            }
+            u -= f;
+            x += 1;
+            f *= s * (nf - (x - 1) as f64) / x as f64;
+        }
+    }
+}
+
+/// BTPE (Kachitvichyanukul & Schmeiser 1988) for `p ≤ ½`, `np ≥ 10`.
+///
+/// Region probabilities `p1..p4` cover: the central triangle (accepted
+/// outright), the parallelogram above it, and two exponential tails. A
+/// candidate from outside the triangle passes a cheap squeeze or, rarely,
+/// the exact pmf comparison with Stirling-series `ln n!` correction terms.
+fn binomial_btpe(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let r = p;
+    let q = 1.0 - r;
+    let nrq = nf * r * q;
+    let ffm = nf * r + r;
+    let m = ffm.floor(); // mode
+    let p1 = (2.195 * nrq.sqrt() - 4.6 * q).floor() + 0.5;
+    let xm = m + 0.5;
+    let xl = xm - p1;
+    let xr = xm + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let a = (ffm - xl) / (ffm - xl * r);
+    let lambda_l = a * (1.0 + 0.5 * a);
+    let a = (xr - ffm) / (xr * q);
+    let lambda_r = a * (1.0 + 0.5 * a);
+    let p2 = p1 * (1.0 + c + c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    loop {
+        let u = rng.f64() * p4;
+        let mut v = rng.f64();
+
+        let y: f64;
+        if u <= p1 {
+            // Central triangle: accept immediately.
+            return (xm - p1 * v + u).floor() as u64;
+        } else if u <= p2 {
+            // Parallelogram: scale v onto the pmf-ratio line.
+            let x = xl + (u - p1) / c;
+            v = v * c + 1.0 - (x - xm).abs() / p1;
+            if v > 1.0 || v <= 0.0 {
+                continue;
+            }
+            y = x.floor();
+        } else if u <= p3 {
+            // Left exponential tail.
+            y = (xl + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            v *= (u - p2) * lambda_l;
+        } else {
+            // Right exponential tail.
+            y = (xr - v.ln() / lambda_r).floor();
+            if y > nf {
+                continue;
+            }
+            v *= (u - p3) * lambda_r;
+        }
+
+        // Accept/reject y against f(y)/f(m), where f is the binomial pmf.
+        let k = (y - m).abs();
+        if k <= 20.0 || k >= nrq / 2.0 - 1.0 {
+            // Narrow distribution or near the mode: evaluate the pmf ratio
+            // by the multiplicative recurrence — few factors, exact.
+            let s = r / q;
+            let aa = s * (nf + 1.0);
+            let mut f = 1.0;
+            if m < y {
+                let mut i = m;
+                while i < y {
+                    i += 1.0;
+                    f *= aa / i - s;
+                }
+            } else if m > y {
+                let mut i = y;
+                while i < m {
+                    i += 1.0;
+                    f /= aa / i - s;
+                }
+            }
+            if v <= f {
+                return y as u64;
+            }
+            continue;
+        }
+        // Squeeze: bounds on ln(f(y)/f(m)) that avoid the Stirling
+        // evaluation for most candidates.
+        let rho = (k / nrq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+        let t = -k * k / (2.0 * nrq);
+        let alv = v.ln();
+        if alv < t - rho {
+            return y as u64;
+        }
+        if alv > t + rho {
+            continue;
+        }
+        // Final exact comparison: ln(f(y)/f(m)) via Stirling's series,
+        // with the (13860 − …)/166320 polynomial correction terms of the
+        // published algorithm.
+        let x1 = y + 1.0;
+        let f1 = m + 1.0;
+        let z = nf + 1.0 - m;
+        let w = nf - y + 1.0;
+        let z2 = z * z;
+        let x2 = x1 * x1;
+        let f2 = f1 * f1;
+        let w2 = w * w;
+        let stirling = |v2: f64| 13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / v2) / v2) / v2) / v2;
+        let bound = xm * (f1 / x1).ln()
+            + (nf - m + 0.5) * (z / w).ln()
+            + (y - m) * (w * r / (x1 * q)).ln()
+            + stirling(f2) / f1 / 166320.0
+            + stirling(z2) / z / 166320.0
+            + stirling(x2) / x1 / 166320.0
+            + stirling(w2) / w / 166320.0;
+        if alv <= bound {
+            return y as u64;
+        }
+    }
+}
+
+/// One multinomial draw by sequential conditional binomial splits: `n`
+/// items distributed over `weights.len()` categories with probabilities
+/// proportional to `weights`, written into `out` (cleared first).
+///
+/// This is the cohort engine's batched draw: classifying a repetition's
+/// slots (clear / single-message / noise) or a cohort's members (per clear
+/// count) is one multinomial, costing `O(categories)` [`binomial_fast`]
+/// draws instead of `O(n)` per-item coins. Weights must be non-negative
+/// and finite; NaN or negative weights are treated as zero. If every
+/// weight is zero the entire count lands in the final category (callers
+/// use a trailing "rest" bucket).
+pub fn multinomial_into(rng: &mut RcbRng, n: u64, weights: &[f64], out: &mut Vec<u64>) {
+    out.clear();
+    if weights.is_empty() {
+        return;
+    }
+    out.reserve(weights.len());
+    let sanitize = |w: f64| if w > 0.0 && w.is_finite() { w } else { 0.0 };
+    let mut remaining_weight: f64 = weights.iter().copied().map(sanitize).sum();
+    let mut remaining = n;
+    for (idx, &raw) in weights.iter().enumerate() {
+        if idx + 1 == weights.len() {
+            out.push(remaining);
+            break;
+        }
+        let w = sanitize(raw);
+        let p = if remaining_weight > 0.0 {
+            (w / remaining_weight).min(1.0)
+        } else {
+            0.0
+        };
+        let k = binomial_fast(rng, remaining, p);
+        out.push(k);
+        remaining -= k;
+        remaining_weight = (remaining_weight - w).max(0.0);
+    }
+}
+
+/// Default clamp for [`slot_capacity_hint`]: generous for the repetition
+/// lengths the engines historically drew (≤ 2^16 events was effectively
+/// unbounded), conservative against the saturating-cast extremes.
+const DEFAULT_CAPACITY_CLAMP: usize = 1 << 16;
+
 /// Initial reservation for a block sample: 1.5× the expected count `np`
 /// plus slack, clamped to the block length and to a fixed upper bound.
 ///
@@ -89,14 +348,27 @@ pub fn binomial(rng: &mut RcbRng, n: u64, p: f64) -> u64 {
 /// saturates the `f64 → usize` cast and asks for a multi-exabyte buffer,
 /// and even realistic large blocks would pre-commit memory the tail of the
 /// distribution rarely needs. `Vec` doubling amortises the rare overflow
-/// past the clamp.
+/// past the clamp. Callers with a better bound (the cohort engine knows its
+/// population) use [`slot_capacity_hint_capped`] directly.
 fn slot_capacity_hint(n: u64, p: f64) -> usize {
-    const MAX_INITIAL: usize = 1 << 16;
+    slot_capacity_hint_capped(n, p, DEFAULT_CAPACITY_CLAMP)
+}
+
+/// [`slot_capacity_hint`] with a caller-chosen clamp.
+///
+/// The fixed `1 << 16` default was tuned for per-node repetition draws; a
+/// large-`n` caller that knows it will collect millions of events pays for
+/// the low clamp with repeated `Vec` doubling (a ~2^4 cascade of reallocs
+/// and copies at `n = 10^6`). The expected-count arithmetic keeps the
+/// saturating-cast protections: `n·p` overflow saturates, and the hint
+/// never exceeds the block length or the clamp.
+pub fn slot_capacity_hint_capped(n: u64, p: f64, clamp: usize) -> usize {
+    let p = if p > 0.0 { p.min(1.0) } else { 0.0 }; // NaN/negative → 0
     let expected = ((n as f64 * p) * 1.5) as usize; // saturating cast
     expected
         .saturating_add(4)
         .min(usize::try_from(n).unwrap_or(usize::MAX))
-        .min(MAX_INITIAL)
+        .min(clamp)
 }
 
 /// The success *positions* of `n` independent `p`-coins, sorted ascending.
@@ -113,9 +385,13 @@ pub fn sample_slots(rng: &mut RcbRng, n: u64, p: f64) -> Vec<u64> {
 /// [`sample_slots`] writing into a caller-owned buffer (cleared first), so
 /// hot loops reuse one allocation across repetitions. Consumes the RNG
 /// stream identically to [`sample_slots`] for every `(n, p)`.
+///
+/// `p` is clamped like [`binomial`]: a non-positive or NaN probability
+/// selects no slots (NaN used to walk the skip loop and select *every*
+/// slot), and `p ≥ 1` selects all of them.
 pub fn sample_slots_into(rng: &mut RcbRng, n: u64, p: f64, out: &mut Vec<u64>) {
     out.clear();
-    if n == 0 || p <= 0.0 {
+    if n == 0 || p.is_nan() || p <= 0.0 {
         return;
     }
     if p >= 1.0 {
@@ -385,6 +661,173 @@ mod tests {
         // And the hint never exceeds the block length.
         assert!(slot_capacity_hint(3, 0.9) <= 3);
         assert_eq!(slot_capacity_hint(0, 0.5), 0);
+    }
+
+    #[test]
+    fn slot_capacity_hint_capped_honours_caller_bound() {
+        // The cohort engine passes its own clamp so a single n=10^6 draw
+        // reserves once instead of doubling past the old 1<<16 ceiling.
+        let hinted = slot_capacity_hint_capped(1_000_000, 0.9, 4 << 20);
+        assert!(hinted > 1 << 16, "caller clamp must beat the default");
+        assert!(hinted <= 4 << 20);
+        // Expected count wins when below both clamps.
+        assert_eq!(
+            slot_capacity_hint_capped(1000, 0.1, 4 << 20),
+            slot_capacity_hint(1000, 0.1)
+        );
+        // Caller clamp still protects against saturating products.
+        assert!(slot_capacity_hint_capped(u64::MAX, 1.0, 1 << 10) <= 1 << 10);
+        // Degenerate p sanitises instead of poisoning the cast.
+        assert_eq!(slot_capacity_hint_capped(100, f64::NAN, 1 << 10), 4);
+        assert_eq!(slot_capacity_hint_capped(100, -3.0, 1 << 10), 4);
+    }
+
+    #[test]
+    fn samplers_reject_invalid_p_in_release_builds() {
+        // NaN used to fall through both guards: `NaN as u64 == 0` made every
+        // geometric skip zero, so binomial(n, NaN) returned n and
+        // sample_slots(n, NaN) selected every slot. These asserts run in
+        // release CI, where the old debug_assert provided no protection.
+        let mut rng = RcbRng::new(77);
+        assert_eq!(binomial(&mut rng, 1000, f64::NAN), 0);
+        assert_eq!(binomial_fast(&mut rng, 1000, f64::NAN), 0);
+        assert!(sample_slots(&mut rng, 1000, f64::NAN).is_empty());
+        assert_eq!(geometric_failures(&mut rng, f64::NAN), u64::MAX);
+
+        // ±0.0: a coin that never lands heads.
+        for &zero in &[0.0f64, -0.0] {
+            assert_eq!(binomial(&mut rng, 1000, zero), 0);
+            assert_eq!(binomial_fast(&mut rng, 1000, zero), 0);
+            assert!(sample_slots(&mut rng, 1000, zero).is_empty());
+            assert_eq!(geometric_failures(&mut rng, zero), u64::MAX);
+            assert_eq!(geometric_failures(&mut rng, -1.0), u64::MAX);
+        }
+
+        // Subnormal p is a valid (if absurd) probability: it must neither
+        // hang nor divide by ln(1) = 0. ln_1p keeps the denominator finite
+        // and nonzero, so the skip is astronomically large and the draw
+        // terminates immediately.
+        let tiny = f64::MIN_POSITIVE / 2.0;
+        assert!(tiny > 0.0 && !tiny.is_normal());
+        assert_eq!(binomial(&mut rng, 1_000_000, tiny), 0);
+        assert_eq!(binomial_fast(&mut rng, 1_000_000, tiny), 0);
+        let skip = geometric_failures(&mut rng, tiny);
+        assert!(skip > 1 << 40, "subnormal p must skip ~1/p failures");
+    }
+
+    #[test]
+    fn binomial_fast_edge_cases() {
+        let mut rng = RcbRng::new(78);
+        assert_eq!(binomial_fast(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial_fast(&mut rng, 10, 1.0), 10);
+        assert_eq!(binomial_fast(&mut rng, 10, 2.0), 10);
+        assert_eq!(binomial_fast(&mut rng, 10, -1.0), 0);
+        // Complement path near 1: all three sampler regimes stay in range.
+        for &(n, p) in &[(5u64, 0.999f64), (1000, 0.97), (1_000_000, 0.9)] {
+            for _ in 0..50 {
+                let k = binomial_fast(&mut rng, n, p);
+                assert!(k <= n, "n {n}, p {p}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_fast_moments_match_theory() {
+        // Mean and variance across BINV (np < 10), BTPE (np ≥ 10), and the
+        // p > 1/2 complement path.
+        let mut rng = RcbRng::new(79);
+        for &(n, p) in &[
+            (40u64, 0.1f64), // BINV
+            (400, 0.3),      // BTPE
+            (400, 0.7),      // complement → BTPE
+            (30, 0.9),       // complement → BINV
+            (1_000_000, 0.5),
+        ] {
+            let trials = 20_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..trials {
+                let k = binomial_fast(&mut rng, n, p) as f64;
+                sum += k;
+                sumsq += k * k;
+            }
+            let mean = sum / trials as f64;
+            let var = sumsq / trials as f64 - mean * mean;
+            let (m, v) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            // 6-sigma tolerance on the sample mean, 10% on the variance.
+            let mean_tol = 6.0 * (v / trials as f64).sqrt();
+            assert!(
+                (mean - m).abs() < mean_tol,
+                "n {n} p {p}: mean {mean} vs {m}"
+            );
+            assert!((var - v).abs() < 0.1 * v, "n {n} p {p}: var {var} vs {v}");
+        }
+    }
+
+    #[test]
+    fn binomial_fast_agrees_with_exact_binomial_in_distribution() {
+        // Two-sample KS between the geometric-skip reference sampler and
+        // the BINV/BTPE paths: same law, different streams.
+        use crate::gof::ks_two_sample;
+        for &(n, p) in &[(300u64, 0.37f64), (300, 0.63), (24, 0.25)] {
+            let mut rng_a = RcbRng::new(80);
+            let mut rng_b = RcbRng::new(81);
+            let trials = 4000;
+            let a: Vec<f64> = (0..trials)
+                .map(|_| binomial(&mut rng_a, n, p) as f64)
+                .collect();
+            let b: Vec<f64> = (0..trials)
+                .map(|_| binomial_fast(&mut rng_b, n, p) as f64)
+                .collect();
+            let ks = ks_two_sample(&a, &b);
+            assert!(ks.p > 1e-4, "n {n} p {p}: KS d {} p {}", ks.d, ks.p);
+        }
+    }
+
+    #[test]
+    fn binomial_fast_is_deterministic_per_seed() {
+        for seed in 0..10u64 {
+            let mut a = RcbRng::new(seed);
+            let mut b = RcbRng::new(seed);
+            for &(n, p) in &[(50u64, 0.2f64), (5000, 0.4), (5000, 0.8)] {
+                assert_eq!(binomial_fast(&mut a, n, p), binomial_fast(&mut b, n, p));
+            }
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn multinomial_into_conserves_and_distributes() {
+        let mut rng = RcbRng::new(82);
+        let mut out = Vec::new();
+        // Conservation for arbitrary weights, including zero and NaN cells.
+        multinomial_into(&mut rng, 10_000, &[3.0, 0.0, 1.0, f64::NAN, 6.0], &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.iter().sum::<u64>(), 10_000);
+        assert_eq!(out[1], 0, "zero weight gets zero mass");
+        assert_eq!(out[3], 0, "NaN weight is treated as zero");
+
+        // Means track the weight proportions.
+        let mut totals = [0u64; 3];
+        let reps = 2000;
+        for _ in 0..reps {
+            multinomial_into(&mut rng, 100, &[1.0, 2.0, 1.0], &mut out);
+            for (t, &k) in totals.iter_mut().zip(&out) {
+                *t += k;
+            }
+        }
+        let mean1 = totals[1] as f64 / reps as f64;
+        assert!((mean1 - 50.0).abs() < 2.0, "mean {mean1}");
+
+        // All-zero weights: everything in the trailing rest bucket.
+        multinomial_into(&mut rng, 7, &[0.0, 0.0], &mut out);
+        assert_eq!(out, vec![0, 7]);
+        // Empty weights: nothing to write.
+        multinomial_into(&mut rng, 7, &[], &mut out);
+        assert!(out.is_empty());
+        // Single category takes it all.
+        multinomial_into(&mut rng, 7, &[0.25], &mut out);
+        assert_eq!(out, vec![7]);
     }
 
     #[test]

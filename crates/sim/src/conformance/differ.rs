@@ -21,7 +21,7 @@
 //!
 //! ## Reading the worst p-value
 //!
-//! A full default-grid run computes on the order of 100 p-values (12 cells
+//! A full default-grid run computes on the order of 150 p-values (16 cells
 //! × 4–5 verdict metrics × 2 tests), so under the null the *minimum* of
 //! them is routinely in the 0.01–0.05 range — that is what the order
 //! statistic of ~100 uniforms looks like, not evidence of drift. The gate
@@ -42,7 +42,9 @@ use rcb_mathkit::hypothesis::mann_whitney_u;
 
 use crate::faults::FaultPlan;
 use crate::runner::Parallelism;
-use crate::scenario::{DuelProtocol, Engine, Outcome, ScenarioSpec, Workload, FAST_STREAM_SALT};
+use crate::scenario::{
+    DuelProtocol, Engine, Outcome, ScenarioSpec, Workload, COHORT_STREAM_SALT, FAST_STREAM_SALT,
+};
 
 // `AdversarySpec` was born here and moved up to the scenario layer once
 // every consumer (not just the differ) needed it; re-exported so existing
@@ -114,6 +116,11 @@ pub struct BroadcastCell {
     /// Per-cell multiplier on `ConformanceConfig::trials`; see
     /// [`DuelCell::trial_multiplier`].
     pub trial_multiplier: u64,
+    /// The engine pair under comparison, default `(Exact, Fast)` — the
+    /// historical differ. [`BroadcastCell::versus`] swaps in any other
+    /// pair; cohort cells compare against `Exact` where the slot-level
+    /// engine is affordable (small n) and against `Fast` beyond that.
+    pub engines: (Engine, Engine),
 }
 
 impl BroadcastCell {
@@ -125,6 +132,7 @@ impl BroadcastCell {
         Self {
             spec: ScenarioSpec::broadcast_with(params, n).with_adversary(adversary),
             trial_multiplier: 1,
+            engines: (Engine::Exact, Engine::Fast),
         }
     }
 
@@ -139,18 +147,44 @@ impl BroadcastCell {
         self
     }
 
+    /// Compares `reference` against `candidate` instead of the default
+    /// `(Exact, Fast)` pair. The report's `exact_*` columns hold the
+    /// reference engine, `fast_*` the candidate.
+    pub fn versus(mut self, reference: Engine, candidate: Engine) -> Self {
+        self.engines = (reference, candidate);
+        self
+    }
+
     fn name(&self) -> String {
         let tag = fault_tag(&self.spec.faults);
         let adversary = &self.spec.adversary;
+        let pair = if self.engines == (Engine::Exact, Engine::Fast) {
+            String::new()
+        } else {
+            format!(
+                " [{} vs {}]",
+                engine_tag(self.engines.0),
+                engine_tag(self.engines.1)
+            )
+        };
         match &self.spec.workload {
             Workload::Broadcast(w) => {
                 format!(
-                    "broadcast n={} i₀={} {adversary}{tag}",
+                    "broadcast n={} i₀={} {adversary}{tag}{pair}",
                     w.n, w.params.first_epoch
                 )
             }
             Workload::Duel(_) => unreachable!("BroadcastCell holds a broadcast workload"),
         }
+    }
+}
+
+/// Short engine tag for cell names.
+fn engine_tag(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Exact => "exact",
+        Engine::Fast => "fast",
+        Engine::CohortFast => "cohort",
     }
 }
 
@@ -165,6 +199,7 @@ fn stamp(
     let seed = match engine {
         Engine::Exact => cfg.seed,
         Engine::Fast => cfg.fast_seed(),
+        Engine::CohortFast => cfg.cohort_seed(),
     };
     spec.clone()
         .with_engine(engine)
@@ -202,6 +237,12 @@ impl ConformanceConfig {
     /// partially-shared streams would correlate the two samples.
     pub fn fast_seed(&self) -> u64 {
         self.seed ^ FAST_STREAM_SALT
+    }
+
+    /// The cohort engine's seed stream, disjoint from both the exact and
+    /// fast streams for the same reason as [`ConformanceConfig::fast_seed`].
+    pub fn cohort_seed(&self) -> u64 {
+        self.seed ^ COHORT_STREAM_SALT
     }
 }
 
@@ -451,8 +492,8 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
             .map(|(outcome, _)| sample(outcome))
             .collect::<Vec<BroadcastSample>>()
     };
-    let exact = batch(Engine::Exact);
-    let fast = batch(Engine::Fast);
+    let exact = batch(cell.engines.0);
+    let fast = batch(cell.engines.1);
     let trials = cfg.trials.saturating_mul(cell.trial_multiplier.max(1));
 
     let col =
@@ -490,7 +531,8 @@ pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> Cell
     }
 }
 
-/// The default (profile × adversary × budget × fault) grid: unjammed
+/// The default (profile × adversary × budget × fault × engine-pair) grid:
+/// unjammed
 /// baselines, blanket blockers at two budgets, a partial-fraction blocker,
 /// a keep-alive schedule, and fault-injection cells (loss under jamming,
 /// battery brownout, clock skew, crash–restart) for both protocol
@@ -539,6 +581,24 @@ pub fn default_grid() -> (Vec<DuelCell>, Vec<BroadcastCell>) {
         }),
         broadcast(AdversarySpec::NoJam).with_fault(FaultPlan::none().with_loss(0.15)),
         broadcast(AdversarySpec::NoJam).with_fault(FaultPlan::none().with_crash(1, 2, 6, true)),
+        // Cohort-engine cells. At n = 8 the slot-level exact engine is
+        // still cheap, so the cohort engine faces the ground truth
+        // directly; at n ∈ {64, 256} it is differed against the fast
+        // engine, which the cells above have already certified.
+        BroadcastCell::new(8, 4, AdversarySpec::NoJam).versus(Engine::Exact, Engine::CohortFast),
+        BroadcastCell::new(
+            64,
+            4,
+            AdversarySpec::Budgeted {
+                budget: 4096,
+                fraction: 1.0,
+            },
+        )
+        .versus(Engine::Fast, Engine::CohortFast),
+        BroadcastCell::new(256, 4, AdversarySpec::NoJam).versus(Engine::Fast, Engine::CohortFast),
+        BroadcastCell::new(64, 4, AdversarySpec::NoJam)
+            .with_fault(FaultPlan::none().with_crash(1, 2, 6, true))
+            .versus(Engine::Fast, Engine::CohortFast),
     ];
     (duels, broadcasts)
 }
@@ -663,6 +723,68 @@ mod tests {
         assert!(
             !report.diverges(1e-3),
             "engines diverge on a crash–restart cell:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn cohort_vs_exact_broadcast_cell_agrees() {
+        // The cohort engine against ground truth at a population small
+        // enough for the slot-level engine.
+        let cell = BroadcastCell::new(8, 4, AdversarySpec::NoJam)
+            .versus(Engine::Exact, Engine::CohortFast);
+        let cfg = ConformanceConfig {
+            trials: 30,
+            ..small_cfg()
+        };
+        let report = run_broadcast_cell(&cell, &cfg);
+        assert!(report.name.contains("[exact vs cohort]"), "{}", report.name);
+        assert!(
+            !report.diverges(1e-3),
+            "cohort engine diverges from exact:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn cohort_vs_fast_jammed_broadcast_cell_agrees() {
+        let cell = BroadcastCell::new(
+            64,
+            4,
+            AdversarySpec::Budgeted {
+                budget: 4096,
+                fraction: 1.0,
+            },
+        )
+        .versus(Engine::Fast, Engine::CohortFast);
+        let cfg = ConformanceConfig {
+            trials: 25,
+            ..small_cfg()
+        };
+        let report = run_broadcast_cell(&cell, &cfg);
+        assert!(report.name.contains("[fast vs cohort]"), "{}", report.name);
+        assert!(
+            !report.diverges(1e-3),
+            "cohort engine diverges from fast under jamming:\n{:#?}",
+            report
+        );
+    }
+
+    #[test]
+    fn cohort_vs_fast_crash_cell_agrees() {
+        // Crash targets are tracked individually by the cohort engine;
+        // this certifies the materialized path against the fast engine.
+        let cell = BroadcastCell::new(64, 4, AdversarySpec::NoJam)
+            .with_fault(FaultPlan::none().with_crash(1, 2, 6, true))
+            .versus(Engine::Fast, Engine::CohortFast);
+        let cfg = ConformanceConfig {
+            trials: 25,
+            ..small_cfg()
+        };
+        let report = run_broadcast_cell(&cell, &cfg);
+        assert!(
+            !report.diverges(1e-3),
+            "cohort engine diverges from fast on a crash–restart cell:\n{:#?}",
             report
         );
     }

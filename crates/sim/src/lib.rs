@@ -45,6 +45,7 @@
 //! as an append-only, FNV-1a-checksummed JSONL file so interrupted sweeps
 //! resume bit-identical to uninterrupted ones.
 
+pub mod cohort;
 pub mod conformance;
 pub mod deadline;
 pub mod duel;
@@ -61,6 +62,10 @@ pub mod reduction;
 pub mod runner;
 pub mod scenario;
 
+pub use cohort::{
+    run_cohort, run_cohort_checked, run_cohort_faulted, run_cohort_from, run_cohort_instrumented,
+    CohortConfig, CohortStats,
+};
 pub use conformance::{
     default_grid, run_grid, BroadcastCell, ConformanceConfig, DuelCell, GridReport,
 };

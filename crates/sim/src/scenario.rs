@@ -49,6 +49,7 @@ use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
 use rcb_core::protocol::SlotProtocol;
 use rcb_mathkit::rng::RcbRng;
 
+use crate::cohort::{run_cohort_core, CohortConfig, CohortStats};
 use crate::deadline::Deadline;
 use crate::duel::{run_duel_core, DuelConfig};
 use crate::error::SimError;
@@ -64,6 +65,13 @@ use crate::runner::{run_trials, Parallelism};
 /// 64-bit golden-ratio increment; any fixed odd constant would do — what
 /// matters is that it is pinned, because recorded baselines depend on it.
 pub const FAST_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Salt for the cohort engine's conformance batches, for the same reason
+/// as [`FAST_STREAM_SALT`]: all three engines consume different amounts of
+/// randomness per trial, so each needs an uncorrelated stream. (This is
+/// the golden-ratio constant multiplied by 3, an arbitrary pinned odd
+/// word.)
+pub const COHORT_STREAM_SALT: u64 = 0xdaa6_6d2c_7ddf_743f;
 
 /// FNV-1a offset basis; the perf grid's checksums start here.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -184,6 +192,12 @@ pub enum Engine {
     Fast,
     /// The slot-by-slot reference engine ([`crate::exact`]).
     Exact,
+    /// The population-compressed engine ([`crate::cohort`]): broadcast
+    /// workloads only, `O(active cohorts)` per repetition instead of
+    /// `O(n)` — the large-n (10^4…10^6) engine. Agrees with the others in
+    /// distribution up to the approximations documented on
+    /// [`crate::cohort`].
+    CohortFast,
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +408,9 @@ impl ScenarioSpec {
     /// (the CLI) can surface a readable error instead of a panic.
     pub fn validate(&self) -> Result<(), String> {
         self.faults.validate().map_err(|e| e.to_string())?;
+        if self.engine == Engine::CohortFast && matches!(self.workload, Workload::Duel(_)) {
+            return Err("the cohort engine supports only broadcast workloads".into());
+        }
         match &self.workload {
             Workload::Duel(_) => {}
             Workload::Broadcast(w) => {
@@ -429,6 +446,9 @@ impl ScenarioSpec {
             (Engine::Fast, Workload::Duel(_)) => "duel-fast",
             (Engine::Fast, Workload::Broadcast(_)) => "broadcast-fast",
             (Engine::Exact, _) => "exact",
+            // `validate` rejects (CohortFast, Duel), so the label is
+            // unconditionally the broadcast one.
+            (Engine::CohortFast, _) => "broadcast-cohort",
         }
     }
 
@@ -541,6 +561,27 @@ impl ScenarioSpec {
             (Workload::Broadcast(w), Engine::Exact) => {
                 let adv = self.adversary.build(self.seeds.adversary_seed(trial));
                 self.exact_broadcast(w, adv, rng, deadline)
+            }
+            (Workload::Broadcast(w), Engine::CohortFast) => {
+                let mut adv = self.adversary.build(self.seeds.adversary_seed(trial));
+                let (out, err) = run_cohort_core(
+                    &w.params,
+                    w.n,
+                    &w.sources,
+                    adv.as_mut(),
+                    rng,
+                    CohortConfig {
+                        max_epoch: w.max_epoch,
+                        ..CohortConfig::default()
+                    },
+                    &self.faults,
+                    deadline,
+                    &mut CohortStats::default(),
+                );
+                (Outcome::Broadcast(out), err)
+            }
+            (Workload::Duel(_), Engine::CohortFast) => {
+                unreachable!("validate() rejects duel workloads on the cohort engine")
             }
         }
     }
@@ -728,6 +769,12 @@ impl ScenarioSpec {
                     o.delivered as u64,
                 ],
             ),
+            (Outcome::Duel(_), Engine::CohortFast) => {
+                unreachable!("validate() rejects duel workloads on the cohort engine")
+            }
+            // Engine-agnostic on purpose: the broadcast word order predates
+            // the cohort engine and stays pinned so fast-engine baselines
+            // remain comparable.
             (Outcome::Broadcast(o), _) => {
                 let h = fnv1a(
                     FNV_OFFSET,
@@ -793,6 +840,7 @@ impl ScenarioSpec {
             match self.engine {
                 Engine::Fast => "fast",
                 Engine::Exact => "exact",
+                Engine::CohortFast => "cohort",
             }
             .into(),
         );
@@ -873,6 +921,7 @@ impl ScenarioSpec {
         let engine = match value.get("engine").and_then(Json::as_str) {
             Some("fast") => Engine::Fast,
             Some("exact") => Engine::Exact,
+            Some("cohort") => Engine::CohortFast,
             other => return Err(format!("unknown engine {other:?}")),
         };
         let adversary = value.get("adversary").ok_or("spec missing `adversary`")?;
@@ -1337,6 +1386,22 @@ pub fn registry() -> Vec<NamedScenario> {
                 20,
             ),
         },
+        // The large-n cohort entries sit last deliberately: their heap
+        // high-water marks (tens of MiB at n = 10^6) would otherwise leak
+        // into the following entries' per-scenario RSS attribution on a
+        // serial perf pass.
+        NamedScenario {
+            name: "bcast_n65536",
+            summary: "cohort broadcast, n=65536, 2 M-budget blocker",
+            spec: bcast(65_536, 2_000_000, FaultPlan::none(), 4).with_engine(Engine::CohortFast),
+        },
+        NamedScenario {
+            name: "bcast_n1e6",
+            summary: "cohort broadcast, n=10^6, no jamming (scale ceiling)",
+            spec: ScenarioSpec::broadcast(1_000_000)
+                .with_trials(2)
+                .with_engine(Engine::CohortFast),
+        },
     ]
 }
 
@@ -1354,7 +1419,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let entries = registry();
-        assert_eq!(entries.len(), 8);
+        assert_eq!(entries.len(), 10);
         for (i, a) in entries.iter().enumerate() {
             for b in &entries[i + 1..] {
                 assert_ne!(a.name, b.name);
@@ -1584,6 +1649,43 @@ mod tests {
                 .engine_label(),
             "exact"
         );
+        assert_eq!(
+            ScenarioSpec::broadcast(4)
+                .with_engine(Engine::CohortFast)
+                .engine_label(),
+            "broadcast-cohort"
+        );
+    }
+
+    #[test]
+    fn cohort_engine_rejects_duel_workloads() {
+        let spec = ScenarioSpec::duel(DuelProtocol::fig1(0.1, 8)).with_engine(Engine::CohortFast);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn cohort_spec_matches_legacy_entry_point() {
+        let spec = ScenarioSpec::broadcast(24)
+            .with_engine(Engine::CohortFast)
+            .with_adversary(AdversarySpec::Budgeted {
+                budget: 50_000,
+                fraction: 1.0,
+            });
+        for seed in 0..3 {
+            let mut rng_a = RcbRng::new(seed);
+            let via_spec = spec.run(&mut rng_a).expect("no cap hit").into_broadcast();
+            let mut rng_b = RcbRng::new(seed);
+            let mut adv = BudgetedRepBlocker::new(50_000, 1.0);
+            let legacy = crate::cohort::run_cohort(
+                &OneToNParams::practical(),
+                24,
+                &mut adv,
+                &mut rng_b,
+                CohortConfig::default(),
+            );
+            assert_eq!(via_spec, legacy, "seed {seed}");
+            assert_eq!(rng_a, rng_b, "seed {seed}: RNG streams diverged");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use rcb_core::one_to_one::schedule::DuelSchedule;
 use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
 use rcb_core::protocol::SlotProtocol;
 use rcb_mathkit::rng::RcbRng;
+use rcb_sim::cohort::{run_cohort_faulted, CohortConfig};
 use rcb_sim::conformance::default_grid;
 use rcb_sim::duel::{run_duel, run_duel_faulted, DuelConfig};
 use rcb_sim::exact::{run_exact_faulted, ExactConfig};
@@ -222,6 +223,24 @@ fn legacy_trial(spec: &ScenarioSpec, trial: u64, rng: &mut RcbRng) -> Outcome {
             let adv = legacy_adversary(&spec.adversary, seed);
             Outcome::Broadcast(legacy_exact_broadcast(w, adv, rng, &spec.faults))
         }
+        (Workload::Broadcast(w), Engine::CohortFast) => {
+            let mut adv = legacy_adversary(&spec.adversary, seed);
+            Outcome::Broadcast(run_cohort_faulted(
+                &w.params,
+                w.n,
+                &w.sources,
+                adv.as_mut(),
+                rng,
+                CohortConfig {
+                    max_epoch: w.max_epoch,
+                    ..CohortConfig::default()
+                },
+                &spec.faults,
+            ))
+        }
+        (Workload::Duel(_), Engine::CohortFast) => {
+            unreachable!("validate() rejects duel workloads on the cohort engine")
+        }
     }
 }
 
@@ -297,8 +316,12 @@ fn default_grid_broadcast_cells_match_legacy() {
         "grid must have broadcast cells"
     );
     for (i, cell) in broadcast_cells.iter().enumerate() {
-        for engine in [Engine::Fast, Engine::Exact] {
-            let trials = if engine == Engine::Fast { 4 } else { 2 };
+        // Sweep the engines the differ actually runs for this cell: the
+        // historical cells pin both slot-level engines; the cohort cells
+        // pin their own (reference, candidate) pair, which keeps the
+        // exact engine away from populations it was never sized for.
+        for engine in [cell.engines.0, cell.engines.1] {
+            let trials = if engine == Engine::Exact { 2 } else { 4 };
             let spec = cell
                 .spec
                 .clone()
@@ -315,13 +338,26 @@ fn registry_entries_match_legacy() {
     let entries = registry();
     assert!(!entries.is_empty(), "registry must not be empty");
     for entry in &entries {
+        // The 10^6 scale-ceiling entry takes ~70 s per trial even on the
+        // cohort engine; replaying it through both paths would dominate
+        // the whole suite. Its engine dispatch is the same code path the
+        // n = 65536 entry certifies below, and the perf harness asserts
+        // its batch determinism end-to-end on every run.
+        if let Workload::Broadcast(w) = &entry.spec.workload {
+            if w.n > 65_536 {
+                continue;
+            }
+        }
         // Registry trial counts are sized for perf runs; cap them so the
         // equivalence check stays cheap while still folding a multi-trial
         // checksum. Seeds are the entries' own pinned seeds.
-        let cap = if entry.spec.engine == Engine::Exact {
-            4
-        } else {
-            8
+        let cap = match entry.spec.engine {
+            Engine::Exact => 4,
+            // The cohort entry runs at n = 65536; two trials still fold
+            // a multi-trial checksum through both paths without
+            // dominating the suite.
+            Engine::CohortFast => 2,
+            Engine::Fast => 8,
         };
         let spec = entry.spec.clone().with_trials(entry.spec.trials.min(cap));
         assert_spec_matches_legacy(&spec, entry.name);
