@@ -104,6 +104,20 @@ impl<A: RepetitionAdversary> RepAsSlotAdversary<A> {
         &self.inner
     }
 
+    /// Re-arms the adapter *and* the wrapped strategy to the
+    /// just-constructed state: pending plan and summary discarded (no final
+    /// observation — the run they belonged to is being abandoned, not
+    /// finished), activity bitmap cleared, `active_nodes` reseeded to the
+    /// full node count.
+    pub fn rearm(&mut self) {
+        self.inner.rearm();
+        self.current = None;
+        self.summary = RepetitionSummary::default();
+        let nodes = self.acted.len();
+        self.acted.fill(false);
+        self.active_nodes = nodes;
+    }
+
     fn flush(&mut self) {
         if let Some((ctx, _)) = self.current.take() {
             self.inner.observe(&ctx, &self.summary);

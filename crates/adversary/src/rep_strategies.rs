@@ -85,6 +85,10 @@ impl RepetitionAdversary for BudgetedRepBlocker {
     fn remaining_budget(&self) -> Option<u64> {
         Some(self.budget - self.spent)
     }
+
+    fn rearm(&mut self) {
+        self.spent = 0;
+    }
 }
 
 /// ½-blocks repetitions: the cheapest rate that freezes `S_V` growth
@@ -108,6 +112,10 @@ impl RepetitionAdversary for HalfRepBlocker {
 
     fn remaining_budget(&self) -> Option<u64> {
         self.0.remaining_budget()
+    }
+
+    fn rearm(&mut self) {
+        self.0.rearm()
     }
 }
 
@@ -201,6 +209,10 @@ impl RepetitionAdversary for KeepAliveBlocker {
     fn remaining_budget(&self) -> Option<u64> {
         Some(self.budget - self.spent)
     }
+
+    fn rearm(&mut self) {
+        self.spent = 0;
+    }
 }
 
 /// A *learning* jammer: ε-greedy bandit over blocking fractions.
@@ -226,6 +238,7 @@ pub struct BanditBlocker {
     pulls: Vec<u64>,
     budget: u64,
     spent: u64,
+    seed: u64,
     rng: RcbRng,
     current_arm: Option<usize>,
     run_activity: u64,
@@ -253,6 +266,7 @@ impl BanditBlocker {
             pulls: vec![0; k],
             budget,
             spent: 0,
+            seed,
             rng: RcbRng::new(seed),
             current_arm: None,
             run_activity: 0,
@@ -346,6 +360,18 @@ impl RepetitionAdversary for BanditBlocker {
     fn remaining_budget(&self) -> Option<u64> {
         Some(self.budget - self.spent)
     }
+
+    /// Full reset: forgets everything learned (the [`refill`](Self::refill)
+    /// path keeps the statistics; `rearm` is the just-constructed contract).
+    fn rearm(&mut self) {
+        self.reward_sum.iter_mut().for_each(|r| *r = 0.0);
+        self.pulls.iter_mut().for_each(|p| *p = 0);
+        self.spent = 0;
+        self.rng = RcbRng::new(self.seed);
+        self.current_arm = None;
+        self.run_activity = 0;
+        self.runs = 0;
+    }
 }
 
 /// Jams uniformly random slots at `rate` within each repetition until the
@@ -355,6 +381,7 @@ pub struct RandomRep {
     rate: f64,
     budget: u64,
     spent: u64,
+    seed: u64,
     rng: RcbRng,
 }
 
@@ -366,6 +393,7 @@ impl RandomRep {
             rate,
             budget,
             spent: 0,
+            seed,
             rng: RcbRng::new(seed),
         })
     }
@@ -399,6 +427,11 @@ impl RepetitionAdversary for RandomRep {
 
     fn remaining_budget(&self) -> Option<u64> {
         Some(self.budget - self.spent)
+    }
+
+    fn rearm(&mut self) {
+        self.spent = 0;
+        self.rng = RcbRng::new(self.seed);
     }
 }
 

@@ -145,6 +145,13 @@ pub trait RepetitionAdversary {
     fn remaining_budget(&self) -> Option<u64> {
         None
     }
+
+    /// Re-arms the strategy to its just-constructed state: full budget,
+    /// reset learning state, reset internal RNG (seeded strategies re-derive
+    /// their stream from the construction seed). The streaming workload's
+    /// per-message allocation policy calls this between messages; the
+    /// default is a no-op, correct for stateless strategies.
+    fn rearm(&mut self) {}
 }
 
 /// Boxed strategies forward, so `Box<dyn RepetitionAdversary>` plugs into
@@ -161,6 +168,31 @@ impl<A: RepetitionAdversary + ?Sized> RepetitionAdversary for Box<A> {
 
     fn remaining_budget(&self) -> Option<u64> {
         (**self).remaining_budget()
+    }
+
+    fn rearm(&mut self) {
+        (**self).rearm()
+    }
+}
+
+/// Mutable borrows forward too, so a caller that owns a strategy across
+/// runs (the session layer's streaming loop) can lend it to an adapter
+/// that is generic over `A: RepetitionAdversary` by value.
+impl<A: RepetitionAdversary + ?Sized> RepetitionAdversary for &mut A {
+    fn plan(&mut self, ctx: &RepetitionContext) -> JamPlan {
+        (**self).plan(ctx)
+    }
+
+    fn observe(&mut self, ctx: &RepetitionContext, summary: &RepetitionSummary) {
+        (**self).observe(ctx, summary)
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        (**self).remaining_budget()
+    }
+
+    fn rearm(&mut self) {
+        (**self).rearm()
     }
 }
 

@@ -1,0 +1,7 @@
+fn main() {
+    let scale = rcb_bench::Scale::from_env();
+    println!(
+        "{}",
+        rcb_bench::experiments::e16_stream_stability::run(&scale)
+    );
+}

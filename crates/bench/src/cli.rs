@@ -33,7 +33,7 @@ use rcb_sim::faults::FaultPlan;
 use rcb_sim::journal::{Journal, JournalHeader};
 use rcb_sim::json::Json;
 use rcb_sim::lowerbound::{golden_ratio_game, product_game};
-use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome};
+use rcb_sim::outcome::{BroadcastOutcome, DuelOutcome, StreamOutcome};
 use rcb_sim::runner::Parallelism;
 use rcb_sim::scenario::{
     find_scenario, fnv1a, registry, AdversarySpec, DuelProtocol, Outcome, ScenarioSpec, Workload,
@@ -405,6 +405,70 @@ fn render_broadcast(trials: u64, results: Vec<Result<Outcome, SimError>>) -> Str
     )
 }
 
+fn render_stream(trials: u64, results: Vec<Result<Outcome, SimError>>) -> String {
+    // Stream trials only fail as a whole on a deadline cut (per-message
+    // caps are folded into `truncated_msgs`); both arms carry a stream
+    // outcome worth summarising, so flatten errors away here.
+    let outcomes: Vec<StreamOutcome> = results
+        .into_iter()
+        .filter_map(|r| r.ok().map(Outcome::into_stream))
+        .collect();
+    if outcomes.is_empty() {
+        return format!("every one of the {trials} trials was cut off by the deadline\n");
+    }
+    let mut arrivals = RunningStats::new();
+    let mut delivered = RunningStats::new();
+    let mut latency_p50 = RunningStats::new();
+    let mut latency_p95 = RunningStats::new();
+    let mut latency_max = RunningStats::new();
+    let mut mean_queue = RunningStats::new();
+    let mut throughput = RunningStats::new();
+    let mut spend = RunningStats::new();
+    let mut truncated_msgs = 0u64;
+    for o in &outcomes {
+        arrivals.push(o.arrivals as f64);
+        delivered.push(o.delivered as f64);
+        latency_p50.push(o.latency_p50 as f64);
+        latency_p95.push(o.latency_p95 as f64);
+        latency_max.push(o.latency_max as f64);
+        mean_queue.push(o.mean_queue());
+        throughput.push(o.throughput() * 1e6);
+        spend.push(o.adversary_cost as f64);
+        truncated_msgs += o.truncated_msgs;
+    }
+    let mut t = TableBuilder::new(vec!["metric", "mean", "min", "max"]);
+    for (label, s) in [
+        ("messages arrived", &arrivals),
+        ("messages delivered", &delivered),
+        ("latency p50 (slots)", &latency_p50),
+        ("latency p95 (slots)", &latency_p95),
+        ("latency max (slots)", &latency_max),
+        ("mean queue length", &mean_queue),
+        ("throughput (msg/Mslot)", &throughput),
+        ("adversary spend T", &spend),
+    ] {
+        t.row(vec![
+            label.into(),
+            num(s.mean()),
+            num(s.min()),
+            num(s.max()),
+        ]);
+    }
+    format!(
+        "{}\nmessages cut off by engine caps: {truncated_msgs}\n",
+        t.markdown()
+    )
+}
+
+/// Comma-separated registry names for unknown-name error messages.
+fn registry_name_list() -> String {
+    registry()
+        .iter()
+        .map(|e| e.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn cmd_broadcast(args: &Args) -> Result<String, String> {
     let n: usize = args.get("n", 32)?;
     let budget: u64 = args.get("budget", 1 << 20)?;
@@ -489,8 +553,12 @@ fn cmd_scenario(args: &Args) -> Result<String, String> {
             if let Some(extra) = args.positional(2) {
                 return Err(format!("unexpected positional argument `{extra}`"));
             }
-            let entry = find_scenario(name)
-                .ok_or_else(|| format!("unknown scenario `{name}`; try `rcbsim scenario list`"))?;
+            let entry = find_scenario(name).ok_or_else(|| {
+                format!(
+                    "unknown scenario `{name}`; valid names: {}",
+                    registry_name_list()
+                )
+            })?;
             let mut spec = entry.spec;
             if let Some(trials) = args.get_opt::<u64>("trials")? {
                 spec = spec.with_trials(trials);
@@ -526,6 +594,7 @@ fn cmd_scenario(args: &Args) -> Result<String, String> {
             let body = match spec.workload {
                 Workload::Duel(_) => render_duel(spec.trials, results),
                 Workload::Broadcast(_) => render_broadcast(spec.trials, results),
+                Workload::Stream(_) => render_stream(spec.trials, results),
             };
             let mut out = format!("{header}\n{body}\ndeterminism checksum: {checksum:016x}\n");
             if let Some(from) = &rc.resume {
@@ -822,8 +891,9 @@ fn cmd_perf(args: &Args) -> Result<String, String> {
     let unknown = perf::resolve_only(&only);
     if !unknown.is_empty() {
         return Err(format!(
-            "--only names not in the registry: {}; try `rcbsim scenario names`",
-            unknown.join(", ")
+            "--only names not in the registry: {}; valid names: {}",
+            unknown.join(", "),
+            registry_name_list()
         ));
     }
 

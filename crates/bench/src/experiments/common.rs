@@ -418,7 +418,7 @@ pub struct BroadcastSweepPoint {
 pub fn broadcast_budget_sweep(base: &ScenarioSpec, budgets: &[u64]) -> Vec<BroadcastSweepPoint> {
     let n = match &base.workload {
         Workload::Broadcast(w) => w.n,
-        Workload::Duel(_) => panic!("broadcast_budget_sweep needs a broadcast base spec"),
+        _ => panic!("broadcast_budget_sweep needs a broadcast base spec"),
     };
     let specs: Vec<ScenarioSpec> = budgets
         .iter()

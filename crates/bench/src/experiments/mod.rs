@@ -8,6 +8,7 @@ pub mod e12_multi_source;
 pub mod e13_learning_adversary;
 pub mod e14_partition_jamming;
 pub mod e15_fault_degradation;
+pub mod e16_stream_stability;
 pub mod e1_one_to_one_cost;
 pub mod e2_epsilon;
 pub mod e3_latency;
@@ -92,6 +93,11 @@ pub fn all() -> Vec<(&'static str, &'static str, Runner)> {
             "E15",
             "Robustness — graceful degradation under non-adversarial faults",
             e15_fault_degradation::run,
+        ),
+        (
+            "E16",
+            "Extension — streaming stability boundary under jammer allocation policies",
+            e16_stream_stability::run,
         ),
     ]
 }

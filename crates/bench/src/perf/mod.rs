@@ -32,7 +32,6 @@
 //!   effect before every repeat) from *cumulative* upper bounds (probe
 //!   present, reset denied) from *absent* (no probe; JSON `null`).
 
-pub mod json;
 pub mod rss;
 
 use std::path::PathBuf;
@@ -45,7 +44,7 @@ use rcb_sim::journal::{Journal, JournalError, JournalHeader};
 use rcb_sim::runner::Parallelism;
 use rcb_sim::scenario::{fnv1a, fnv1a_bytes, registry, NamedScenario, Workload, FNV_OFFSET};
 
-use json::Json;
+use rcb_sim::json::Json;
 
 /// Version of the `BENCH_*.json` schema this build writes. Reads accept
 /// v1 (pre-scaling: no per-scenario `cpus`, `peak_rss_kib` as a bare

@@ -1,10 +1,10 @@
 //! Property tests for the perf telemetry schema and comparator.
 
 use proptest::prelude::*;
-use rcb_bench::perf::json::Json;
 use rcb_bench::perf::{
     compare, BenchReport, ScalingPoint, ScenarioResult, DEFAULT_THRESHOLD, SCHEMA_VERSION,
 };
+use rcb_sim::json::Json;
 
 /// Builds a valid Unicode string from arbitrary code points, exercising
 /// escapes and multi-byte characters.

@@ -34,6 +34,16 @@ impl EnergyLedger {
         self.sends.len()
     }
 
+    /// Zeroes every counter in place, keeping the per-node vectors'
+    /// capacity — the session layer's re-arm path. After `reset` the ledger
+    /// is indistinguishable from `EnergyLedger::new(self.nodes())`.
+    pub fn reset(&mut self) {
+        self.sends.iter_mut().for_each(|c| *c = 0);
+        self.listens.iter_mut().for_each(|c| *c = 0);
+        self.jam_cost = 0;
+        self.spoof_cost = 0;
+    }
+
     pub fn charge_send(&mut self, node: NodeId) {
         self.sends[node] += 1;
     }

@@ -153,6 +153,13 @@ impl Trace {
         self.dropped
     }
 
+    /// Empties the trace in place, retaining the record buffer's capacity
+    /// and the configured cap — the session layer's re-arm path.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
     pub fn len(&self) -> usize {
         self.records.len()
     }

@@ -66,6 +66,14 @@ impl OneToNNode {
         }
     }
 
+    /// Resets the node to its just-constructed state (the session layer's
+    /// re-arm path; see [`crate::protocol::Rearm`]). Takes `params` and
+    /// `informed` because the node deliberately stores neither — the
+    /// engines own them and pass them back in.
+    pub fn rearm(&mut self, params: &OneToNParams, informed: bool) {
+        *self = Self::new(params, informed);
+    }
+
     pub fn status(&self) -> Status {
         self.status
     }

@@ -7,7 +7,7 @@
 
 use crate::one_to_n::node::OneToNNode;
 use crate::one_to_n::params::OneToNParams;
-use crate::protocol::SlotProtocol;
+use crate::protocol::{Rearm, SlotProtocol};
 use rcb_channel::message::Payload;
 use rcb_channel::slot::{Action, Reception};
 use rcb_mathkit::rng::RcbRng;
@@ -18,6 +18,8 @@ use rcb_mathkit::sample::bernoulli;
 pub struct OneToNSlotNode {
     params: OneToNParams,
     node: OneToNNode,
+    /// Informed flag at construction time — what [`Rearm`] resets to.
+    informed_at_start: bool,
     /// Offset within the current repetition.
     offset: u64,
     /// Repetition index within the current epoch.
@@ -32,6 +34,7 @@ impl OneToNSlotNode {
         Self {
             params,
             node,
+            informed_at_start: informed,
             offset: 0,
             repetition: 0,
             clear_heard: 0,
@@ -46,6 +49,16 @@ impl OneToNSlotNode {
 
     pub fn params(&self) -> &OneToNParams {
         &self.params
+    }
+}
+
+impl Rearm for OneToNSlotNode {
+    fn rearm(&mut self) {
+        self.node = OneToNNode::new(&self.params, self.informed_at_start);
+        self.offset = 0;
+        self.repetition = 0;
+        self.clear_heard = 0;
+        self.msgs_heard = 0;
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::one_to_one::profile::DuelProfile;
 use crate::one_to_one::state::{AliceState, BobSendOutcome, BobState, PhaseKind};
-use crate::protocol::SlotProtocol;
+use crate::protocol::{Rearm, SlotProtocol};
 use rcb_channel::message::{Payload, PayloadKind};
 use rcb_channel::slot::{Action, Reception};
 use rcb_mathkit::rng::RcbRng;
@@ -45,6 +45,16 @@ impl<P: DuelProfile> AliceProtocol<P> {
 
     pub fn phase(&self) -> PhaseKind {
         self.phase
+    }
+}
+
+impl<P: DuelProfile> Rearm for AliceProtocol<P> {
+    fn rearm(&mut self) {
+        self.state = AliceState::new(self.profile.start_epoch());
+        self.phase = PhaseKind::Send;
+        self.offset = 0;
+        self.heard_nack = false;
+        self.noise = 0;
     }
 }
 
@@ -149,6 +159,16 @@ impl<P: DuelProfile> BobProtocol<P> {
     /// Bob halted without receiving `m` (the ε-probability failure mode).
     pub fn halted_prematurely(&self) -> bool {
         self.state.is_done() && !self.state.got_message()
+    }
+}
+
+impl<P: DuelProfile> Rearm for BobProtocol<P> {
+    fn rearm(&mut self) {
+        self.state = BobState::new(self.profile.start_epoch());
+        self.phase = PhaseKind::Send;
+        self.offset = 0;
+        self.noise = 0;
+        self.nacking = false;
     }
 }
 

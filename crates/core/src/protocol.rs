@@ -35,6 +35,18 @@ pub trait SlotProtocol {
     fn reboot(&mut self) {}
 }
 
+/// Resettable protocol state: re-arms an instance to its slot-0,
+/// just-constructed state **without reallocating**, so one allocation can
+/// serve a stream of runs (the session layer, DESIGN.md §14).
+///
+/// Contract: after `rearm()`, the instance must behave bit-identically to
+/// a freshly constructed one — same state machine position, same epoch,
+/// same counters — given the same RNG stream. The golden equivalence suite
+/// in `crates/sim/tests/rearm_equivalence.rs` pins this per engine.
+pub trait Rearm {
+    fn rearm(&mut self);
+}
+
 /// Location of a slot within a protocol's public, deterministic schedule.
 /// Adversaries receive this (periods are phases or repetitions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

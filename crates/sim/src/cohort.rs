@@ -302,6 +302,188 @@ const CAT_CLEAR: usize = 0;
 const CAT_MSG_ANON: usize = 1;
 const CAT_TRACKED_BASE: usize = 2;
 
+/// Retained per-session state of the cohort engine: the materialized
+/// (tracked) singletons, the anonymous cohort list, and every reusable
+/// sampling buffer. One `CohortState` serves a whole [`CohortSession`];
+/// the legacy entry points build a fresh one per run, so both paths
+/// execute the identical repetition loop.
+#[derive(Debug)]
+struct CohortState {
+    tracked: Vec<Tracked>,
+    cohorts: Vec<Cohort>,
+    weights: Vec<f64>,
+    region_counts: Vec<Vec<u64>>,
+    scratch_counts: Vec<u64>,
+    clear_groups: Vec<(u64, u64)>,
+    next_cohorts: Vec<Cohort>,
+    merge_index: HashMap<CohortKey, usize>,
+}
+
+impl CohortState {
+    fn new(
+        params: &OneToNParams,
+        n: usize,
+        sources: &[usize],
+        config: CohortConfig,
+        faults: &FaultPlan,
+    ) -> Self {
+        assert!(n >= 1, "need at least one node");
+        assert!(!sources.is_empty(), "need at least one source");
+        assert!(sources.iter().all(|&s| s < n), "source ids must be < n");
+        debug_assert!(faults.validate().is_ok(), "invalid fault plan");
+
+        // Mode selection: everyone tracked below the threshold or under a
+        // battery fault; otherwise only the symmetry-broken nodes (sources,
+        // crash/skew targets).
+        let all_tracked = n <= config.exact_member_threshold || faults.battery_capacity().is_some();
+        let mut tracked_ids: Vec<usize> = if all_tracked {
+            (0..n).collect()
+        } else {
+            let mut ids: Vec<usize> = sources.to_vec();
+            if let Some(c) = faults.crash {
+                if c.node < n {
+                    ids.push(c.node);
+                }
+            }
+            if let Some(s) = faults.skew {
+                if s.node < n {
+                    ids.push(s.node);
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        tracked_ids.sort_unstable();
+        let tracked: Vec<Tracked> = tracked_ids
+            .iter()
+            .map(|&id| Tracked {
+                id,
+                node: OneToNNode::new(params, sources.contains(&id)),
+                cost: 0,
+                dead: false,
+                offline: false,
+            })
+            .collect();
+
+        let anon_initial = (n - tracked.len()) as u64;
+        let mut cohorts: Vec<Cohort> = Vec::new();
+        if anon_initial > 0 {
+            // Anonymous nodes are never sources (sources are tracked).
+            cohorts.push(Cohort {
+                node: OneToNNode::new(params, false),
+                count: anon_initial,
+                cost_pool: 0,
+            });
+        }
+
+        Self {
+            tracked,
+            cohorts,
+            weights: Vec::new(),
+            region_counts: vec![Vec::new(); 4],
+            scratch_counts: Vec::new(),
+            clear_groups: Vec::new(),
+            next_cohorts: Vec::new(),
+            merge_index: HashMap::new(),
+        }
+    }
+
+    /// Collapses the population back to its initial shape in place: every
+    /// tracked singleton re-armed to its constructed state, and all
+    /// materialized anonymous cohorts folded into the single uninformed
+    /// cohort again. The tracked id set is a deterministic function of the
+    /// session's fixed (n, sources, faults, config), so it never changes
+    /// across re-arms.
+    fn rearm(&mut self, params: &OneToNParams, n: usize, sources: &[usize]) {
+        for t in self.tracked.iter_mut() {
+            t.node.rearm(params, sources.contains(&t.id));
+            t.cost = 0;
+            t.dead = false;
+            t.offline = false;
+        }
+        self.cohorts.clear();
+        let anon_initial = (n - self.tracked.len()) as u64;
+        if anon_initial > 0 {
+            self.cohorts.push(Cohort {
+                node: OneToNNode::new(params, false),
+                count: anon_initial,
+                cost_pool: 0,
+            });
+        }
+        self.next_cohorts.clear();
+        self.merge_index.clear();
+    }
+}
+
+/// A re-armable cohort-engine session: the cohort list, tracked-singleton
+/// vector, and sampling buffers persist across runs.
+/// [`rearm`](Self::rearm) collapses whatever population structure the
+/// previous run materialized back into the initial cohorts; the golden
+/// equivalence suite pins that a re-armed run is bit-identical to a fresh
+/// [`run_cohort_from`] at the same seed.
+#[derive(Debug)]
+pub struct CohortSession {
+    params: OneToNParams,
+    n: usize,
+    sources: Vec<usize>,
+    config: CohortConfig,
+    faults: FaultPlan,
+    state: CohortState,
+    rng: RcbRng,
+}
+
+impl CohortSession {
+    pub fn new(
+        params: OneToNParams,
+        n: usize,
+        sources: Vec<usize>,
+        config: CohortConfig,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Self {
+        assert!(faults.validate().is_ok(), "invalid fault plan");
+        let state = CohortState::new(&params, n, &sources, config, &faults);
+        Self {
+            params,
+            n,
+            sources,
+            config,
+            faults,
+            state,
+            rng: RcbRng::new(seed),
+        }
+    }
+
+    /// Re-arms the session to slot 0 on a fresh RNG stream, collapsing
+    /// materialized nodes back into cohorts without reallocating.
+    pub fn rearm(&mut self, seed: u64) {
+        self.state.rearm(&self.params, self.n, &self.sources);
+        self.rng = RcbRng::new(seed);
+    }
+
+    /// Runs one execution against `adversary` on the session's RNG. The
+    /// session must be armed (just constructed, or [`rearm`](Self::rearm)
+    /// since the previous run).
+    pub fn run(
+        &mut self,
+        adversary: &mut dyn RepetitionAdversary,
+        deadline: &Deadline,
+    ) -> (BroadcastOutcome, Option<SimError>) {
+        run_cohort_in(
+            &mut self.state,
+            &self.params,
+            self.n,
+            adversary,
+            &mut self.rng,
+            self.config,
+            &self.faults,
+            deadline,
+            &mut CohortStats::default(),
+        )
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_cohort_core(
     params: &OneToNParams,
@@ -314,56 +496,35 @@ pub(crate) fn run_cohort_core(
     deadline: &Deadline,
     stats: &mut CohortStats,
 ) -> (BroadcastOutcome, Option<SimError>) {
-    assert!(n >= 1, "need at least one node");
-    assert!(!sources.is_empty(), "need at least one source");
-    assert!(sources.iter().all(|&s| s < n), "source ids must be < n");
-    debug_assert!(faults.validate().is_ok(), "invalid fault plan");
+    let mut state = CohortState::new(params, n, sources, config, faults);
+    run_cohort_in(
+        &mut state, params, n, adversary, rng, config, faults, deadline, stats,
+    )
+}
 
-    // Mode selection: everyone tracked below the threshold or under a
-    // battery fault; otherwise only the symmetry-broken nodes (sources,
-    // crash/skew targets).
-    let all_tracked = n <= config.exact_member_threshold || faults.battery_capacity().is_some();
-    let mut tracked_ids: Vec<usize> = if all_tracked {
-        (0..n).collect()
-    } else {
-        let mut ids: Vec<usize> = sources.to_vec();
-        if let Some(c) = faults.crash {
-            if c.node < n {
-                ids.push(c.node);
-            }
-        }
-        if let Some(s) = faults.skew {
-            if s.node < n {
-                ids.push(s.node);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        ids
-    };
-    tracked_ids.sort_unstable();
-    let mut tracked: Vec<Tracked> = tracked_ids
-        .iter()
-        .map(|&id| Tracked {
-            id,
-            node: OneToNNode::new(params, sources.contains(&id)),
-            cost: 0,
-            dead: false,
-            offline: false,
-        })
-        .collect();
+#[allow(clippy::too_many_arguments)]
+fn run_cohort_in(
+    state: &mut CohortState,
+    params: &OneToNParams,
+    n: usize,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: CohortConfig,
+    faults: &FaultPlan,
+    deadline: &Deadline,
+    stats: &mut CohortStats,
+) -> (BroadcastOutcome, Option<SimError>) {
+    let CohortState {
+        tracked,
+        cohorts,
+        weights,
+        region_counts,
+        scratch_counts,
+        clear_groups,
+        next_cohorts,
+        merge_index,
+    } = state;
     stats.tracked_nodes = tracked.len();
-
-    let anon_initial = (n - tracked.len()) as u64;
-    let mut cohorts: Vec<Cohort> = Vec::new();
-    if anon_initial > 0 {
-        // Anonymous nodes are never sources (sources are tracked).
-        cohorts.push(Cohort {
-            node: OneToNNode::new(params, false),
-            count: anon_initial,
-            cost_pool: 0,
-        });
-    }
 
     let loss_p = faults.loss_p();
     let mut pending_reboot = faults.reboot_at();
@@ -375,14 +536,6 @@ pub(crate) fn run_cohort_core(
     let mut truncated = true;
     let bounded = !deadline.is_unbounded();
     let mut deadline_hit = false;
-
-    // Reusable buffers.
-    let mut weights: Vec<f64> = Vec::new();
-    let mut region_counts: Vec<Vec<u64>> = vec![Vec::new(); 4];
-    let mut scratch_counts: Vec<u64> = Vec::new();
-    let mut clear_groups: Vec<(u64, u64)> = Vec::new();
-    let mut next_cohorts: Vec<Cohort> = Vec::new();
-    let mut merge_index: HashMap<CohortKey, usize> = HashMap::new();
 
     let mut epoch = params.first_epoch;
     'epochs: while epoch <= config.max_epoch {
@@ -541,9 +694,9 @@ pub(crate) fn run_cohort_core(
             weights.push((1.0 - assigned).max(0.0)); // noise + collisions
 
             for (r, &rlen) in region_lens.iter().enumerate() {
-                multinomial_into(rng, rlen, &weights, &mut scratch_counts);
+                multinomial_into(rng, rlen, weights, scratch_counts);
                 region_counts[r].clear();
-                region_counts[r].extend_from_slice(&scratch_counts);
+                region_counts[r].extend_from_slice(scratch_counts);
             }
 
             let message_slots: u64 = (0..4)
@@ -631,7 +784,7 @@ pub(crate) fn run_cohort_core(
                 let mut split_this_rep = false;
                 for c in cohorts.iter().copied() {
                     if c.node.is_terminated() {
-                        push_merged(&mut next_cohorts, &mut merge_index, c);
+                        push_merged(next_cohorts, merge_index, c);
                         continue;
                     }
                     let p = c.node.send_prob(params);
@@ -648,7 +801,7 @@ pub(crate) fn run_cohort_core(
                     // into one zero-growth group.
                     let expected = params.expected_listens(epoch, c.node.s());
                     let t_growth = (expected / 2.0).floor() as u64;
-                    split_by_clear(rng, c.count, clear_unjam, q, t_growth, &mut clear_groups);
+                    split_by_clear(rng, c.count, clear_unjam, q, t_growth, clear_groups);
 
                     // Message-outcome probabilities, shared by every clear
                     // group (listen coins are independent across slots).
@@ -667,7 +820,7 @@ pub(crate) fn run_cohort_core(
                     let mut children = 0usize;
                     let mut remaining_pool = pool;
                     let mut remaining_members = c.count;
-                    let groups = std::mem::take(&mut clear_groups);
+                    let groups = std::mem::take(clear_groups);
                     for (gi, &(clear, cnt)) in groups.iter().enumerate() {
                         let hit = if p_event > 0.0 {
                             binomial_fast(rng, cnt, p_event)
@@ -693,8 +846,8 @@ pub(crate) fn run_cohort_core(
                             remaining_members -= m;
                             children += 1;
                             push_merged(
-                                &mut next_cohorts,
-                                &mut merge_index,
+                                next_cohorts,
+                                merge_index,
                                 Cohort {
                                     node: rep,
                                     count: m,
@@ -703,7 +856,7 @@ pub(crate) fn run_cohort_core(
                             );
                         }
                     }
-                    clear_groups = groups;
+                    *clear_groups = groups;
                     debug_assert_eq!(remaining_members, 0);
                     // Conservation: any rounding residue sticks to the last
                     // child; if every child merged away the residue is
@@ -712,7 +865,7 @@ pub(crate) fn run_cohort_core(
                         split_this_rep = true;
                     }
                 }
-                std::mem::swap(&mut cohorts, &mut next_cohorts);
+                std::mem::swap(cohorts, next_cohorts);
                 if split_this_rep {
                     stats.split_repetitions += 1;
                     if stats.first_split_period.is_none() {
@@ -753,9 +906,9 @@ pub(crate) fn run_cohort_core(
             for c in cohorts.drain(..) {
                 let mut c = c;
                 c.node.begin_epoch(epoch, params);
-                push_merged(&mut next_cohorts, &mut merge_index, c);
+                push_merged(next_cohorts, merge_index, c);
             }
-            std::mem::swap(&mut cohorts, &mut next_cohorts);
+            std::mem::swap(cohorts, next_cohorts);
         }
     }
 

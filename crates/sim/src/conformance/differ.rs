@@ -103,7 +103,9 @@ impl DuelCell {
                     format!("duel ksy i₀={start_epoch} {adversary}{tag}")
                 }
             },
-            Workload::Broadcast(_) => unreachable!("DuelCell holds a duel workload"),
+            Workload::Broadcast(_) | Workload::Stream(_) => {
+                unreachable!("DuelCell holds a duel workload")
+            }
         }
     }
 }
@@ -174,7 +176,9 @@ impl BroadcastCell {
                     w.n, w.params.first_epoch
                 )
             }
-            Workload::Duel(_) => unreachable!("BroadcastCell holds a broadcast workload"),
+            Workload::Duel(_) | Workload::Stream(_) => {
+                unreachable!("BroadcastCell holds a broadcast workload")
+            }
         }
     }
 }
@@ -474,7 +478,9 @@ struct BroadcastSample {
 pub fn run_broadcast_cell(cell: &BroadcastCell, cfg: &ConformanceConfig) -> CellReport {
     let n = match &cell.spec.workload {
         Workload::Broadcast(w) => w.n,
-        Workload::Duel(_) => unreachable!("BroadcastCell holds a broadcast workload"),
+        Workload::Duel(_) | Workload::Stream(_) => {
+            unreachable!("BroadcastCell holds a broadcast workload")
+        }
     };
     let sample = |outcome: Outcome| {
         let o = outcome.into_broadcast();

@@ -131,7 +131,88 @@ pub fn run_duel_checked<P: DuelProfile>(
     }
 }
 
+/// Reusable phase buffers: the transmitting party's slot set and the
+/// listening party's. One pair of allocations serves a whole session (or
+/// one legacy run) instead of two fresh `Vec`s per epoch.
+#[derive(Debug, Default)]
+pub struct DuelScratch {
+    sends_buf: Vec<u64>,
+    listens_buf: Vec<u64>,
+}
+
+/// A re-armable fast-duel session: retains the scratch buffers (and the
+/// profile/config/fault plan) across runs so a stream of executions costs
+/// zero allocations after the first. The protocol state itself
+/// ([`AliceState`]/[`BobState`]) is rebuilt from the profile at the top of
+/// every run — it is two plain words, so "without reallocating" holds by
+/// construction, and so does bit-identity with a fresh engine invocation.
+#[derive(Debug)]
+pub struct DuelSession<P> {
+    profile: P,
+    config: DuelConfig,
+    faults: FaultPlan,
+    scratch: DuelScratch,
+    rng: RcbRng,
+}
+
+impl<P: DuelProfile> DuelSession<P> {
+    pub fn new(profile: P, config: DuelConfig, faults: FaultPlan, seed: u64) -> Self {
+        assert!(faults.validate().is_ok(), "invalid fault plan");
+        Self {
+            profile,
+            config,
+            faults,
+            scratch: DuelScratch::default(),
+            rng: RcbRng::new(seed),
+        }
+    }
+
+    /// Re-arms the session for its next run on a fresh RNG stream. After
+    /// `rearm(seed)`, [`run`](Self::run) is bit-identical to a freshly
+    /// constructed session (or the legacy entry points) at `seed`.
+    pub fn rearm(&mut self, seed: u64) {
+        self.rng = RcbRng::new(seed);
+    }
+
+    /// Runs one execution against `adversary` on the session's RNG.
+    pub fn run(
+        &mut self,
+        adversary: &mut dyn RepetitionAdversary,
+        deadline: &Deadline,
+    ) -> (DuelOutcome, Option<SimError>) {
+        run_duel_in(
+            &mut self.scratch,
+            &self.profile,
+            adversary,
+            &mut self.rng,
+            self.config,
+            &self.faults,
+            deadline,
+        )
+    }
+}
+
 pub(crate) fn run_duel_core<P: DuelProfile>(
+    profile: &P,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: DuelConfig,
+    faults: &FaultPlan,
+    deadline: &Deadline,
+) -> (DuelOutcome, Option<SimError>) {
+    run_duel_in(
+        &mut DuelScratch::default(),
+        profile,
+        adversary,
+        rng,
+        config,
+        faults,
+        deadline,
+    )
+}
+
+fn run_duel_in<P: DuelProfile>(
+    scratch: &mut DuelScratch,
     profile: &P,
     adversary: &mut dyn RepetitionAdversary,
     rng: &mut RcbRng,
@@ -173,11 +254,12 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
         _ => false,
     };
 
-    // Reusable phase buffers: the transmitting party's slot set and the
-    // listening party's — two allocations for the whole run instead of
-    // four fresh `Vec`s per epoch.
-    let mut sends_buf: Vec<u64> = Vec::new();
-    let mut listens_buf: Vec<u64> = Vec::new();
+    // Session-owned phase buffers (capacity survives re-arms); their
+    // contents never feed the RNG, so reuse cannot perturb determinism.
+    let DuelScratch {
+        sends_buf,
+        listens_buf,
+    } = scratch;
 
     // The deadline checkpoint consumes no RNG, so an unbounded deadline
     // (the default on every legacy path) stays byte-identical; the
@@ -228,7 +310,7 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
         if alice.is_done() || alice_off {
             sends_buf.clear();
         } else {
-            sample_slots_into(rng, len, rate, &mut sends_buf);
+            sample_slots_into(rng, len, rate, sends_buf);
         }
         let alice_sends = &sends_buf;
         alice_cost += alice_sends.len() as u64;
@@ -242,9 +324,9 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
                 // counts (the phase clock is driven by Bob's own crystal).
                 bob_outcome = Some(bob.end_send_phase(false, 0, thr));
             } else {
-                sample_slots_into(rng, len, rate, &mut listens_buf);
+                sample_slots_into(rng, len, rate, listens_buf);
                 let mut got_m_at = None;
-                scan_listens(&listens_buf, alice_sends, |t, alice_sent| {
+                scan_listens(listens_buf, alice_sends, |t, alice_sent| {
                     bob_listened += 1;
                     if t < bob_skew {
                         // Misaligned boundary slot: undecodable energy.
@@ -314,7 +396,7 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
 
         let bob_nacking = matches!(bob_outcome, Some(BobSendOutcome::ContinueToNack));
         if bob_nacking && !bob_off2 {
-            sample_slots_into(rng, len, rate, &mut sends_buf);
+            sample_slots_into(rng, len, rate, sends_buf);
         } else {
             sends_buf.clear();
         }
@@ -327,12 +409,12 @@ pub(crate) fn run_duel_core<P: DuelProfile>(
                 // Radio off: a quiet epoch from Alice's point of view.
                 alice.end_epoch(false, 0, thr);
             } else {
-                sample_slots_into(rng, len, rate, &mut listens_buf);
+                sample_slots_into(rng, len, rate, listens_buf);
                 alice_listened = listens_buf.len() as u64;
                 alice_cost += alice_listened;
                 let mut heard_nack = false;
                 let mut alice_noise = 0u64;
-                scan_listens(&listens_buf, bob_nacks, |t, bob_sent| {
+                scan_listens(listens_buf, bob_nacks, |t, bob_sent| {
                     // Skew is checked before jamming; both decode as noise
                     // and neither draws the loss coin.
                     if t < alice_skew || plan2.is_jammed(t, len) {

@@ -137,8 +137,81 @@ pub fn run_exact_checked(
 /// per-slot work is small, so reading the clock every slot would dominate.
 const DEADLINE_CHECK_MASK: u64 = 0xFFF;
 
+/// Retained per-session state of the exact engine: the energy ledger and
+/// every per-slot buffer. Sessions hold one across runs; the legacy entry
+/// points build a fresh one per run, so both paths execute the identical
+/// slot loop. The outcome clones the ledger (node counts, not slots — the
+/// only per-run copy the session layer introduces).
+#[derive(Debug)]
+pub struct ExactScratch {
+    ledger: EnergyLedger,
+    actions: Vec<Action>,
+    receptions: Vec<Option<Reception>>,
+    resolution: SlotResolution,
+    dead: Vec<bool>,
+}
+
+impl ExactScratch {
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            ledger: EnergyLedger::new(nodes),
+            actions: Vec::with_capacity(nodes),
+            receptions: vec![None; nodes],
+            resolution: SlotResolution {
+                states: Vec::new(),
+                receptions: Vec::new(),
+                senders: 0,
+            },
+            dead: vec![false; nodes],
+        }
+    }
+
+    /// Number of nodes this scratch was sized for.
+    pub fn nodes(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Zeroes the ledger and fault flags in place (the session layer's
+    /// re-arm path); the per-slot buffers are overwritten every slot and
+    /// need no reset.
+    pub fn rearm(&mut self) {
+        self.ledger.reset();
+        self.dead.fill(false);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_exact_core(
+    protocols: &mut [&mut dyn SlotProtocol],
+    adversary: &mut dyn SlotAdversary,
+    schedule: &dyn Schedule,
+    partition: &Partition,
+    rng: &mut RcbRng,
+    config: ExactConfig,
+    trace: Option<&mut Trace>,
+    faults: &FaultPlan,
+    deadline: &Deadline,
+) -> (ExactOutcome, Option<SimError>) {
+    let mut scratch = ExactScratch::new(protocols.len());
+    run_exact_in(
+        &mut scratch,
+        protocols,
+        adversary,
+        schedule,
+        partition,
+        rng,
+        config,
+        trace,
+        faults,
+        deadline,
+    )
+}
+
+/// The slot loop over caller-retained [`ExactScratch`] state. The scratch
+/// must be armed (fresh, or [`ExactScratch::rearm`]ed since its last run).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_exact_in(
+    scratch: &mut ExactScratch,
     protocols: &mut [&mut dyn SlotProtocol],
     adversary: &mut dyn SlotAdversary,
     schedule: &dyn Schedule,
@@ -154,15 +227,19 @@ pub(crate) fn run_exact_core(
         partition.nodes(),
         "one protocol per partition slot"
     );
+    assert_eq!(
+        protocols.len(),
+        scratch.nodes(),
+        "scratch sized for a different node count"
+    );
     debug_assert!(faults.validate().is_ok(), "invalid fault plan");
-    let mut ledger = EnergyLedger::new(protocols.len());
-    let mut actions: Vec<Action> = Vec::with_capacity(protocols.len());
-    let mut receptions: Vec<Option<Reception>> = vec![None; protocols.len()];
-    let mut resolution = SlotResolution {
-        states: Vec::new(),
-        receptions: Vec::new(),
-        senders: 0,
-    };
+    let ExactScratch {
+        ledger,
+        actions,
+        receptions,
+        resolution,
+        dead,
+    } = scratch;
     // Fault state. The dedicated RNG stream is derived only for non-empty
     // plans, so `FaultPlan::none()` leaves the caller's stream — and hence
     // every coin flip below — bit-identical to the unfaulted engine.
@@ -171,7 +248,6 @@ pub(crate) fn run_exact_core(
     } else {
         Some(rng.split())
     };
-    let mut dead = vec![false; protocols.len()];
     let mut pending_reboot = faults.reboot_at();
 
     // Deadline checkpoints consume no RNG; the `is_unbounded` gate keeps
@@ -181,10 +257,13 @@ pub(crate) fn run_exact_core(
     let mut slot = 0u64;
     while slot < config.max_slots {
         if bounded && slot & DEADLINE_CHECK_MASK == 0 && deadline.exceeded() {
-            let completed = protocols.iter().zip(&dead).all(|(p, &d)| p.is_done() || d);
+            let completed = protocols
+                .iter()
+                .zip(&**dead)
+                .all(|(p, &d)| p.is_done() || d);
             return (
                 ExactOutcome {
-                    ledger,
+                    ledger: ledger.clone(),
                     slots: slot,
                     completed,
                 },
@@ -209,10 +288,14 @@ pub(crate) fn run_exact_core(
                 }
             }
         }
-        if protocols.iter().zip(&dead).all(|(p, &d)| p.is_done() || d) {
+        if protocols
+            .iter()
+            .zip(&**dead)
+            .all(|(p, &d)| p.is_done() || d)
+        {
             return (
                 ExactOutcome {
-                    ledger,
+                    ledger: ledger.clone(),
                     slots: slot,
                     completed: true,
                 },
@@ -241,9 +324,9 @@ pub(crate) fn run_exact_core(
             }
         }
 
-        resolve_slot_into(&actions, &jam, partition, &mut ledger, &mut resolution);
+        resolve_slot_into(actions, &jam, partition, ledger, resolution);
         if let Some(t) = trace.as_deref_mut() {
-            t.record(slot, jam.jam_mask, &resolution);
+            t.record(slot, jam.jam_mask, resolution);
         }
 
         for r in receptions.iter_mut() {
@@ -264,19 +347,22 @@ pub(crate) fn run_exact_core(
 
         adversary.observe(&SlotObservation {
             ctx,
-            actions: &actions,
-            resolution: &resolution,
+            actions,
+            resolution,
         });
         slot += 1;
     }
-    let completed = protocols.iter().zip(&dead).all(|(p, &d)| p.is_done() || d);
+    let completed = protocols
+        .iter()
+        .zip(&**dead)
+        .all(|(p, &d)| p.is_done() || d);
     let err = (!completed).then_some(SimError::SlotBudgetExhausted {
         max_slots: config.max_slots,
         slots: slot,
     });
     (
         ExactOutcome {
-            ledger,
+            ledger: ledger.clone(),
             slots: slot,
             completed,
         },

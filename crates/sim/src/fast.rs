@@ -196,6 +196,127 @@ pub fn run_broadcast_checked(
     }
 }
 
+/// Retained per-run state of the fast broadcast engine: the node state
+/// machines, cost/fault bookkeeping, and every reusable sampling buffer.
+/// One `FastState` serves a whole [`BroadcastSession`]; the legacy entry
+/// points build a fresh one per run, so both paths execute the identical
+/// loop body.
+#[derive(Debug)]
+struct FastState {
+    nodes: Vec<OneToNNode>,
+    costs: Vec<u64>,
+    dead: Vec<bool>,
+    offline: Vec<bool>,
+    send_events: Vec<(u64, u32)>,
+    slot_contents: Vec<(u64, SlotContent)>,
+    scratch: Vec<u64>,
+    send_counts: Vec<u64>,
+    clear_counts: Vec<u64>,
+    msg_counts: Vec<u64>,
+}
+
+impl FastState {
+    fn new(params: &OneToNParams, n: usize, sources: &[usize]) -> Self {
+        assert!(n >= 1, "need at least one node");
+        assert!(!sources.is_empty(), "need at least one source");
+        assert!(sources.iter().all(|&s| s < n), "source ids must be < n");
+        Self {
+            nodes: (0..n)
+                .map(|u| OneToNNode::new(params, sources.contains(&u)))
+                .collect(),
+            costs: vec![0; n],
+            dead: vec![false; n],
+            offline: vec![false; n],
+            send_events: Vec::new(),
+            slot_contents: Vec::new(),
+            scratch: Vec::new(),
+            send_counts: vec![0; n],
+            clear_counts: vec![0; n],
+            msg_counts: vec![0; n],
+        }
+    }
+
+    /// Resets every node and counter to the just-constructed state while
+    /// keeping all ten allocations (the session layer's re-arm path).
+    fn rearm(&mut self, params: &OneToNParams, sources: &[usize]) {
+        for (u, node) in self.nodes.iter_mut().enumerate() {
+            node.rearm(params, sources.contains(&u));
+        }
+        self.costs.fill(0);
+        self.dead.fill(false);
+        self.offline.fill(false);
+        // The loop zeroes these as it goes, but a truncated run can leave
+        // residue in the last repetition's counts.
+        self.send_counts.fill(0);
+        self.clear_counts.fill(0);
+        self.msg_counts.fill(0);
+    }
+}
+
+/// A re-armable fast-broadcast session: one set of allocations (node
+/// vector, cost counters, sampling buffers) serves a stream of runs.
+/// [`rearm`](Self::rearm) returns everything to the just-constructed
+/// state in place; the golden equivalence suite pins that a re-armed run
+/// is bit-identical to a fresh [`run_broadcast_from`] at the same seed.
+#[derive(Debug)]
+pub struct BroadcastSession {
+    params: OneToNParams,
+    sources: Vec<usize>,
+    config: FastConfig,
+    faults: FaultPlan,
+    state: FastState,
+    rng: RcbRng,
+}
+
+impl BroadcastSession {
+    pub fn new(
+        params: OneToNParams,
+        n: usize,
+        sources: Vec<usize>,
+        config: FastConfig,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Self {
+        assert!(faults.validate().is_ok(), "invalid fault plan");
+        let state = FastState::new(&params, n, &sources);
+        Self {
+            params,
+            sources,
+            config,
+            faults,
+            state,
+            rng: RcbRng::new(seed),
+        }
+    }
+
+    /// Re-arms the session to slot 0 on a fresh RNG stream, reusing every
+    /// allocation.
+    pub fn rearm(&mut self, seed: u64) {
+        self.state.rearm(&self.params, &self.sources);
+        self.rng = RcbRng::new(seed);
+    }
+
+    /// Runs one execution against `adversary` on the session's RNG. The
+    /// session must be armed (just constructed, or [`rearm`](Self::rearm)
+    /// since the previous run).
+    pub fn run(
+        &mut self,
+        adversary: &mut dyn RepetitionAdversary,
+        deadline: &Deadline,
+    ) -> (BroadcastOutcome, Option<SimError>) {
+        run_broadcast_in(
+            &mut self.state,
+            &self.params,
+            adversary,
+            &mut self.rng,
+            self.config,
+            &mut (),
+            &self.faults,
+            deadline,
+        )
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_broadcast_core(
     params: &OneToNParams,
@@ -208,13 +329,36 @@ pub(crate) fn run_broadcast_core(
     faults: &FaultPlan,
     deadline: &Deadline,
 ) -> (BroadcastOutcome, Option<SimError>) {
-    assert!(n >= 1, "need at least one node");
-    assert!(!sources.is_empty(), "need at least one source");
-    assert!(sources.iter().all(|&s| s < n), "source ids must be < n");
-    let mut nodes: Vec<OneToNNode> = (0..n)
-        .map(|u| OneToNNode::new(params, sources.contains(&u)))
-        .collect();
-    let mut costs = vec![0u64; n];
+    let mut state = FastState::new(params, n, sources);
+    run_broadcast_in(
+        &mut state, params, adversary, rng, config, observer, faults, deadline,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_broadcast_in(
+    state: &mut FastState,
+    params: &OneToNParams,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    config: FastConfig,
+    observer: &mut dyn BroadcastObserver,
+    faults: &FaultPlan,
+    deadline: &Deadline,
+) -> (BroadcastOutcome, Option<SimError>) {
+    let FastState {
+        nodes,
+        costs,
+        dead,
+        offline,
+        send_events,
+        slot_contents,
+        scratch,
+        send_counts,
+        clear_counts,
+        msg_counts,
+    } = state;
+    let n = nodes.len();
     let mut adversary_cost = 0u64;
     let mut slots_total = 0u64;
     let mut period = 0u64;
@@ -231,19 +375,7 @@ pub(crate) fn run_broadcast_core(
         Some(r) if loss_p > 0.0 => bernoulli(r, loss_p),
         _ => false,
     };
-    let mut dead = vec![false; n];
-    let mut offline = vec![false; n];
     let mut pending_reboot = faults.reboot_at();
-
-    // Reusable buffers. `scratch` holds one node's sampled slot set at a
-    // time (sends in step 1, listens in step 3), so the engine performs no
-    // per-node allocation inside the repetition loop.
-    let mut send_events: Vec<(u64, u32)> = Vec::new();
-    let mut slot_contents: Vec<(u64, SlotContent)> = Vec::new();
-    let mut scratch: Vec<u64> = Vec::new();
-    let mut send_counts = vec![0u64; n];
-    let mut clear_counts = vec![0u64; n];
-    let mut msg_counts = vec![0u64; n];
 
     // Deadline checkpoints sit at repetition boundaries (the granularity
     // of all other bookkeeping) and consume no RNG; the `is_unbounded`
@@ -282,7 +414,7 @@ pub(crate) fn run_broadcast_core(
             }
             if nodes
                 .iter()
-                .zip(&dead)
+                .zip(&**dead)
                 .all(|(v, &d)| v.is_terminated() || d)
             {
                 truncated = false;
@@ -290,7 +422,7 @@ pub(crate) fn run_broadcast_core(
             }
             let active = nodes
                 .iter()
-                .zip(&offline)
+                .zip(&**offline)
                 .filter(|(v, &off)| !v.is_terminated() && !off)
                 .count();
             let ctx = RepetitionContext {
@@ -310,10 +442,10 @@ pub(crate) fn run_broadcast_core(
                 if node.is_terminated() || offline[u] {
                     continue;
                 }
-                sample_slots_into(rng, len, node.send_prob(params), &mut scratch);
+                sample_slots_into(rng, len, node.send_prob(params), scratch);
                 send_counts[u] = scratch.len() as u64;
                 costs[u] += scratch.len() as u64;
-                for &t in &scratch {
+                for &t in scratch.iter() {
                     send_events.push((t, u as u32));
                 }
             }
@@ -350,7 +482,7 @@ pub(crate) fn run_broadcast_core(
                     continue;
                 }
                 let skew = faults.skew_slots(u);
-                sample_slots_into(rng, len, node.listen_prob(params), &mut scratch);
+                sample_slots_into(rng, len, node.listen_prob(params), scratch);
                 // Drop listen slots where this node itself transmits.
                 // Own sends for node u are a sorted subsequence of
                 // send_events; rescan them via binary search on the full
@@ -358,8 +490,8 @@ pub(crate) fn run_broadcast_core(
                 // Nodes that sent nothing this repetition (the common case
                 // at low send rates) skip the lookup outright.
                 let sent = send_counts[u] != 0;
-                for &t in &scratch {
-                    if sent && slot_in_own_sends(&send_events, t, u as u32) {
+                for &t in scratch.iter() {
+                    if sent && slot_in_own_sends(send_events, t, u as u32) {
                         continue;
                     }
                     costs[u] += 1;
@@ -407,7 +539,7 @@ pub(crate) fn run_broadcast_core(
                     send_actions: send_events.len() as u64,
                 },
             );
-            observer.on_repetition(epoch, period, plan.jam_count(len), &nodes);
+            observer.on_repetition(epoch, period, plan.jam_count(len), nodes);
             slots_total += len;
             period += 1;
         }
@@ -443,7 +575,7 @@ pub(crate) fn run_broadcast_core(
             all_informed: informed == n,
             all_terminated: nodes.iter().all(|v| v.is_terminated()),
             safety_terminations: safety,
-            node_costs: costs,
+            node_costs: costs.clone(),
             adversary_cost,
             slots: slots_total,
             last_epoch: epoch.min(config.max_epoch),

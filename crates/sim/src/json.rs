@@ -12,8 +12,7 @@
 //!
 //! This module started life in `rcb-bench` next to the perf report code;
 //! it moved here when the journal ([`crate::journal`]) needed the same
-//! layer one crate lower. `rcb_bench::perf::json` re-exports it, so
-//! existing imports keep working.
+//! layer one crate lower; perf code imports it from here directly.
 
 use std::fmt::Write as _;
 

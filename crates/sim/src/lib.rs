@@ -61,6 +61,7 @@ pub mod outcome;
 pub mod reduction;
 pub mod runner;
 pub mod scenario;
+pub mod session;
 
 pub use cohort::{
     run_cohort, run_cohort_checked, run_cohort_faulted, run_cohort_from, run_cohort_instrumented,

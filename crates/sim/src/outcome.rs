@@ -72,6 +72,73 @@ impl BroadcastOutcome {
     }
 }
 
+/// Outcome of one queue-driven streaming execution: a sequence of
+/// broadcast messages drained FIFO through one re-armed session while a
+/// single adversary budget spans the stream.
+///
+/// Latency is measured per message from its arrival slot to the slot its
+/// broadcast completes (waiting time in queue + service time); the stream
+/// clock never runs backwards, so `slots` is the makespan. All quantities
+/// are exact integers so checksums stay platform-independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamOutcome {
+    /// Number of nodes (including the sender).
+    pub n: usize,
+    /// Messages that arrived within the horizon.
+    pub arrivals: u64,
+    /// Messages whose broadcast completed with every node informed.
+    pub delivered: u64,
+    /// Messages cut off by an engine cap (epoch/slot budget) mid-service.
+    pub truncated_msgs: u64,
+    /// Makespan: the slot at which the last message's service completed
+    /// (at least the last arrival slot).
+    pub slots: u64,
+    /// Total adversary spend across the whole stream.
+    pub adversary_cost: u64,
+    /// Max per-node cost over any single message's execution.
+    pub max_cost: u64,
+    /// Time-integral of queue length: the sum of per-message sojourn
+    /// times (Little's law numerator). `queue_area / slots` is the mean
+    /// queue length; `queue_area / arrivals` the mean latency.
+    pub queue_area: u64,
+    /// Max number of messages simultaneously waiting or in service.
+    pub max_queue: u64,
+    /// Median per-message latency (slots, nearest-rank over completions).
+    pub latency_p50: u64,
+    /// 95th-percentile per-message latency.
+    pub latency_p95: u64,
+    /// Worst per-message latency.
+    pub latency_max: u64,
+    /// The stream was cut off (deadline) before every arrival was served.
+    pub truncated: bool,
+}
+
+impl StreamOutcome {
+    /// Delivered messages per slot (0 on an empty stream).
+    pub fn throughput(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.slots as f64
+    }
+
+    /// Mean per-message latency in slots (0 on an empty stream).
+    pub fn mean_latency(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        self.queue_area as f64 / self.arrivals as f64
+    }
+
+    /// Mean queue length over the makespan (Little's law).
+    pub fn mean_queue(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        self.queue_area as f64 / self.slots as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +175,36 @@ mod tests {
         };
         assert_eq!(o.max_cost(), 8);
         assert!((o.mean_cost() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_derived_rates() {
+        let o = StreamOutcome {
+            n: 8,
+            arrivals: 4,
+            delivered: 4,
+            truncated_msgs: 0,
+            slots: 1000,
+            adversary_cost: 10,
+            max_cost: 7,
+            queue_area: 500,
+            max_queue: 2,
+            latency_p50: 100,
+            latency_p95: 250,
+            latency_max: 250,
+            truncated: false,
+        };
+        assert!((o.throughput() - 0.004).abs() < 1e-12);
+        assert!((o.mean_latency() - 125.0).abs() < 1e-12);
+        assert!((o.mean_queue() - 0.5).abs() < 1e-12);
+        let empty = StreamOutcome {
+            arrivals: 0,
+            slots: 0,
+            ..o
+        };
+        assert_eq!(empty.throughput(), 0.0);
+        assert_eq!(empty.mean_latency(), 0.0);
+        assert_eq!(empty.mean_queue(), 0.0);
     }
 
     #[test]

@@ -49,16 +49,17 @@ use rcb_core::one_to_one::slot::{AliceProtocol, BobProtocol};
 use rcb_core::protocol::SlotProtocol;
 use rcb_mathkit::rng::RcbRng;
 
-use crate::cohort::{run_cohort_core, CohortConfig, CohortStats};
+use crate::cohort::{run_cohort_core, CohortConfig, CohortSession, CohortStats};
 use crate::deadline::Deadline;
 use crate::duel::{run_duel_core, DuelConfig};
 use crate::error::SimError;
 use crate::exact::{run_exact_core, ExactConfig};
-use crate::fast::{run_broadcast_core, BroadcastObserver, FastConfig};
+use crate::fast::{run_broadcast_core, BroadcastObserver, BroadcastSession, FastConfig};
 use crate::faults::FaultPlan;
 use crate::json::Json;
-use crate::outcome::{BroadcastOutcome, DuelOutcome};
+use crate::outcome::{BroadcastOutcome, DuelOutcome, StreamOutcome};
 use crate::runner::{run_trials, Parallelism};
+use crate::session::{ExactBroadcastSession, Session};
 
 /// Salt for RNG streams that must not correlate with the master-seeded
 /// batch (the conformance differ's fast-engine side). The constant is the
@@ -167,11 +168,104 @@ pub struct BroadcastWorkload {
     pub exact_max_slots: u64,
 }
 
+/// The arrival process feeding a [`StreamWorkload`]'s queue. Every
+/// variant is deterministic given the trial RNG: arrivals are generated
+/// from the trial stream *before* any per-message execution, so the
+/// schedule is identical across engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Memoryless arrivals at `rate` messages per slot (exponential
+    /// inter-arrival gaps, rounded up to whole slots, minimum gap 1).
+    Poisson { rate: f64 },
+    /// `size` messages land together every `period` slots, starting at
+    /// slot 0 — the adversarial "thundering herd" pattern.
+    Burst { period: u64, size: u64 },
+    /// An explicit adversarial schedule: sorted arrival slots, all below
+    /// the horizon.
+    Schedule { arrivals: Vec<u64> },
+}
+
+impl ArrivalSpec {
+    /// Materializes the arrival slots within `[0, horizon)`. Only the
+    /// Poisson process consumes randomness.
+    pub fn generate(&self, horizon: u64, rng: &mut RcbRng) -> Vec<u64> {
+        match self {
+            ArrivalSpec::Poisson { rate } => {
+                let mut out = Vec::new();
+                let mut t = 0u64;
+                loop {
+                    // 1 - f64() lies in (0, 1], so the log is finite.
+                    let gap = (-(1.0 - rng.f64()).ln() / rate).ceil();
+                    t = t.saturating_add((gap as u64).max(1));
+                    if t >= horizon {
+                        return out;
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalSpec::Burst { period, size } => {
+                let mut out = Vec::new();
+                let mut t = 0u64;
+                while t < horizon {
+                    out.extend(std::iter::repeat_n(t, *size as usize));
+                    t = t.saturating_add(*period);
+                }
+                out
+            }
+            ArrivalSpec::Schedule { arrivals } => arrivals.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalSpec::Poisson { rate } => write!(f, "poisson(λ={rate})"),
+            ArrivalSpec::Burst { period, size } => write!(f, "burst({size}/{period})"),
+            ArrivalSpec::Schedule { arrivals } => write!(f, "schedule({} msgs)", arrivals.len()),
+        }
+    }
+}
+
+/// How the jammer's budget is allocated across a stream's messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAlloc {
+    /// One budget spans the whole stream: the adversary built at trial
+    /// start drains monotonically across messages (the paper's model —
+    /// total spend `T` is what resource-competitiveness charges against).
+    Persistent,
+    /// The adversary is re-armed (budget refilled, learning state and
+    /// internal RNG reset) before every message — an adversary who can
+    /// bring its full budget to bear on each broadcast.
+    PerMessage,
+}
+
+/// A queue-driven streaming workload: messages arrive by `arrival` over
+/// `[0, horizon)` slots and drain FIFO through a single re-armed broadcast
+/// session ([`crate::session`]). One trial = one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamWorkload {
+    pub params: OneToNParams,
+    pub n: usize,
+    pub sources: Vec<usize>,
+    /// Fast/cohort per-message epoch cap ([`FastConfig::max_epoch`]).
+    pub max_epoch: u32,
+    /// Exact-engine per-message slot cap.
+    pub exact_max_slots: u64,
+    /// The arrival process.
+    pub arrival: ArrivalSpec,
+    /// Arrival window in slots; service may run past it.
+    pub horizon: u64,
+    /// Jammer budget allocation policy.
+    pub alloc: StreamAlloc,
+}
+
 /// What the scenario simulates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Workload {
     Duel(DuelWorkload),
     Broadcast(BroadcastWorkload),
+    Stream(StreamWorkload),
 }
 
 impl fmt::Display for Workload {
@@ -179,6 +273,7 @@ impl fmt::Display for Workload {
         match self {
             Workload::Duel(w) => write!(f, "duel {}", w.protocol),
             Workload::Broadcast(w) => write!(f, "broadcast n={}", w.n),
+            Workload::Stream(w) => write!(f, "stream n={} {}", w.n, w.arrival),
         }
     }
 }
@@ -372,6 +467,39 @@ impl ScenarioSpec {
         }
     }
 
+    /// A fast-engine streaming scenario over `OneToNParams::practical()`:
+    /// node 0 is the source of every message, one persistent jammer budget
+    /// spans the stream.
+    pub fn stream(n: usize, arrival: ArrivalSpec, horizon: u64) -> Self {
+        Self {
+            workload: Workload::Stream(StreamWorkload {
+                params: OneToNParams::practical(),
+                n,
+                sources: vec![0],
+                max_epoch: FastConfig::default().max_epoch,
+                exact_max_slots: 40_000_000,
+                arrival,
+                horizon,
+                alloc: StreamAlloc::Persistent,
+            }),
+            engine: Engine::Fast,
+            adversary: AdversarySpec::NoJam,
+            faults: FaultPlan::none(),
+            seeds: SeedPolicy::new(2014),
+            trials: 1,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Sets the jammer allocation policy on a stream workload (no-op on
+    /// the other workloads).
+    pub fn with_stream_alloc(mut self, alloc: StreamAlloc) -> Self {
+        if let Workload::Stream(w) = &mut self.workload {
+            w.alloc = alloc;
+        }
+        self
+    }
+
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
         self
@@ -411,17 +539,48 @@ impl ScenarioSpec {
         if self.engine == Engine::CohortFast && matches!(self.workload, Workload::Duel(_)) {
             return Err("the cohort engine supports only broadcast workloads".into());
         }
+        let check_population = |n: usize, sources: &[usize]| -> Result<(), String> {
+            if n == 0 {
+                return Err("broadcast workload needs at least one node".into());
+            }
+            if sources.is_empty() {
+                return Err("broadcast workload needs at least one source".into());
+            }
+            if let Some(&s) = sources.iter().find(|&&s| s >= n) {
+                return Err(format!("source id {s} out of range (n = {n})"));
+            }
+            Ok(())
+        };
         match &self.workload {
             Workload::Duel(_) => {}
-            Workload::Broadcast(w) => {
-                if w.n == 0 {
-                    return Err("broadcast workload needs at least one node".into());
+            Workload::Broadcast(w) => check_population(w.n, &w.sources)?,
+            Workload::Stream(w) => {
+                check_population(w.n, &w.sources)?;
+                if w.horizon == 0 {
+                    return Err("stream workload needs a horizon of at least one slot".into());
                 }
-                if w.sources.is_empty() {
-                    return Err("broadcast workload needs at least one source".into());
-                }
-                if let Some(&s) = w.sources.iter().find(|&&s| s >= w.n) {
-                    return Err(format!("source id {s} out of range (n = {})", w.n));
+                match &w.arrival {
+                    ArrivalSpec::Poisson { rate } => {
+                        if !(*rate > 0.0 && *rate <= 1.0) {
+                            return Err(format!("poisson arrival rate {rate} outside (0, 1]"));
+                        }
+                    }
+                    ArrivalSpec::Burst { period, size } => {
+                        if *period == 0 || *size == 0 {
+                            return Err("burst arrivals need period ≥ 1 and size ≥ 1".into());
+                        }
+                    }
+                    ArrivalSpec::Schedule { arrivals } => {
+                        if arrivals.is_empty() {
+                            return Err("scheduled arrivals must list at least one slot".into());
+                        }
+                        if !arrivals.windows(2).all(|p| p[0] <= p[1]) {
+                            return Err("scheduled arrivals must be sorted".into());
+                        }
+                        if arrivals.last().copied().unwrap_or(0) >= w.horizon {
+                            return Err("scheduled arrivals must lie below the horizon".into());
+                        }
+                    }
                 }
             }
         }
@@ -444,7 +603,10 @@ impl ScenarioSpec {
     pub fn engine_label(&self) -> &'static str {
         match (&self.engine, &self.workload) {
             (Engine::Fast, Workload::Duel(_)) => "duel-fast",
-            (Engine::Fast, Workload::Broadcast(_)) => "broadcast-fast",
+            // Streams reuse the broadcast labels: the engine doing the
+            // work is the same, and the workload kind is already visible
+            // in the scenario name / spec JSON.
+            (Engine::Fast, Workload::Broadcast(_) | Workload::Stream(_)) => "broadcast-fast",
             (Engine::Exact, _) => "exact",
             // `validate` rejects (CohortFast, Duel), so the label is
             // unconditionally the broadcast one.
@@ -580,8 +742,71 @@ impl ScenarioSpec {
                 );
                 (Outcome::Broadcast(out), err)
             }
+            (Workload::Stream(w), _) => {
+                let mut adv = self.adversary.build(self.seeds.adversary_seed(trial));
+                let (out, err) = self.run_stream(w, adv.as_mut(), rng, deadline);
+                (Outcome::Stream(out), err)
+            }
             (Workload::Duel(_), Engine::CohortFast) => {
                 unreachable!("validate() rejects duel workloads on the cohort engine")
+            }
+        }
+    }
+
+    /// Queue-driven streaming run: builds the engine's session once, then
+    /// drains the arrival queue FIFO through it, re-arming between
+    /// messages. The arrival schedule is drawn from the trial stream
+    /// *before* any per-message execution, so it is engine-independent;
+    /// each message then gets a fresh per-message seed from the same
+    /// stream, making a stream trial exactly reproducible.
+    fn run_stream(
+        &self,
+        w: &StreamWorkload,
+        adversary: &mut dyn RepetitionAdversary,
+        rng: &mut RcbRng,
+        deadline: &Deadline,
+    ) -> (StreamOutcome, Option<SimError>) {
+        let arrivals = w.arrival.generate(w.horizon, rng);
+        match self.engine {
+            Engine::Fast => {
+                let mut session = BroadcastSession::new(
+                    w.params,
+                    w.n,
+                    w.sources.clone(),
+                    FastConfig {
+                        max_epoch: w.max_epoch,
+                    },
+                    self.faults,
+                    0,
+                );
+                stream_loop(w, &arrivals, &mut session, adversary, rng, deadline)
+            }
+            Engine::Exact => {
+                let mut session = ExactBroadcastSession::new(
+                    w.params,
+                    w.n,
+                    w.sources.clone(),
+                    ExactConfig {
+                        max_slots: w.exact_max_slots,
+                    },
+                    self.faults,
+                    0,
+                );
+                stream_loop(w, &arrivals, &mut session, adversary, rng, deadline)
+            }
+            Engine::CohortFast => {
+                let mut session = CohortSession::new(
+                    w.params,
+                    w.n,
+                    w.sources.clone(),
+                    CohortConfig {
+                        max_epoch: w.max_epoch,
+                        ..CohortConfig::default()
+                    },
+                    self.faults,
+                    0,
+                );
+                stream_loop(w, &arrivals, &mut session, adversary, rng, deadline)
             }
         }
     }
@@ -788,6 +1013,25 @@ impl ScenarioSpec {
                 );
                 fnv1a(h, &o.node_costs)
             }
+            // Engine-agnostic like the broadcast order; pinned from the
+            // day streams landed. Deadline-truncated streams must never
+            // reach a checksum fold (they are machine-dependent).
+            (Outcome::Stream(o), _) => fnv1a(
+                FNV_OFFSET,
+                &[
+                    o.slots,
+                    o.adversary_cost,
+                    o.arrivals,
+                    o.delivered,
+                    o.truncated_msgs,
+                    o.queue_area,
+                    o.max_queue,
+                    o.latency_p50,
+                    o.latency_p95,
+                    o.latency_max,
+                    o.max_cost,
+                ],
+            ),
         }
     }
 
@@ -835,6 +1079,49 @@ impl ScenarioSpec {
                 ("max_epoch", Json::Num(f64::from(w.max_epoch))),
                 ("exact_max_slots", ju64(w.exact_max_slots)),
             ]),
+            Workload::Stream(w) => {
+                let arrival = match &w.arrival {
+                    ArrivalSpec::Poisson { rate } => Json::obj(vec![
+                        ("kind", Json::Str("poisson".into())),
+                        ("rate", Json::Num(*rate)),
+                    ]),
+                    ArrivalSpec::Burst { period, size } => Json::obj(vec![
+                        ("kind", Json::Str("burst".into())),
+                        ("period", ju64(*period)),
+                        ("size", ju64(*size)),
+                    ]),
+                    ArrivalSpec::Schedule { arrivals } => Json::obj(vec![
+                        ("kind", Json::Str("schedule".into())),
+                        (
+                            "arrivals",
+                            Json::Arr(arrivals.iter().map(|&a| ju64(a)).collect()),
+                        ),
+                    ]),
+                };
+                Json::obj(vec![
+                    ("kind", Json::Str("stream".into())),
+                    ("params", params_to_json(&w.params)),
+                    ("n", Json::Num(w.n as f64)),
+                    (
+                        "sources",
+                        Json::Arr(w.sources.iter().map(|&s| Json::Num(s as f64)).collect()),
+                    ),
+                    ("max_epoch", Json::Num(f64::from(w.max_epoch))),
+                    ("exact_max_slots", ju64(w.exact_max_slots)),
+                    ("arrival", arrival),
+                    ("horizon", ju64(w.horizon)),
+                    (
+                        "alloc",
+                        Json::Str(
+                            match w.alloc {
+                                StreamAlloc::Persistent => "persistent",
+                                StreamAlloc::PerMessage => "per-message",
+                            }
+                            .into(),
+                        ),
+                    ),
+                ])
+            }
         };
         let engine = Json::Str(
             match self.engine {
@@ -916,6 +1203,61 @@ impl ScenarioSpec {
                     exact_max_slots: pu64(workload, "exact_max_slots")?,
                 })
             }
+            Some("stream") => {
+                let sources = workload
+                    .get("sources")
+                    .and_then(Json::as_arr)
+                    .ok_or("stream missing `sources`")?
+                    .iter()
+                    .map(|s| {
+                        s.as_u64()
+                            .map(|v| v as usize)
+                            .ok_or_else(|| "bad source index".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let arrival = workload.get("arrival").ok_or("stream missing `arrival`")?;
+                let arrival = match arrival.get("kind").and_then(Json::as_str) {
+                    Some("poisson") => ArrivalSpec::Poisson {
+                        rate: pf64(arrival, "rate")?,
+                    },
+                    Some("burst") => ArrivalSpec::Burst {
+                        period: pu64(arrival, "period")?,
+                        size: pu64(arrival, "size")?,
+                    },
+                    Some("schedule") => ArrivalSpec::Schedule {
+                        arrivals: arrival
+                            .get("arrivals")
+                            .and_then(Json::as_arr)
+                            .ok_or("schedule missing `arrivals`")?
+                            .iter()
+                            .map(|a| {
+                                a.as_str()
+                                    .ok_or_else(|| "bad arrival slot".to_string())?
+                                    .parse::<u64>()
+                                    .map_err(|e| format!("bad arrival slot: {e}"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    },
+                    other => return Err(format!("unknown arrival kind {other:?}")),
+                };
+                let alloc = match workload.get("alloc").and_then(Json::as_str) {
+                    Some("persistent") => StreamAlloc::Persistent,
+                    Some("per-message") => StreamAlloc::PerMessage,
+                    other => return Err(format!("unknown stream alloc {other:?}")),
+                };
+                Workload::Stream(StreamWorkload {
+                    params: params_from_json(
+                        workload.get("params").ok_or("stream missing `params`")?,
+                    )?,
+                    n: pu32(workload, "n")? as usize,
+                    sources,
+                    max_epoch: pu32(workload, "max_epoch")?,
+                    exact_max_slots: pu64(workload, "exact_max_slots")?,
+                    arrival,
+                    horizon: pu64(workload, "horizon")?,
+                    alloc,
+                })
+            }
             other => return Err(format!("unknown workload kind {other:?}")),
         };
         let engine = match value.get("engine").and_then(Json::as_str) {
@@ -960,6 +1302,95 @@ impl ScenarioSpec {
     pub fn fingerprint(&self) -> u64 {
         fnv1a_bytes(FNV_OFFSET, self.to_json().render_compact().as_bytes())
     }
+}
+
+/// The FIFO single-server drain at the heart of a stream trial, generic
+/// over the engine's session type. Message `k` starts service at
+/// `max(clock, arrival_k)`; its latency is queue wait + service time.
+///
+/// Per-message engine caps (epoch/slot budgets) are *data*, not failures:
+/// they count into `truncated_msgs`, the message still advances the
+/// clock, and the stream continues. Only a wall-clock deadline aborts the
+/// stream, marking the outcome `truncated` (such outcomes are
+/// machine-dependent and must never be journaled).
+fn stream_loop<S: Session<Outcome = BroadcastOutcome>>(
+    w: &StreamWorkload,
+    arrivals: &[u64],
+    session: &mut S,
+    adversary: &mut dyn RepetitionAdversary,
+    rng: &mut RcbRng,
+    deadline: &Deadline,
+) -> (StreamOutcome, Option<SimError>) {
+    let mut out = StreamOutcome {
+        n: w.n,
+        arrivals: arrivals.len() as u64,
+        delivered: 0,
+        truncated_msgs: 0,
+        slots: 0,
+        adversary_cost: 0,
+        max_cost: 0,
+        queue_area: 0,
+        max_queue: 0,
+        latency_p50: 0,
+        latency_p95: 0,
+        latency_max: 0,
+        truncated: false,
+    };
+    let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut clock = 0u64;
+    let mut stream_err = None;
+    let mut seed_buf = [0u64; 1];
+    for (k, &arrival) in arrivals.iter().enumerate() {
+        if deadline.exceeded() {
+            out.truncated = true;
+            stream_err = Some(SimError::DeadlineExceeded { slots: clock });
+            break;
+        }
+        let start = clock.max(arrival);
+        // Backlog sampled as service begins: arrivals at or before `start`
+        // minus the k messages already completed (includes this one).
+        let backlog = arrivals[k..].iter().take_while(|&&a| a <= start).count() as u64;
+        out.max_queue = out.max_queue.max(backlog);
+        if w.alloc == StreamAlloc::PerMessage {
+            adversary.rearm();
+        }
+        rng.fill_u64s(&mut seed_buf);
+        session.rearm(seed_buf[0]);
+        let (msg, err) = session.run(adversary, deadline);
+        out.adversary_cost += msg.adversary_cost;
+        out.max_cost = out.max_cost.max(msg.max_cost());
+        if let Some(e) = err {
+            if matches!(e, SimError::DeadlineExceeded { .. }) {
+                out.truncated = true;
+                stream_err = Some(SimError::DeadlineExceeded { slots: clock });
+                break;
+            }
+            out.truncated_msgs += 1;
+        }
+        let completion = start + msg.slots;
+        let latency = completion - arrival;
+        latencies.push(latency);
+        out.queue_area += latency;
+        clock = completion;
+        if msg.all_informed {
+            out.delivered += 1;
+        }
+    }
+    out.slots = clock.max(arrivals.last().copied().unwrap_or(0));
+    latencies.sort_unstable();
+    out.latency_p50 = percentile(&latencies, 50);
+    out.latency_p95 = percentile(&latencies, 95);
+    out.latency_max = latencies.last().copied().unwrap_or(0);
+    (out, stream_err)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 // JSON field helpers shared by the spec and outcome (de)serializers. All
@@ -1122,6 +1553,7 @@ fn faults_from_json(value: &Json) -> Result<FaultPlan, String> {
 pub enum Outcome {
     Duel(DuelOutcome),
     Broadcast(BroadcastOutcome),
+    Stream(StreamOutcome),
 }
 
 impl Outcome {
@@ -1129,6 +1561,7 @@ impl Outcome {
         match self {
             Outcome::Duel(o) => o.slots,
             Outcome::Broadcast(o) => o.slots,
+            Outcome::Stream(o) => o.slots,
         }
     }
 
@@ -1136,6 +1569,7 @@ impl Outcome {
         match self {
             Outcome::Duel(o) => o.truncated,
             Outcome::Broadcast(o) => o.truncated,
+            Outcome::Stream(o) => o.truncated,
         }
     }
 
@@ -1143,48 +1577,68 @@ impl Outcome {
         match self {
             Outcome::Duel(o) => o.adversary_cost,
             Outcome::Broadcast(o) => o.adversary_cost,
+            Outcome::Stream(o) => o.adversary_cost,
         }
     }
 
-    /// Max per-node cost (the resource-competitive quantity).
+    /// Max per-node cost (the resource-competitive quantity). For streams
+    /// this is the max over any single message's execution.
     pub fn max_cost(&self) -> u64 {
         match self {
             Outcome::Duel(o) => o.max_cost(),
             Outcome::Broadcast(o) => o.max_cost(),
+            Outcome::Stream(o) => o.max_cost,
         }
     }
 
     pub fn as_duel(&self) -> Option<&DuelOutcome> {
         match self {
             Outcome::Duel(o) => Some(o),
-            Outcome::Broadcast(_) => None,
+            _ => None,
         }
     }
 
     pub fn as_broadcast(&self) -> Option<&BroadcastOutcome> {
         match self {
             Outcome::Broadcast(o) => Some(o),
-            Outcome::Duel(_) => None,
+            _ => None,
+        }
+    }
+
+    pub fn as_stream(&self) -> Option<&StreamOutcome> {
+        match self {
+            Outcome::Stream(o) => Some(o),
+            _ => None,
         }
     }
 
     /// # Panics
     ///
-    /// Panics on a broadcast outcome.
+    /// Panics on a non-duel outcome.
     pub fn into_duel(self) -> DuelOutcome {
         match self {
             Outcome::Duel(o) => o,
-            Outcome::Broadcast(_) => panic!("expected a duel outcome"),
+            _ => panic!("expected a duel outcome"),
         }
     }
 
     /// # Panics
     ///
-    /// Panics on a duel outcome.
+    /// Panics on a non-broadcast outcome.
     pub fn into_broadcast(self) -> BroadcastOutcome {
         match self {
             Outcome::Broadcast(o) => o,
-            Outcome::Duel(_) => panic!("expected a broadcast outcome"),
+            _ => panic!("expected a broadcast outcome"),
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics on a non-stream outcome.
+    pub fn into_stream(self) -> StreamOutcome {
+        match self {
+            Outcome::Stream(o) => o,
+            _ => panic!("expected a stream outcome"),
         }
     }
 
@@ -1229,6 +1683,22 @@ impl Outcome {
                 ("last_epoch", Json::Num(f64::from(o.last_epoch))),
                 ("truncated", Json::Bool(o.truncated)),
             ]),
+            Outcome::Stream(o) => Json::obj(vec![
+                ("kind", Json::Str("stream".into())),
+                ("n", Json::Num(o.n as f64)),
+                ("arrivals", ju64(o.arrivals)),
+                ("delivered", ju64(o.delivered)),
+                ("truncated_msgs", ju64(o.truncated_msgs)),
+                ("slots", ju64(o.slots)),
+                ("adversary_cost", ju64(o.adversary_cost)),
+                ("max_cost", ju64(o.max_cost)),
+                ("queue_area", ju64(o.queue_area)),
+                ("max_queue", ju64(o.max_queue)),
+                ("latency_p50", ju64(o.latency_p50)),
+                ("latency_p95", ju64(o.latency_p95)),
+                ("latency_max", ju64(o.latency_max)),
+                ("truncated", Json::Bool(o.truncated)),
+            ]),
         }
     }
 
@@ -1271,6 +1741,21 @@ impl Outcome {
                 adversary_cost: pu64(value, "adversary_cost")?,
                 slots: pu64(value, "slots")?,
                 last_epoch: pu32(value, "last_epoch")?,
+                truncated: pbool(value, "truncated")?,
+            })),
+            Some("stream") => Ok(Outcome::Stream(StreamOutcome {
+                n: pu32(value, "n")? as usize,
+                arrivals: pu64(value, "arrivals")?,
+                delivered: pu64(value, "delivered")?,
+                truncated_msgs: pu64(value, "truncated_msgs")?,
+                slots: pu64(value, "slots")?,
+                adversary_cost: pu64(value, "adversary_cost")?,
+                max_cost: pu64(value, "max_cost")?,
+                queue_area: pu64(value, "queue_area")?,
+                max_queue: pu64(value, "max_queue")?,
+                latency_p50: pu64(value, "latency_p50")?,
+                latency_p95: pu64(value, "latency_p95")?,
+                latency_max: pu64(value, "latency_max")?,
                 truncated: pbool(value, "truncated")?,
             })),
             other => Err(format!("unknown outcome kind {other:?}")),
@@ -1386,6 +1871,55 @@ pub fn registry() -> Vec<NamedScenario> {
                 20,
             ),
         },
+        // Streaming entries: queue-driven workloads draining through one
+        // re-armed session, one entry per engine so `rcbsim scenario run`
+        // demonstrates streaming end-to-end everywhere.
+        NamedScenario {
+            name: "stream_n8_poisson",
+            summary: "fast stream, n=8, Poisson arrivals vs persistent 20 k jammer",
+            spec: ScenarioSpec::stream(8, ArrivalSpec::Poisson { rate: 2e-4 }, 50_000)
+                .with_adversary(AdversarySpec::Budgeted {
+                    budget: 20_000,
+                    fraction: 1.0,
+                })
+                .with_trials(12),
+        },
+        NamedScenario {
+            name: "stream_n4_exact_burst",
+            summary: "exact stream, n=4, bursty arrivals, per-message 2 k jammer",
+            spec: ScenarioSpec::stream(
+                4,
+                ArrivalSpec::Burst {
+                    period: 30_000,
+                    size: 2,
+                },
+                60_000,
+            )
+            .with_engine(Engine::Exact)
+            .with_stream_alloc(StreamAlloc::PerMessage)
+            .with_adversary(AdversarySpec::KeepAlive {
+                budget: 2_000,
+                fraction: 1.0,
+            })
+            .with_trials(4),
+        },
+        NamedScenario {
+            name: "stream_n4096_cohort",
+            summary: "cohort stream, n=4096, scheduled arrivals, persistent 50 k jammer",
+            spec: ScenarioSpec::stream(
+                4096,
+                ArrivalSpec::Schedule {
+                    arrivals: vec![0, 1_000, 2_000, 3_000],
+                },
+                10_000,
+            )
+            .with_engine(Engine::CohortFast)
+            .with_adversary(AdversarySpec::Budgeted {
+                budget: 50_000,
+                fraction: 1.0,
+            })
+            .with_trials(4),
+        },
         // The large-n cohort entries sit last deliberately: their heap
         // high-water marks (tens of MiB at n = 10^6) would otherwise leak
         // into the following entries' per-scenario RSS attribution on a
@@ -1419,7 +1953,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let entries = registry();
-        assert_eq!(entries.len(), 10);
+        assert_eq!(entries.len(), 13);
         for (i, a) in entries.iter().enumerate() {
             for b in &entries[i + 1..] {
                 assert_ne!(a.name, b.name);
@@ -1771,6 +2305,163 @@ mod tests {
             "thread count is a runtime concern: seed folds make outcomes \
              thread-count-invariant, so any --cpus run may share a journal"
         );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[10], 50), 10);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 95), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4], 100), 4);
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 50), 50);
+        assert_eq!(percentile(&hundred, 95), 95);
+    }
+
+    #[test]
+    fn arrival_specs_generate_deterministic_sorted_schedules() {
+        let gen = |seed| {
+            let mut rng = RcbRng::new(seed);
+            ArrivalSpec::Poisson { rate: 1e-3 }.generate(100_000, &mut rng)
+        };
+        let a = gen(3);
+        assert_eq!(a, gen(3), "poisson schedule must replay from the seed");
+        assert!(!a.is_empty(), "rate 1e-3 over 100k slots should arrive");
+        assert!(a.windows(2).all(|p| p[0] <= p[1]), "sorted");
+        assert!(a.iter().all(|&t| t < 100_000), "inside the horizon");
+
+        let mut rng = RcbRng::new(0);
+        let burst = ArrivalSpec::Burst {
+            period: 10,
+            size: 2,
+        }
+        .generate(25, &mut rng);
+        assert_eq!(burst, vec![0, 0, 10, 10, 20, 20]);
+        let sched = ArrivalSpec::Schedule {
+            arrivals: vec![5, 9],
+        }
+        .generate(25, &mut rng);
+        assert_eq!(sched, vec![5, 9]);
+    }
+
+    #[test]
+    fn stream_runs_on_all_three_engines_and_replays() {
+        for engine in [Engine::Fast, Engine::Exact, Engine::CohortFast] {
+            let spec = ScenarioSpec::stream(
+                4,
+                ArrivalSpec::Burst {
+                    period: 30_000,
+                    size: 2,
+                },
+                60_000,
+            )
+            .with_engine(engine)
+            .with_adversary(AdversarySpec::Budgeted {
+                budget: 2_000,
+                fraction: 1.0,
+            });
+            assert!(spec.validate().is_ok());
+            let mut rng = RcbRng::new(5);
+            let out = spec.run(&mut rng).expect("stream completes").into_stream();
+            assert_eq!(out.arrivals, 4, "{engine:?}");
+            assert_eq!(out.delivered, 4, "{engine:?}: jamming delays, not kills");
+            assert_eq!(out.truncated_msgs, 0, "{engine:?}");
+            assert!(!out.truncated, "{engine:?}");
+            assert!(out.max_queue >= 2, "{engine:?}: bursts of 2 queue up");
+            assert!(
+                out.latency_p50 <= out.latency_p95 && out.latency_p95 <= out.latency_max,
+                "{engine:?}: percentile ordering"
+            );
+            let mut rng2 = RcbRng::new(5);
+            assert_eq!(
+                spec.run(&mut rng2).unwrap().into_stream(),
+                out,
+                "{engine:?}: stream trials must replay exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_alloc_policies_have_distinct_budget_semantics() {
+        let base = ScenarioSpec::stream(
+            8,
+            ArrivalSpec::Burst {
+                period: 10_000,
+                size: 1,
+            },
+            50_000,
+        )
+        .with_adversary(AdversarySpec::Budgeted {
+            budget: 3_000,
+            fraction: 1.0,
+        });
+        let mut rng = RcbRng::new(9);
+        let persistent = base.clone().run(&mut rng).unwrap().into_stream();
+        assert!(
+            persistent.adversary_cost <= 3_000,
+            "one budget spans the stream: spent {}",
+            persistent.adversary_cost
+        );
+        let per_msg = base.with_stream_alloc(StreamAlloc::PerMessage);
+        let mut rng = RcbRng::new(9);
+        let refill = per_msg.run(&mut rng).unwrap().into_stream();
+        assert!(
+            refill.adversary_cost >= persistent.adversary_cost,
+            "a refilled jammer can spend at least as much ({} vs {})",
+            refill.adversary_cost,
+            persistent.adversary_cost
+        );
+    }
+
+    #[test]
+    fn stream_validate_rejects_bad_arrivals() {
+        let bad_rate = ScenarioSpec::stream(4, ArrivalSpec::Poisson { rate: 0.0 }, 1_000);
+        assert!(bad_rate.validate().is_err());
+        let bad_burst = ScenarioSpec::stream(4, ArrivalSpec::Burst { period: 0, size: 1 }, 1_000);
+        assert!(bad_burst.validate().is_err());
+        let unsorted = ScenarioSpec::stream(
+            4,
+            ArrivalSpec::Schedule {
+                arrivals: vec![9, 5],
+            },
+            1_000,
+        );
+        assert!(unsorted.validate().is_err());
+        let past_horizon = ScenarioSpec::stream(
+            4,
+            ArrivalSpec::Schedule {
+                arrivals: vec![1_000],
+            },
+            1_000,
+        );
+        assert!(past_horizon.validate().is_err());
+        let no_horizon = ScenarioSpec::stream(4, ArrivalSpec::Poisson { rate: 0.5 }, 0);
+        assert!(no_horizon.validate().is_err());
+        let ok = ScenarioSpec::stream(4, ArrivalSpec::Poisson { rate: 0.5 }, 1_000);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn stream_checksum_word_order_is_pinned() {
+        let spec = ScenarioSpec::stream(4, ArrivalSpec::Poisson { rate: 0.5 }, 1_000);
+        let out = StreamOutcome {
+            n: 4,
+            arrivals: 3,
+            delivered: 4,
+            truncated_msgs: 5,
+            slots: 1,
+            adversary_cost: 2,
+            max_cost: 11,
+            queue_area: 6,
+            max_queue: 7,
+            latency_p50: 8,
+            latency_p95: 9,
+            latency_max: 10,
+            truncated: false,
+        };
+        let expected = fnv1a(FNV_OFFSET, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(spec.outcome_checksum(&Outcome::Stream(out)), expected);
     }
 
     #[test]
